@@ -1,0 +1,12 @@
+// Package thorin is a reproduction of "A graph-based higher-order
+// intermediate representation" (CGO 2015): the Thorin IR, its analyses and
+// transformations (lambda mangling, conversion to control-flow form, slot
+// promotion, partial evaluation, closure conversion), an Impala-like
+// frontend, a classical SSA baseline compiler, and a bytecode VM substrate
+// for the evaluation.
+//
+// See README.md for an overview, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for recorded results. The benchmarks
+// in bench_test.go regenerate every table and figure; the same data is
+// printed by cmd/thorin-bench.
+package thorin

@@ -1,0 +1,3 @@
+module thorin
+
+go 1.22

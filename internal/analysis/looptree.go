@@ -1,0 +1,112 @@
+package analysis
+
+// Loop is one natural loop of a CFG: a header plus its body nodes. Loops
+// with the same header are merged. Parent/Children form the loop forest.
+type Loop struct {
+	Header   *Node
+	Body     map[*Node]bool
+	Parent   *Loop
+	Children []*Loop
+	Depth    int
+}
+
+// LoopTree is the loop forest of a CFG together with a per-node depth map.
+// Depth 0 means "not inside any loop".
+type LoopTree struct {
+	Loops  []*Loop
+	depths map[*Node]int
+	inner  map[*Node]*Loop
+}
+
+// NewLoopTree identifies natural loops via dominator-based back edges
+// (an edge u→h is a back edge iff h dominates u) and nests them.
+func NewLoopTree(g *CFG, dom *DomTree) *LoopTree {
+	byHeader := map[*Node]*Loop{}
+
+	for _, u := range g.Nodes {
+		for _, h := range u.Succs {
+			if h == g.Exit || !dom.Dominates(h, u) {
+				continue
+			}
+			l := byHeader[h]
+			if l == nil {
+				l = &Loop{Header: h, Body: map[*Node]bool{h: true}}
+				byHeader[h] = l
+			}
+			// Natural loop: nodes that reach u without passing through h.
+			var stack []*Node
+			if !l.Body[u] {
+				l.Body[u] = true
+				stack = append(stack, u)
+			}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, p := range n.Preds {
+					if !l.Body[p] {
+						l.Body[p] = true
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+
+	t := &LoopTree{depths: map[*Node]int{}, inner: map[*Node]*Loop{}}
+	for _, l := range byHeader {
+		t.Loops = append(t.Loops, l)
+	}
+	// Deterministic order: by header RPO index.
+	for i := 0; i < len(t.Loops); i++ {
+		for j := i + 1; j < len(t.Loops); j++ {
+			if t.Loops[j].Header.Index < t.Loops[i].Header.Index {
+				t.Loops[i], t.Loops[j] = t.Loops[j], t.Loops[i]
+			}
+		}
+	}
+
+	// Nest: the parent of l is the smallest loop strictly containing its
+	// header other than l itself.
+	for _, l := range t.Loops {
+		var best *Loop
+		for _, m := range t.Loops {
+			if m == l || !m.Body[l.Header] {
+				continue
+			}
+			if len(m.Body) <= len(l.Body) {
+				continue // must strictly contain
+			}
+			if best == nil || len(m.Body) < len(best.Body) {
+				best = m
+			}
+		}
+		l.Parent = best
+		if best != nil {
+			best.Children = append(best.Children, l)
+		}
+	}
+	for _, l := range t.Loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+
+	// Per-node depth: the depth of the innermost loop containing the node.
+	for _, l := range t.Loops {
+		for n := range l.Body {
+			if l.Depth > t.depths[n] {
+				t.depths[n] = l.Depth
+				t.inner[n] = l
+			}
+		}
+	}
+	return t
+}
+
+// Depth returns the loop nesting depth of n (0 = not in a loop).
+func (t *LoopTree) Depth(n *Node) int { return t.depths[n] }
+
+// InnermostLoop returns the innermost loop containing n, or nil.
+func (t *LoopTree) InnermostLoop(n *Node) *Loop { return t.inner[n] }

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"thorin/internal/ir"
+)
+
+// randCFGWorld builds a random (reducible-or-not) intra-function CFG: n
+// blocks, random branch/jump terminators, every block given a chance to be
+// reachable. Returns the entry.
+func randCFGWorld(r *rand.Rand) (*ir.World, *ir.Continuation) {
+	w := ir.NewWorld()
+	i64 := w.PrimType(ir.PrimI64)
+	mem := w.MemType()
+	retT := w.FnType(mem, i64)
+	entry := w.Continuation(w.FnType(mem, i64, retT), "entry")
+	entry.SetExtern(true)
+
+	n := r.Intn(8) + 2
+	blocks := make([]*ir.Continuation, n)
+	for i := range blocks {
+		blocks[i] = w.Continuation(w.FnType(mem), "b")
+	}
+	// Terminators: jump forward/backward, branch, or return.
+	x := entry.Param(1)
+	cond := w.Cmp(ir.OpLt, x, w.LitI64(0))
+	term := func(c *ir.Continuation, m ir.Def, idx int) {
+		switch r.Intn(4) {
+		case 0:
+			c.Jump(blocks[r.Intn(n)], m)
+		case 1:
+			t1, t2 := blocks[r.Intn(n)], blocks[r.Intn(n)]
+			if t1 == t2 {
+				c.Jump(t1, m)
+			} else {
+				c.Branch(m, cond, t1, t2)
+			}
+		default:
+			c.Jump(entry.Param(2), m, x)
+		}
+		_ = idx
+	}
+	entry.Branch(entry.Param(0), cond, blocks[0], blocks[r.Intn(n)])
+	for i, b := range blocks {
+		term(b, b.Param(0), i)
+	}
+	return w, entry
+}
+
+// Property: dominator-tree invariants hold on random CFGs — the entry
+// dominates every node, idom(n) strictly dominates n, and LCA is
+// commutative and itself dominates both arguments.
+func TestDomTreeInvariantsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w, entry := randCFGWorld(r)
+		if err := ir.Verify(w); err != nil {
+			t.Logf("invalid world: %v", err)
+			return false
+		}
+		g := NewCFG(NewScope(entry))
+		dom := NewDomTree(g)
+		root := g.Entry()
+		for _, n := range g.Nodes {
+			if !dom.Dominates(root, n) {
+				return false
+			}
+			if n != root {
+				id := dom.IDom(n)
+				if id == nil || id == n || !dom.Dominates(id, n) {
+					return false
+				}
+				if dom.Depth(n) != dom.Depth(id)+1 {
+					return false
+				}
+			}
+		}
+		for i := 0; i < 10; i++ {
+			a := g.Nodes[r.Intn(len(g.Nodes))]
+			b := g.Nodes[r.Intn(len(g.Nodes))]
+			l1, l2 := dom.LCA(a, b), dom.LCA(b, a)
+			if l1 != l2 || !dom.Dominates(l1, a) || !dom.Dominates(l1, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every loop body is dominated by its header, and per-node loop
+// depth equals the number of loops containing the node.
+func TestLoopTreeInvariantsProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		_, entry := randCFGWorld(r)
+		g := NewCFG(NewScope(entry))
+		dom := NewDomTree(g)
+		lt := NewLoopTree(g, dom)
+		for _, l := range lt.Loops {
+			for n := range l.Body {
+				if !dom.Dominates(l.Header, n) {
+					return false
+				}
+			}
+			if l.Parent != nil && !l.Parent.Body[l.Header] {
+				return false
+			}
+		}
+		for _, n := range g.Nodes {
+			count := 0
+			for _, l := range lt.Loops {
+				if l.Body[n] {
+					count++
+				}
+			}
+			// Depth is the nesting level of the innermost containing loop;
+			// with merged headers this equals the number of enclosing loops.
+			if count > 0 && lt.Depth(n) == 0 {
+				return false
+			}
+			if count == 0 && lt.Depth(n) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the schedule places every primop in a block that dominates all
+// of its users' blocks, for all three modes, on random CFGs with arithmetic
+// sprinkled in.
+func TestScheduleDominanceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		_, entry := randCFGWorld(r)
+		s := NewScope(entry)
+		for _, mode := range []Mode{ScheduleEarly, ScheduleLate, ScheduleSmart} {
+			sched := NewSchedule(s, mode)
+			for _, b := range sched.Blocks {
+				for _, p := range b.PrimOps {
+					for _, u := range p.Uses() {
+						var ub *Node
+						switch ud := u.Def.(type) {
+						case *ir.Continuation:
+							ub = sched.CFG.NodeOf(ud)
+						case *ir.PrimOp:
+							ub = sched.BlockOf(ud)
+						}
+						if ub == nil {
+							continue
+						}
+						if !sched.Dom.Dominates(b.Node, ub) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"sort"
+
+	"thorin/internal/ir"
+)
+
+// Mode selects the primop placement strategy.
+type Mode int
+
+// Scheduling modes.
+const (
+	// ScheduleEarly places each primop in the shallowest legal block (right
+	// after its operands are available).
+	ScheduleEarly Mode = iota
+	// ScheduleLate places each primop in the deepest block dominating all of
+	// its uses.
+	ScheduleLate
+	// ScheduleSmart picks, on the dominator-tree path between early and late
+	// placement, the block with the smallest loop depth closest to the late
+	// position — hoisting out of loops without lengthening live ranges
+	// needlessly (the sea-of-nodes heuristic).
+	ScheduleSmart
+)
+
+// Block is one scheduled basic block: a CFG node plus its primops in
+// execution order.
+type Block struct {
+	Node    *Node
+	PrimOps []*ir.PrimOp
+}
+
+// Schedule assigns every primop reachable from the scope's bodies to a block
+// of the CFG. The IR itself has no instruction order — primops float in the
+// dependency graph — so any backend needs a schedule first.
+type Schedule struct {
+	CFG    *CFG
+	Dom    *DomTree
+	Loops  *LoopTree
+	Blocks []*Block // in reverse postorder
+	byNode map[*Node]*Block
+	place  map[*ir.PrimOp]*Node
+}
+
+// NewSchedule computes a schedule for s under the given mode.
+func NewSchedule(s *Scope, mode Mode) *Schedule {
+	g := NewCFG(s)
+	dom := NewDomTree(g)
+	loops := NewLoopTree(g, dom)
+	sched := &Schedule{
+		CFG:    g,
+		Dom:    dom,
+		Loops:  loops,
+		byNode: make(map[*Node]*Block),
+		place:  make(map[*ir.PrimOp]*Node),
+	}
+	for _, n := range g.Nodes {
+		b := &Block{Node: n}
+		sched.Blocks = append(sched.Blocks, b)
+		sched.byNode[n] = b
+	}
+
+	primops := s.ReachablePrimOps()
+	inSet := map[*ir.PrimOp]bool{}
+	for _, p := range primops {
+		inSet[p] = true
+	}
+
+	// -- Early placement: deepest block among the operands' blocks. --------
+	early := make(map[*ir.PrimOp]*Node, len(primops))
+	var earlyOf func(p *ir.PrimOp) *Node
+	defBlock := func(d ir.Def) *Node {
+		switch d := d.(type) {
+		case *ir.Param:
+			if n := g.NodeOf(d.Cont()); n != nil {
+				return n
+			}
+			return g.Entry() // free param of an enclosing scope
+		case *ir.PrimOp:
+			if inSet[d] {
+				return earlyOf(d)
+			}
+			return g.Entry()
+		default:
+			return g.Entry() // literals, continuations
+		}
+	}
+	earlyOf = func(p *ir.PrimOp) *Node {
+		if n, ok := early[p]; ok {
+			return n
+		}
+		n := g.Entry()
+		early[p] = n // break cycles defensively; the graph is acyclic
+		for _, op := range p.Ops() {
+			b := defBlock(op)
+			if dom.Depth(b) > dom.Depth(n) {
+				n = b
+			}
+		}
+		early[p] = n
+		return n
+	}
+	for _, p := range primops {
+		earlyOf(p)
+	}
+
+	if mode == ScheduleEarly {
+		for _, p := range primops {
+			sched.place[p] = early[p]
+		}
+	} else {
+		// -- Final placement, users first. ----------------------------------
+		// ReachablePrimOps returns operands before users (post-order), so
+		// iterating in reverse sees every user's *final* position before the
+		// operand is placed — the Click-style global code motion invariant:
+		// a def's block must dominate the blocks its users actually end up
+		// in, not their theoretical latest positions.
+		for i := len(primops) - 1; i >= 0; i-- {
+			p := primops[i]
+			if p.OpKind().HasMemEffect() || isMemTuple(p) {
+				// Effectful ops are pinned to their mem chain's block.
+				sched.place[p] = early[p]
+				continue
+			}
+			var late *Node
+			join := func(b *Node) {
+				if b == nil {
+					return
+				}
+				if late == nil {
+					late = b
+				} else {
+					late = dom.LCA(late, b)
+				}
+			}
+			for _, u := range p.Uses() {
+				switch ud := u.Def.(type) {
+				case *ir.Continuation:
+					join(g.NodeOf(ud))
+				case *ir.PrimOp:
+					if inSet[ud] {
+						join(sched.place[ud])
+					}
+				}
+			}
+			if late == nil || !dom.Dominates(early[p], late) {
+				late = early[p] // users outside this scope: stay early
+			}
+			if mode == ScheduleLate {
+				sched.place[p] = late
+				continue
+			}
+			// Smart: walk up from late towards early, take the block with
+			// minimal loop depth (ties broken towards late).
+			best := late
+			for n := late; ; n = dom.IDom(n) {
+				if loops.Depth(n) < loops.Depth(best) {
+					best = n
+				}
+				if n == early[p] {
+					break
+				}
+			}
+			sched.place[p] = best
+		}
+	}
+
+	// -- Emit per-block topological order. ---------------------------------
+	for _, p := range primops {
+		n := sched.place[p]
+		sched.byNode[n].PrimOps = append(sched.byNode[n].PrimOps, p)
+	}
+	for _, b := range sched.Blocks {
+		sortTopological(b, sched.place)
+	}
+	return sched
+}
+
+// isMemTuple reports whether p extracts from an effectful op's result
+// (which pins it next to the op itself).
+func isMemTuple(p *ir.PrimOp) bool {
+	if p.OpKind() != ir.OpExtract {
+		return false
+	}
+	src, ok := p.Op(0).(*ir.PrimOp)
+	return ok && src.OpKind().HasMemEffect()
+}
+
+// BlockOf returns the node p was placed in (nil if p was not scheduled).
+func (s *Schedule) BlockOf(p *ir.PrimOp) *Node { return s.place[p] }
+
+// Block returns the scheduled block for a CFG node.
+func (s *Schedule) Block(n *Node) *Block { return s.byNode[n] }
+
+// sortTopological orders a block's primops so every operand placed in the
+// same block precedes its users; ties are broken by gid for determinism.
+func sortTopological(b *Block, place map[*ir.PrimOp]*Node) {
+	ops := b.PrimOps
+	sort.Slice(ops, func(i, j int) bool { return ops[i].GID() < ops[j].GID() })
+	inBlock := map[*ir.PrimOp]bool{}
+	for _, p := range ops {
+		inBlock[p] = true
+	}
+	var order []*ir.PrimOp
+	state := map[*ir.PrimOp]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *ir.PrimOp)
+	visit = func(p *ir.PrimOp) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		for _, op := range p.Ops() {
+			if q, ok := op.(*ir.PrimOp); ok && inBlock[q] {
+				visit(q)
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+	}
+	for _, p := range ops {
+		visit(p)
+	}
+	b.PrimOps = order
+}

@@ -1,0 +1,489 @@
+// Package bench defines the benchmark suite and the experiment harness that
+// regenerate the paper's evaluation tables and figures on this substrate.
+//
+// Every benchmark exists in two variants:
+//
+//   - Functional: written with higher-order functions, closures and
+//     combinators — the style the paper argues should be free;
+//   - Imperative: hand-lowered first-order loops — the reference an expert
+//     C programmer would write.
+//
+// Each variant compiles through three pipelines (Thorin optimized, Thorin
+// unoptimized, classical SSA baseline); all runs of one benchmark must
+// produce the same checksum, which the harness verifies.
+package bench
+
+// Program is one benchmark with its two stylistic variants.
+type Program struct {
+	Name string
+	// Functional is the higher-order variant; Imperative the first-order
+	// reference. Both take one i64 parameter and return an i64 checksum.
+	Functional string
+	Imperative string
+	// DefaultN is the problem size used by the standard tables.
+	DefaultN int64
+}
+
+// Suite is the benchmark suite, ordered as reported in the tables.
+var Suite = []Program{
+	{
+		Name:     "fib",
+		DefaultN: 22,
+		Functional: `
+fn fib(n: i64) -> i64 { if n < 2 { n } else { fib(n - 1) + fib(n - 2) } }
+fn main(n: i64) -> i64 { fib(n) }
+`,
+		// fib is the first-order control benchmark: both variants are the
+		// same naive recursion, measuring plain call overhead parity.
+		Imperative: `
+fn fib(n: i64) -> i64 { if n < 2 { n } else { fib(n - 1) + fib(n - 2) } }
+fn main(n: i64) -> i64 { fib(n) }
+`,
+	},
+	{
+		Name:     "mapreduce",
+		DefaultN: 30000,
+		Functional: `
+fn map(a: [i64], f: fn(i64) -> i64) -> [i64] {
+	let out = [0; len(a)];
+	for i in 0 .. len(a) { out[i] = f(a[i]); }
+	out
+}
+fn fold(a: [i64], init: i64, f: fn(i64, i64) -> i64) -> i64 {
+	let mut acc = init;
+	for i in 0 .. len(a) { acc = f(acc, a[i]); }
+	acc
+}
+fn main(n: i64) -> i64 {
+	let xs = [0; n];
+	for i in 0 .. n { xs[i] = i; }
+	fold(map(xs, |x: i64| x * x + 1), 0, |a: i64, b: i64| a + b)
+}
+`,
+		Imperative: `
+fn main(n: i64) -> i64 {
+	let xs = [0; n];
+	for i in 0 .. n { xs[i] = i; }
+	let out = [0; n];
+	for i in 0 .. n { out[i] = xs[i] * xs[i] + 1; }
+	let mut acc = 0;
+	for i in 0 .. n { acc = acc + out[i]; }
+	acc
+}
+`,
+	},
+	{
+		Name:     "filter",
+		DefaultN: 30000,
+		Functional: `
+fn filter_fold(a: [i64], keep: fn(i64) -> bool, f: fn(i64, i64) -> i64) -> i64 {
+	let mut acc = 0;
+	for i in 0 .. len(a) {
+		if keep(a[i]) { acc = f(acc, a[i]); }
+	}
+	acc
+}
+fn main(n: i64) -> i64 {
+	let xs = [0; n];
+	for i in 0 .. n { xs[i] = i * 7 % 1000; }
+	filter_fold(xs, |x: i64| x % 3 == 0, |a: i64, b: i64| a + b)
+}
+`,
+		Imperative: `
+fn main(n: i64) -> i64 {
+	let xs = [0; n];
+	for i in 0 .. n { xs[i] = i * 7 % 1000; }
+	let mut acc = 0;
+	for i in 0 .. n {
+		if xs[i] % 3 == 0 { acc = acc + xs[i]; }
+	}
+	acc
+}
+`,
+	},
+	{
+		Name:     "compose",
+		DefaultN: 20000,
+		Functional: `
+fn compose(f: fn(i64) -> i64, g: fn(i64) -> i64) -> fn(i64) -> i64 {
+	|x: i64| f(g(x))
+}
+fn main(n: i64) -> i64 {
+	let h = compose(compose(|x: i64| x + 1, |x: i64| x * 2), |x: i64| x - 3);
+	let mut s = 0;
+	for i in 0 .. n { s = s + h(i); }
+	s
+}
+`,
+		Imperative: `
+fn main(n: i64) -> i64 {
+	let mut s = 0;
+	for i in 0 .. n { s = s + ((i - 3) * 2 + 1); }
+	s
+}
+`,
+	},
+	{
+		Name:     "mandelbrot",
+		DefaultN: 40,
+		Functional: `
+fn escapes(cr: f64, ci: f64, limit: i64) -> i64 {
+	let mut zr = 0.0;
+	let mut zi = 0.0;
+	let mut i = 0;
+	while i < limit {
+		let t = zr * zr - zi * zi + cr;
+		zi = 2.0 * zr * zi + ci;
+		zr = t;
+		if zr * zr + zi * zi > 4.0 { return i; }
+		i = i + 1;
+	}
+	limit
+}
+fn sum2d(w: i64, h: i64, f: fn(i64, i64) -> i64) -> i64 {
+	let mut s = 0;
+	for y in 0 .. h {
+		for x in 0 .. w { s = s + f(x, y); }
+	}
+	s
+}
+fn main(n: i64) -> i64 {
+	sum2d(n, n, |x: i64, y: i64| {
+		let cr = (x as f64) * 3.0 / (n as f64) - 2.0;
+		let ci = (y as f64) * 2.0 / (n as f64) - 1.0;
+		if escapes(cr, ci, 100) == 100 { 1 } else { 0 }
+	})
+}
+`,
+		Imperative: `
+fn escapes(cr: f64, ci: f64, limit: i64) -> i64 {
+	let mut zr = 0.0;
+	let mut zi = 0.0;
+	let mut i = 0;
+	while i < limit {
+		let t = zr * zr - zi * zi + cr;
+		zi = 2.0 * zr * zi + ci;
+		zr = t;
+		if zr * zr + zi * zi > 4.0 { return i; }
+		i = i + 1;
+	}
+	limit
+}
+fn main(n: i64) -> i64 {
+	let mut count = 0;
+	for y in 0 .. n {
+		for x in 0 .. n {
+			let cr = (x as f64) * 3.0 / (n as f64) - 2.0;
+			let ci = (y as f64) * 2.0 / (n as f64) - 1.0;
+			if escapes(cr, ci, 100) == 100 { count = count + 1; }
+		}
+	}
+	count
+}
+`,
+	},
+	{
+		Name:     "nbody",
+		DefaultN: 1000,
+		Functional: `
+fn for_pairs(n: i64, f: fn(i64, i64)) {
+	for i in 0 .. n {
+		for j in i + 1 .. n { f(i, j); }
+	}
+}
+fn for_each(n: i64, f: fn(i64)) {
+	for i in 0 .. n { f(i); }
+}
+fn main(steps: i64) -> i64 {
+	let n = 5;
+	let px = [0.0; n]; let py = [0.0; n]; let pz = [0.0; n];
+	let vx = [0.0; n]; let vy = [0.0; n]; let vz = [0.0; n];
+	let m = [0.0; n];
+	for i in 0 .. n {
+		px[i] = (i * 3 % 7) as f64 * 0.5 - 1.0;
+		py[i] = (i * 5 % 11) as f64 * 0.25 - 1.0;
+		pz[i] = (i * 2 % 5) as f64 * 0.5 - 1.0;
+		m[i] = 1.0 + (i as f64) * 0.1;
+	}
+	let dt = 0.01;
+	for s in 0 .. steps {
+		for_pairs(n, |i: i64, j: i64| {
+			let dx = px[i] - px[j];
+			let dy = py[i] - py[j];
+			let dz = pz[i] - pz[j];
+			let d2 = dx * dx + dy * dy + dz * dz + 0.01;
+			let mag = dt / (d2 * d2 / 2.0 + d2);
+			vx[i] = vx[i] - dx * m[j] * mag;
+			vy[i] = vy[i] - dy * m[j] * mag;
+			vz[i] = vz[i] - dz * m[j] * mag;
+			vx[j] = vx[j] + dx * m[i] * mag;
+			vy[j] = vy[j] + dy * m[i] * mag;
+			vz[j] = vz[j] + dz * m[i] * mag;
+		});
+		for_each(n, |i: i64| {
+			px[i] = px[i] + dt * vx[i];
+			py[i] = py[i] + dt * vy[i];
+			pz[i] = pz[i] + dt * vz[i];
+		});
+	}
+	let mut chk = 0.0;
+	for i in 0 .. n { chk = chk + px[i] * py[i] + vz[i]; }
+	(chk * 1000000.0) as i64
+}
+`,
+		Imperative: `
+fn main(steps: i64) -> i64 {
+	let n = 5;
+	let px = [0.0; n]; let py = [0.0; n]; let pz = [0.0; n];
+	let vx = [0.0; n]; let vy = [0.0; n]; let vz = [0.0; n];
+	let m = [0.0; n];
+	for i in 0 .. n {
+		px[i] = (i * 3 % 7) as f64 * 0.5 - 1.0;
+		py[i] = (i * 5 % 11) as f64 * 0.25 - 1.0;
+		pz[i] = (i * 2 % 5) as f64 * 0.5 - 1.0;
+		m[i] = 1.0 + (i as f64) * 0.1;
+	}
+	let dt = 0.01;
+	for s in 0 .. steps {
+		for i in 0 .. n {
+			for j in i + 1 .. n {
+				let dx = px[i] - px[j];
+				let dy = py[i] - py[j];
+				let dz = pz[i] - pz[j];
+				let d2 = dx * dx + dy * dy + dz * dz + 0.01;
+				let mag = dt / (d2 * d2 / 2.0 + d2);
+				vx[i] = vx[i] - dx * m[j] * mag;
+				vy[i] = vy[i] - dy * m[j] * mag;
+				vz[i] = vz[i] - dz * m[j] * mag;
+				vx[j] = vx[j] + dx * m[i] * mag;
+				vy[j] = vy[j] + dy * m[i] * mag;
+				vz[j] = vz[j] + dz * m[i] * mag;
+			}
+		}
+		for i in 0 .. n {
+			px[i] = px[i] + dt * vx[i];
+			py[i] = py[i] + dt * vy[i];
+			pz[i] = pz[i] + dt * vz[i];
+		}
+	}
+	let mut chk = 0.0;
+	for i in 0 .. n { chk = chk + px[i] * py[i] + vz[i]; }
+	(chk * 1000000.0) as i64
+}
+`,
+	},
+	{
+		Name:     "spectralnorm",
+		DefaultN: 40,
+		Functional: `
+fn a(i: i64, j: i64) -> f64 {
+	1.0 / (((i + j) * (i + j + 1) / 2 + i + 1) as f64)
+}
+fn sumf(n: i64, f: fn(i64) -> f64) -> f64 {
+	let mut s = 0.0;
+	for i in 0 .. n { s = s + f(i); }
+	s
+}
+fn main(n: i64) -> i64 {
+	let u = [1.0; n];
+	let v = [0.0; n];
+	for iter in 0 .. 5 {
+		for i in 0 .. n { v[i] = sumf(n, |j: i64| a(i, j) * u[j]); }
+		for i in 0 .. n { u[i] = sumf(n, |j: i64| a(j, i) * v[j]); }
+	}
+	let vbv = sumf(n, |i: i64| u[i] * v[i]);
+	let vv = sumf(n, |i: i64| v[i] * v[i]);
+	(vbv / vv * 1000000000.0) as i64
+}
+`,
+		Imperative: `
+fn a(i: i64, j: i64) -> f64 {
+	1.0 / (((i + j) * (i + j + 1) / 2 + i + 1) as f64)
+}
+fn main(n: i64) -> i64 {
+	let u = [1.0; n];
+	let v = [0.0; n];
+	for iter in 0 .. 5 {
+		for i in 0 .. n {
+			let mut s = 0.0;
+			for j in 0 .. n { s = s + a(i, j) * u[j]; }
+			v[i] = s;
+		}
+		for i in 0 .. n {
+			let mut s = 0.0;
+			for j in 0 .. n { s = s + a(j, i) * v[j]; }
+			u[i] = s;
+		}
+	}
+	let mut vbv = 0.0;
+	let mut vv = 0.0;
+	for i in 0 .. n { vbv = vbv + u[i] * v[i]; vv = vv + v[i] * v[i]; }
+	(vbv / vv * 1000000000.0) as i64
+}
+`,
+	},
+	{
+		Name:     "qsort",
+		DefaultN: 5000,
+		Functional: `
+fn qsort(a: [i64], lo: i64, hi: i64, lt: fn(i64, i64) -> bool) {
+	if lo >= hi { return; }
+	let p = a[hi];
+	let mut i = lo;
+	for j in lo .. hi {
+		if lt(a[j], p) {
+			let t = a[i]; a[i] = a[j]; a[j] = t;
+			i = i + 1;
+		}
+	}
+	let t = a[i]; a[i] = a[hi]; a[hi] = t;
+	qsort(a, lo, i - 1, lt);
+	qsort(a, i + 1, hi, lt);
+}
+fn main(n: i64) -> i64 {
+	let a = [0; n];
+	let mut seed = 42;
+	for i in 0 .. n {
+		seed = (seed * 1103515245 + 12345) % 2147483648;
+		a[i] = seed % 10000;
+	}
+	qsort(a, 0, n - 1, |x: i64, y: i64| x < y);
+	a[n / 4] + a[n / 2] * 7 + a[3 * n / 4] * 31
+}
+`,
+		Imperative: `
+fn qsort(a: [i64], lo: i64, hi: i64) {
+	if lo >= hi { return; }
+	let p = a[hi];
+	let mut i = lo;
+	for j in lo .. hi {
+		if a[j] < p {
+			let t = a[i]; a[i] = a[j]; a[j] = t;
+			i = i + 1;
+		}
+	}
+	let t = a[i]; a[i] = a[hi]; a[hi] = t;
+	qsort(a, lo, i - 1);
+	qsort(a, i + 1, hi);
+}
+fn main(n: i64) -> i64 {
+	let a = [0; n];
+	let mut seed = 42;
+	for i in 0 .. n {
+		seed = (seed * 1103515245 + 12345) % 2147483648;
+		a[i] = seed % 10000;
+	}
+	qsort(a, 0, n - 1);
+	a[n / 4] + a[n / 2] * 7 + a[3 * n / 4] * 31
+}
+`,
+	},
+	{
+		Name:     "matmul",
+		DefaultN: 40,
+		Functional: `
+fn dotk(n: i64, f: fn(i64) -> i64) -> i64 {
+	let mut s = 0;
+	for k in 0 .. n { s = s + f(k); }
+	s
+}
+fn main(n: i64) -> i64 {
+	let a = [0; n * n];
+	let b = [0; n * n];
+	for i in 0 .. n * n {
+		a[i] = i % 13;
+		b[i] = i % 7;
+	}
+	let c = [0; n * n];
+	for i in 0 .. n {
+		for j in 0 .. n {
+			c[i * n + j] = dotk(n, |k: i64| a[i * n + k] * b[k * n + j]);
+		}
+	}
+	let mut s = 0;
+	for i in 0 .. n * n { s = s + c[i] * (i % 3 + 1); }
+	s
+}
+`,
+		Imperative: `
+fn main(n: i64) -> i64 {
+	let a = [0; n * n];
+	let b = [0; n * n];
+	for i in 0 .. n * n {
+		a[i] = i % 13;
+		b[i] = i % 7;
+	}
+	let c = [0; n * n];
+	for i in 0 .. n {
+		for j in 0 .. n {
+			let mut s = 0;
+			for k in 0 .. n { s = s + a[i * n + k] * b[k * n + j]; }
+			c[i * n + j] = s;
+		}
+	}
+	let mut s = 0;
+	for i in 0 .. n * n { s = s + c[i] * (i % 3 + 1); }
+	s
+}
+`,
+	},
+	{
+		Name:     "nqueens",
+		DefaultN: 8,
+		Functional: `
+fn sum_cols(n: i64, f: fn(i64) -> i64) -> i64 {
+	let mut s = 0;
+	for c in 0 .. n { s = s + f(c); }
+	s
+}
+fn solve(queens: [i64], row: i64, n: i64) -> i64 {
+	if row == n { return 1; }
+	sum_cols(n, |col: i64| {
+		let mut ok = true;
+		for r in 0 .. row {
+			let c = queens[r];
+			if c == col { ok = false; }
+			if c - (row - r) == col { ok = false; }
+			if c + (row - r) == col { ok = false; }
+		}
+		if ok {
+			queens[row] = col;
+			solve(queens, row + 1, n)
+		} else { 0 }
+	})
+}
+fn main(n: i64) -> i64 { solve([0; n], 0, n) }
+`,
+		Imperative: `
+fn solve(queens: [i64], row: i64, n: i64) -> i64 {
+	if row == n { return 1; }
+	let mut count = 0;
+	for col in 0 .. n {
+		let mut ok = true;
+		for r in 0 .. row {
+			let c = queens[r];
+			if c == col { ok = false; }
+			if c - (row - r) == col { ok = false; }
+			if c + (row - r) == col { ok = false; }
+		}
+		if ok {
+			queens[row] = col;
+			count = count + solve(queens, row + 1, n);
+		}
+	}
+	count
+}
+fn main(n: i64) -> i64 { solve([0; n], 0, n) }
+`,
+	},
+}
+
+// Find returns the suite program with the given name, or nil.
+func Find(name string) *Program {
+	for i := range Suite {
+		if Suite[i].Name == name {
+			return &Suite[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+// Package codegen lowers a Thorin world in control-flow form (plus closure
+// records for any residual higher-order values) into vm bytecode.
+//
+// The IR carries no instruction order, so code generation starts from a
+// schedule (package analysis): every continuation of a function's scope
+// becomes a basic block, scheduled primops become instructions, and the
+// terminating jump becomes a branch, direct jump, call, closure call or
+// return according to the paper's calling convention — the final
+// continuation argument of a returning call is the return continuation.
+package codegen
+
+import (
+	"fmt"
+
+	"thorin/internal/analysis"
+	"thorin/internal/ir"
+	"thorin/internal/vm"
+)
+
+// Config controls code generation.
+type Config struct {
+	// Mode selects primop placement (default ScheduleSmart).
+	Mode analysis.Mode
+}
+
+// Compile lowers every extern returning continuation of w (plus all
+// functions they reference) into a vm.Program. mainName selects the entry
+// point.
+func Compile(w *ir.World, mainName string, cfg Config) (*vm.Program, error) {
+	g := &generator{
+		w:       w,
+		cfg:     cfg,
+		prog:    &vm.Program{Main: -1},
+		funcIdx: map[*ir.Continuation]int{},
+		globals: map[*ir.PrimOp]int{},
+	}
+	for _, c := range w.Externs() {
+		if c.IsIntrinsic() || !c.HasBody() || !c.IsReturning() {
+			continue
+		}
+		g.declare(c)
+	}
+	if len(g.worklist) == 0 {
+		return nil, fmt.Errorf("codegen: no extern returning functions in world")
+	}
+	for len(g.worklist) > 0 {
+		c := g.worklist[len(g.worklist)-1]
+		g.worklist = g.worklist[:len(g.worklist)-1]
+		if err := g.emitFunc(c); err != nil {
+			return nil, err
+		}
+	}
+	if main := w.Find(mainName); main != nil {
+		if idx, ok := g.funcIdx[main]; ok {
+			g.prog.Main = idx
+		}
+	}
+	if g.prog.Main < 0 {
+		return nil, fmt.Errorf("codegen: main function %q not found", mainName)
+	}
+	return g.prog, nil
+}
+
+type generator struct {
+	w        *ir.World
+	cfg      Config
+	prog     *vm.Program
+	funcIdx  map[*ir.Continuation]int
+	worklist []*ir.Continuation
+	globals  map[*ir.PrimOp]int
+}
+
+// declare reserves a function slot for c and queues it for emission.
+func (g *generator) declare(c *ir.Continuation) int {
+	if idx, ok := g.funcIdx[c]; ok {
+		return idx
+	}
+	idx := len(g.prog.Funcs)
+	g.prog.Funcs = append(g.prog.Funcs, &vm.Func{Name: c.Name()})
+	g.funcIdx[c] = idx
+	g.worklist = append(g.worklist, c)
+	return idx
+}
+
+func (g *generator) globalIdx(p *ir.PrimOp) (int, error) {
+	if idx, ok := g.globals[p]; ok {
+		return idx, nil
+	}
+	var init vm.Value
+	switch l := p.Op(0).(type) {
+	case *ir.Literal:
+		init = vm.Value{I: l.I, F: l.F}
+	default:
+		return 0, fmt.Errorf("codegen: global initializer must be a literal, got %T", p.Op(0))
+	}
+	idx := len(g.prog.Globals)
+	g.prog.Globals = append(g.prog.Globals, init)
+	g.globals[p] = idx
+	return idx, nil
+}
+
+// fnEmitter holds the per-function emission state.
+type fnEmitter struct {
+	g      *generator
+	entry  *ir.Continuation
+	scope  *analysis.Scope
+	sched  *analysis.Schedule
+	fn     *vm.Func
+	regs   map[ir.Def]int
+	blkIdx map[*analysis.Node]int
+	code   []vm.Instr
+	consts []vm.Instr // literal materialization, prepended to the entry block
+}
+
+func (g *generator) emitFunc(c *ir.Continuation) error {
+	s := analysis.NewScope(c)
+	if !s.TopLevel() {
+		return fmt.Errorf("codegen: %s captures enclosing parameters; run closure conversion first", c.Name())
+	}
+	e := &fnEmitter{
+		g:      g,
+		entry:  c,
+		scope:  s,
+		sched:  analysis.NewSchedule(s, g.cfg.Mode),
+		fn:     g.prog.Funcs[g.funcIdx[c]],
+		regs:   map[ir.Def]int{},
+		blkIdx: map[*analysis.Node]int{},
+	}
+	return e.run()
+}
+
+func isVal(d ir.Def) bool { return !ir.IsMemType(d.Type()) }
+
+// newReg allocates a fresh register.
+func (e *fnEmitter) newReg() int {
+	r := e.fn.NumRegs
+	e.fn.NumRegs++
+	return r
+}
+
+// regOf returns the register holding d, materializing literals on demand
+// and resolving aliases (extracts of effect results, bitcasts, run/hlt).
+func (e *fnEmitter) regOf(d ir.Def) (int, error) {
+	if r, ok := e.regs[d]; ok {
+		return r, nil
+	}
+	switch d := d.(type) {
+	case *ir.Literal:
+		r := e.newReg()
+		if pt, ok := d.Type().(*ir.PrimType); ok && pt.Tag.IsFloat() {
+			e.consts = append(e.consts, vm.Instr{Op: vm.OpConstF, A: r, F: d.F})
+		} else {
+			e.consts = append(e.consts, vm.Instr{Op: vm.OpConstI, A: r, Imm: d.I})
+		}
+		e.regs[d] = r
+		return r, nil
+	case *ir.Param:
+		return 0, fmt.Errorf("codegen: %s: param %s of %s has no register (unscoped use?)",
+			e.entry.Name(), d, d.Cont().Name())
+	case *ir.PrimOp:
+		switch d.OpKind() {
+		case ir.OpExtract:
+			if src, ok := d.Op(0).(*ir.PrimOp); ok && src.OpKind().HasMemEffect() {
+				if idx, _ := ir.LitValue(d.Op(1)); idx == 1 {
+					r, err := e.regOf(src)
+					if err != nil {
+						return 0, err
+					}
+					e.regs[d] = r
+					return r, nil
+				}
+			}
+		case ir.OpBitcast, ir.OpRun, ir.OpHlt:
+			r, err := e.regOf(d.Op(0))
+			if err != nil {
+				return 0, err
+			}
+			e.regs[d] = r
+			return r, nil
+		}
+		return 0, fmt.Errorf("codegen: %s: primop %s has no register (not scheduled?)",
+			e.entry.Name(), d.OpKind())
+	case *ir.Continuation:
+		return 0, fmt.Errorf("codegen: %s: continuation %s used as value; run closure conversion first",
+			e.entry.Name(), d.Name())
+	}
+	return 0, fmt.Errorf("codegen: %s: cannot register %v", e.entry.Name(), d)
+}
+
+func (e *fnEmitter) run() error {
+	// Function parameters: non-mem, non-ret params get argument registers.
+	retParam := e.entry.RetParam()
+	for _, p := range e.entry.Params() {
+		if p == retParam || !isVal(p) {
+			continue
+		}
+		r := e.newReg()
+		e.regs[p] = r
+		e.fn.ParamRegs = append(e.fn.ParamRegs, r)
+	}
+
+	// Block indices and param registers for every CFG node.
+	for i, n := range e.sched.CFG.Nodes {
+		e.blkIdx[n] = i
+	}
+	blocks := make([]vm.Block, len(e.sched.CFG.Nodes))
+	for i, n := range e.sched.CFG.Nodes {
+		blocks[i].Name = n.Cont.Name()
+		if n.Cont == e.entry {
+			continue // entry params are the function params
+		}
+		for _, p := range n.Cont.Params() {
+			if !isVal(p) {
+				continue
+			}
+			r := e.newReg()
+			e.regs[p] = r
+			blocks[i].ParamRegs = append(blocks[i].ParamRegs, r)
+		}
+	}
+
+	// Emit each block: scheduled primops then the terminator.
+	var bodies [][]vm.Instr
+	for _, n := range e.sched.CFG.Nodes {
+		var body []vm.Instr
+		for _, p := range e.sched.Block(n).PrimOps {
+			ins, err := e.emitPrimOp(p)
+			if err != nil {
+				return err
+			}
+			body = append(body, ins...)
+		}
+		term, err := e.emitTerminator(n.Cont)
+		if err != nil {
+			return fmt.Errorf("%s (in %s)", err, n.Cont.Name())
+		}
+		body = append(body, term...)
+		bodies = append(bodies, body)
+	}
+
+	// Layout: consts first (part of the entry block), then block bodies.
+	e.code = append(e.code, e.consts...)
+	for i, body := range bodies {
+		blocks[i].Start = len(e.code)
+		if i == 0 {
+			blocks[i].Start = 0 // entry includes the consts
+		}
+		e.code = append(e.code, body...)
+	}
+	e.fn.Blocks = blocks
+	e.fn.Code = e.code
+	return nil
+}
+
+// valArgs returns the registers of the non-mem arguments in args.
+func (e *fnEmitter) valArgs(args []ir.Def) ([]int, error) {
+	var out []int
+	for _, a := range args {
+		if !isVal(a) {
+			continue
+		}
+		r, err := e.regOf(a)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,407 @@
+package codegen
+
+import (
+	"fmt"
+
+	"thorin/internal/ir"
+	"thorin/internal/vm"
+)
+
+var arithOpI = map[ir.OpKind]vm.Opcode{
+	ir.OpAdd: vm.OpAddI, ir.OpSub: vm.OpSubI, ir.OpMul: vm.OpMulI,
+	ir.OpDiv: vm.OpDivI, ir.OpRem: vm.OpRemI, ir.OpAnd: vm.OpAndI,
+	ir.OpOr: vm.OpOrI, ir.OpXor: vm.OpXorI, ir.OpShl: vm.OpShlI,
+	ir.OpShr: vm.OpShrI,
+}
+
+var arithOpF = map[ir.OpKind]vm.Opcode{
+	ir.OpAdd: vm.OpAddF, ir.OpSub: vm.OpSubF, ir.OpMul: vm.OpMulF,
+	ir.OpDiv: vm.OpDivF, ir.OpRem: vm.OpRemF,
+}
+
+var cmpOpI = map[ir.OpKind]vm.Opcode{
+	ir.OpEq: vm.OpEqI, ir.OpNe: vm.OpNeI, ir.OpLt: vm.OpLtI,
+	ir.OpLe: vm.OpLeI, ir.OpGt: vm.OpGtI, ir.OpGe: vm.OpGeI,
+}
+
+var cmpOpF = map[ir.OpKind]vm.Opcode{
+	ir.OpEq: vm.OpEqF, ir.OpNe: vm.OpNeF, ir.OpLt: vm.OpLtF,
+	ir.OpLe: vm.OpLeF, ir.OpGt: vm.OpGtF, ir.OpGe: vm.OpGeF,
+}
+
+// emitPrimOp lowers one scheduled primop to instructions, assigning its
+// result register.
+func (e *fnEmitter) emitPrimOp(p *ir.PrimOp) ([]vm.Instr, error) {
+	k := p.OpKind()
+	switch {
+	case k.IsArith():
+		b, err := e.regOf(p.Op(0))
+		if err != nil {
+			return nil, err
+		}
+		c, err := e.regOf(p.Op(1))
+		if err != nil {
+			return nil, err
+		}
+		a := e.newReg()
+		e.regs[p] = a
+		table := arithOpI
+		if pt := p.Type().(*ir.PrimType); pt.Tag.IsFloat() {
+			table = arithOpF
+		}
+		op, ok := table[k]
+		if !ok {
+			return nil, fmt.Errorf("codegen: no instruction for %s at %s", k, p.Type())
+		}
+		return []vm.Instr{{Op: op, A: a, B: b, C: c}}, nil
+
+	case k.IsCmp():
+		b, err := e.regOf(p.Op(0))
+		if err != nil {
+			return nil, err
+		}
+		c, err := e.regOf(p.Op(1))
+		if err != nil {
+			return nil, err
+		}
+		a := e.newReg()
+		e.regs[p] = a
+		table := cmpOpI
+		if pt, ok := p.Op(0).Type().(*ir.PrimType); ok && pt.Tag.IsFloat() {
+			table = cmpOpF
+		}
+		return []vm.Instr{{Op: table[k], A: a, B: b, C: c}}, nil
+	}
+
+	switch k {
+	case ir.OpSelect:
+		cond, err := e.regOf(p.Op(0))
+		if err != nil {
+			return nil, err
+		}
+		tv, err := e.regOf(p.Op(1))
+		if err != nil {
+			return nil, err
+		}
+		fv, err := e.regOf(p.Op(2))
+		if err != nil {
+			return nil, err
+		}
+		a := e.newReg()
+		e.regs[p] = a
+		return []vm.Instr{{Op: vm.OpSelect, A: a, B: cond, C: tv, Imm: int64(fv)}}, nil
+
+	case ir.OpCast:
+		src := p.Op(0).Type().(*ir.PrimType).Tag
+		dst := p.Type().(*ir.PrimType).Tag
+		b, err := e.regOf(p.Op(0))
+		if err != nil {
+			return nil, err
+		}
+		a := e.newReg()
+		e.regs[p] = a
+		switch {
+		case src.IsFloat() && dst.IsFloat():
+			return []vm.Instr{{Op: vm.OpCastFF, A: a, B: b, Imm: int64(dst.Bits())}}, nil
+		case src.IsFloat():
+			return []vm.Instr{{Op: vm.OpCastFI, A: a, B: b}}, nil
+		case dst.IsFloat():
+			return []vm.Instr{{Op: vm.OpCastIF, A: a, B: b}}, nil
+		default:
+			return []vm.Instr{{Op: vm.OpCastII, A: a, B: b, Imm: int64(dst.Bits())}}, nil
+		}
+
+	case ir.OpBitcast, ir.OpRun, ir.OpHlt:
+		_, err := e.regOf(p) // establishes the alias
+		return nil, err
+
+	case ir.OpTuple:
+		args, err := e.valArgs(p.Ops())
+		if err != nil {
+			return nil, err
+		}
+		a := e.newReg()
+		e.regs[p] = a
+		return []vm.Instr{{Op: vm.OpTupleNew, A: a, Args: args}}, nil
+
+	case ir.OpExtract:
+		if src, ok := p.Op(0).(*ir.PrimOp); ok && src.OpKind().HasMemEffect() {
+			if !isVal(p) {
+				return nil, nil // mem projection: erased
+			}
+			_, err := e.regOf(p) // aliases the effect op's result register
+			return nil, err
+		}
+		idx, ok := ir.LitValue(p.Op(1))
+		if !ok {
+			return nil, fmt.Errorf("codegen: extract with dynamic index")
+		}
+		b, err := e.regOf(p.Op(0))
+		if err != nil {
+			return nil, err
+		}
+		a := e.newReg()
+		e.regs[p] = a
+		return []vm.Instr{{Op: vm.OpTupleGet, A: a, B: b, Imm: idx}}, nil
+
+	case ir.OpInsert:
+		idx, ok := ir.LitValue(p.Op(1))
+		if !ok {
+			return nil, fmt.Errorf("codegen: insert with dynamic index")
+		}
+		b, err := e.regOf(p.Op(0))
+		if err != nil {
+			return nil, err
+		}
+		c, err := e.regOf(p.Op(2))
+		if err != nil {
+			return nil, err
+		}
+		a := e.newReg()
+		e.regs[p] = a
+		return []vm.Instr{{Op: vm.OpTupleSet, A: a, B: b, C: c, Imm: idx}}, nil
+
+	case ir.OpSlot:
+		a := e.newReg()
+		e.regs[p] = a
+		return []vm.Instr{{Op: vm.OpSlotNew, A: a}}, nil
+
+	case ir.OpAlloc:
+		n, err := e.regOf(p.Op(1))
+		if err != nil {
+			return nil, err
+		}
+		a := e.newReg()
+		e.regs[p] = a
+		return []vm.Instr{{Op: vm.OpArrayNew, A: a, B: n}}, nil
+
+	case ir.OpLoad:
+		ptr, err := e.regOf(p.Op(1))
+		if err != nil {
+			return nil, err
+		}
+		a := e.newReg()
+		e.regs[p] = a
+		return []vm.Instr{{Op: vm.OpPtrLoad, A: a, B: ptr}}, nil
+
+	case ir.OpStore:
+		ptr, err := e.regOf(p.Op(1))
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.regOf(p.Op(2))
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: vm.OpPtrStore, A: ptr, B: v}}, nil
+
+	case ir.OpLea:
+		arr, err := e.regOf(p.Op(0))
+		if err != nil {
+			return nil, err
+		}
+		idx, err := e.regOf(p.Op(1))
+		if err != nil {
+			return nil, err
+		}
+		a := e.newReg()
+		e.regs[p] = a
+		return []vm.Instr{{Op: vm.OpLea, A: a, B: arr, C: idx}}, nil
+
+	case ir.OpALen:
+		arr, err := e.regOf(p.Op(0))
+		if err != nil {
+			return nil, err
+		}
+		a := e.newReg()
+		e.regs[p] = a
+		return []vm.Instr{{Op: vm.OpArrayLen, A: a, B: arr}}, nil
+
+	case ir.OpGlobal:
+		gi, err := e.g.globalIdx(p)
+		if err != nil {
+			return nil, err
+		}
+		a := e.newReg()
+		e.regs[p] = a
+		return []vm.Instr{{Op: vm.OpGlobalPtr, A: a, Imm: int64(gi)}}, nil
+
+	case ir.OpClosure:
+		code, ok := p.Op(0).(*ir.Continuation)
+		if !ok {
+			return nil, fmt.Errorf("codegen: closure code is not a continuation")
+		}
+		fnIdx := e.g.declare(code)
+		env, err := e.valArgs(p.Ops()[1:])
+		if err != nil {
+			return nil, err
+		}
+		a := e.newReg()
+		e.regs[p] = a
+		return []vm.Instr{{Op: vm.OpClosureNew, A: a, Imm: int64(fnIdx), Args: env}}, nil
+	}
+	return nil, fmt.Errorf("codegen: cannot emit primop %s", k)
+}
+
+// emitTerminator lowers the body of continuation c (a block of the current
+// function) into control-transfer instructions.
+func (e *fnEmitter) emitTerminator(c *ir.Continuation) ([]vm.Instr, error) {
+	if !c.HasBody() {
+		return nil, fmt.Errorf("codegen: block without body")
+	}
+	callee := c.Callee()
+
+	// Intrinsics.
+	if ic, ok := callee.(*ir.Continuation); ok && ic.IsIntrinsic() {
+		return e.emitIntrinsic(c, ic)
+	}
+
+	// Direct jump to a block of this scope.
+	if t, ok := callee.(*ir.Continuation); ok && !t.IsReturning() {
+		n := e.sched.CFG.NodeOf(t)
+		if n == nil {
+			return nil, fmt.Errorf("codegen: jump to foreign block %s", t.Name())
+		}
+		args, err := e.valArgs(c.Args())
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: vm.OpJmp, Imm: int64(e.blkIdx[n]), Args: args}}, nil
+	}
+
+	// Return: jump to this function's return parameter.
+	if p, ok := callee.(*ir.Param); ok && p == e.entry.RetParam() {
+		args, err := e.valArgs(c.Args())
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: vm.OpRet, Args: args}}, nil
+	}
+
+	// Calls: direct (top-level returning continuation) or indirect
+	// (closure value in a register).
+	ft, ok := callee.Type().(*ir.FnType)
+	if !ok || !ir.ReturnsValue(ft) {
+		return nil, fmt.Errorf("codegen: callee %v is not callable", callee)
+	}
+	nargs := c.NumArgs()
+	retArg := c.Arg(nargs - 1)
+	args, err := e.valArgs(c.Args()[:nargs-1])
+	if err != nil {
+		return nil, err
+	}
+
+	tail := false
+	var rets []int
+	retBlock := 0
+	switch r := retArg.(type) {
+	case *ir.Param:
+		if r != e.entry.RetParam() {
+			return nil, fmt.Errorf("codegen: return continuation %s is not the ret param (missing eta expansion?)", r)
+		}
+		tail = true
+	case *ir.Continuation:
+		n := e.sched.CFG.NodeOf(r)
+		if n == nil {
+			return nil, fmt.Errorf("codegen: return continuation %s outside scope", r.Name())
+		}
+		retBlock = e.blkIdx[n]
+		for _, p := range r.Params() {
+			if isVal(p) {
+				reg, err := e.regOf(p)
+				if err != nil {
+					return nil, err
+				}
+				rets = append(rets, reg)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("codegen: bad return continuation %v (missing eta expansion?)", retArg)
+	}
+
+	// Direct call?
+	if target, ok := callee.(*ir.Continuation); ok {
+		if !target.HasBody() {
+			return nil, fmt.Errorf("codegen: call to bodyless %s", target.Name())
+		}
+		idx := e.g.declare(target)
+		if tail {
+			return []vm.Instr{{Op: vm.OpTailCall, Imm: int64(idx), Args: args}}, nil
+		}
+		return []vm.Instr{{Op: vm.OpCall, Imm: int64(idx), Args: args, Rets: rets, C: retBlock}}, nil
+	}
+
+	// Indirect call through a closure value.
+	cr, err := e.regOf(callee)
+	if err != nil {
+		return nil, err
+	}
+	if tail {
+		return []vm.Instr{{Op: vm.OpTailCallClosure, B: cr, Args: args}}, nil
+	}
+	return []vm.Instr{{Op: vm.OpCallClosure, B: cr, Args: args, Rets: rets, C: retBlock}}, nil
+}
+
+// emitIntrinsic handles jumps whose callee is a compiler-known continuation.
+func (e *fnEmitter) emitIntrinsic(c *ir.Continuation, ic *ir.Continuation) ([]vm.Instr, error) {
+	switch ic.Intrinsic() {
+	case ir.IntrinsicBranch:
+		cond, err := e.regOf(c.Arg(1))
+		if err != nil {
+			return nil, err
+		}
+		tb, err := e.branchTarget(c.Arg(2))
+		if err != nil {
+			return nil, err
+		}
+		fb, err := e.branchTarget(c.Arg(3))
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: vm.OpBr, A: cond, B: tb, C: fb}}, nil
+
+	case ir.IntrinsicPrintI64, ir.IntrinsicPrintF64, ir.IntrinsicPrintChar:
+		v, err := e.regOf(c.Arg(1))
+		if err != nil {
+			return nil, err
+		}
+		op := vm.OpPrintI64
+		switch ic.Intrinsic() {
+		case ir.IntrinsicPrintF64:
+			op = vm.OpPrintF64
+		case ir.IntrinsicPrintChar:
+			op = vm.OpPrintChar
+		}
+		ins := []vm.Instr{{Op: op, A: v}}
+		// Continue at the return continuation (fn(mem)).
+		switch k := c.Arg(2).(type) {
+		case *ir.Continuation:
+			n := e.sched.CFG.NodeOf(k)
+			if n == nil {
+				return nil, fmt.Errorf("codegen: print continuation outside scope")
+			}
+			ins = append(ins, vm.Instr{Op: vm.OpJmp, Imm: int64(e.blkIdx[n])})
+		case *ir.Param:
+			if k != e.entry.RetParam() {
+				return nil, fmt.Errorf("codegen: print continuation is a foreign param")
+			}
+			ins = append(ins, vm.Instr{Op: vm.OpRet})
+		default:
+			return nil, fmt.Errorf("codegen: bad print continuation %v", c.Arg(2))
+		}
+		return ins, nil
+	}
+	return nil, fmt.Errorf("codegen: unsupported intrinsic %s", ic.Intrinsic())
+}
+
+func (e *fnEmitter) branchTarget(d ir.Def) (int, error) {
+	t, ok := d.(*ir.Continuation)
+	if !ok {
+		return 0, fmt.Errorf("codegen: branch target is not a continuation")
+	}
+	n := e.sched.CFG.NodeOf(t)
+	if n == nil {
+		return 0, fmt.Errorf("codegen: branch target %s outside scope", t.Name())
+	}
+	return e.blkIdx[n], nil
+}

@@ -1,0 +1,118 @@
+// Package driver wires the full compilation pipeline together: Impala
+// source → Thorin IR → optimizer → bytecode → VM. It is the programmatic
+// equivalent of the thorinc command and the entry point used by the
+// benchmark harness and the examples.
+package driver
+
+import (
+	"fmt"
+	"io"
+
+	"thorin/internal/analysis"
+	"thorin/internal/codegen"
+	"thorin/internal/impala"
+	"thorin/internal/ir"
+	"thorin/internal/ssa"
+	"thorin/internal/transform"
+	"thorin/internal/vm"
+)
+
+// Result bundles everything produced by one compilation.
+type Result struct {
+	World   *ir.World
+	Program *vm.Program
+	Stats   transform.Stats
+	// IRStats are taken after optimization.
+	IRStats IRStats
+}
+
+// IRStats summarizes the IR after a pipeline run.
+type IRStats struct {
+	Continuations int
+	PrimOps       int
+	HigherOrder   int // continuations violating control-flow form
+}
+
+// Compile runs the full pipeline over src.
+func Compile(src string, opts transform.Options, mode analysis.Mode) (*Result, error) {
+	w, err := impala.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	stats := transform.Optimize(w, opts)
+	if err := ir.Verify(w); err != nil {
+		return nil, fmt.Errorf("driver: optimizer produced invalid IR: %w", err)
+	}
+	prog, err := codegen.Compile(w, "main", codegen.Config{Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		World:   w,
+		Program: prog,
+		Stats:   stats,
+		IRStats: MeasureIR(w),
+	}, nil
+}
+
+// MeasureIR counts continuations, primop nodes and CFF violations.
+func MeasureIR(w *ir.World) IRStats {
+	st := IRStats{PrimOps: w.NumPrimOps()}
+	for _, c := range w.Continuations() {
+		if c.IsIntrinsic() {
+			continue
+		}
+		st.Continuations++
+	}
+	st.HigherOrder = len(transform.HigherOrderConts(w))
+	return st
+}
+
+// Run compiles src and executes main with the given i64 arguments,
+// returning the first result value and the VM counters.
+func Run(src string, opts transform.Options, out io.Writer, args ...int64) (int64, vm.Counters, error) {
+	res, err := Compile(src, opts, analysis.ScheduleSmart)
+	if err != nil {
+		return 0, vm.Counters{}, err
+	}
+	return Exec(res.Program, out, args...)
+}
+
+// CompileSSA runs the baseline classical SSA pipeline over src.
+func CompileSSA(src string) (*vm.Program, *ssa.Module, error) {
+	prog, err := impala.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := impala.Check(prog); err != nil {
+		return nil, nil, err
+	}
+	return ssa.CompileProgram(prog)
+}
+
+// RunSSA compiles src through the baseline SSA pipeline and executes main.
+func RunSSA(src string, out io.Writer, args ...int64) (int64, vm.Counters, error) {
+	prog, _, err := CompileSSA(src)
+	if err != nil {
+		return 0, vm.Counters{}, err
+	}
+	return Exec(prog, out, args...)
+}
+
+// Exec runs a compiled program's main with i64 arguments.
+func Exec(prog *vm.Program, out io.Writer, args ...int64) (int64, vm.Counters, error) {
+	m := vm.New(prog, out)
+	m.MaxSteps = 4_000_000_000
+	vals := make([]vm.Value, len(args))
+	for i, a := range args {
+		vals[i] = vm.Value{I: a}
+	}
+	res, err := m.Run(vals...)
+	if err != nil {
+		return 0, m.Counters, err
+	}
+	if len(res) == 0 {
+		return 0, m.Counters, nil
+	}
+	return res[0].I, m.Counters, nil
+}

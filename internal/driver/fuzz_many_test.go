@@ -1,0 +1,47 @@
+package driver
+
+import (
+	"testing"
+
+	"thorin/internal/impala"
+	"thorin/internal/transform"
+)
+
+// TestFuzzExtended runs a larger seed range than TestFuzzDifferential.
+// Use -short to skip it.
+func TestFuzzExtended(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended fuzzing skipped in -short mode")
+	}
+	for seed := 1000; seed < 2500; seed++ {
+		src := genProgram(int64(seed))
+		prog, err := impala.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if err := impala.Check(prog); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		arg := int64(seed%17 - 8)
+		ref, err := impala.NewInterp(prog, nil, 0).Run(arg)
+		if err != nil {
+			t.Fatalf("seed %d interp: %v\n%s", seed, err, src)
+		}
+		for _, opts := range []transform.Options{transform.OptAll(), transform.OptNone()} {
+			got, _, err := Run(src, opts, nil, arg)
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, src)
+			}
+			if got != ref.I {
+				t.Fatalf("seed %d: got %d want %d\n%s", seed, got, ref.I, src)
+			}
+		}
+		got, _, err := RunSSA(src, nil, arg)
+		if err != nil {
+			t.Fatalf("seed %d ssa: %v\n%s", seed, err, src)
+		}
+		if got != ref.I {
+			t.Fatalf("seed %d ssa: got %d want %d\n%s", seed, got, ref.I, src)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package impala
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Funcs   []*FuncDecl
+	Statics []*StaticDecl
+}
+
+// FuncDecl is a top-level function.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []ParamDecl
+	Ret    TypeExpr // nil means unit
+	Body   *BlockExpr
+	Extern bool
+	// ForceInline marks functions declared with '@' — the paper's
+	// partial-evaluation annotation: calls are specialized unconditionally.
+	ForceInline bool
+}
+
+// StaticDecl is a top-level mutable global: static name = literal;
+type StaticDecl struct {
+	Pos  Pos
+	Name string
+	Init Expr // must be a literal
+}
+
+// ParamDecl is a declared parameter.
+type ParamDecl struct {
+	Pos  Pos
+	Name string
+	Type TypeExpr
+}
+
+// TypeExpr is a syntactic type.
+type TypeExpr interface{ typeExpr() }
+
+// NamedType is i64, f64, bool.
+type NamedType struct {
+	Pos  Pos
+	Name string
+}
+
+// ArrayTypeExpr is [T].
+type ArrayTypeExpr struct {
+	Pos  Pos
+	Elem TypeExpr
+}
+
+// TupleTypeExpr is (T, U, ...); () is unit.
+type TupleTypeExpr struct {
+	Pos   Pos
+	Elems []TypeExpr
+}
+
+// FnTypeExpr is fn(T, ...) -> R.
+type FnTypeExpr struct {
+	Pos    Pos
+	Params []TypeExpr
+	Ret    TypeExpr // nil means unit
+}
+
+func (*NamedType) typeExpr()     {}
+func (*ArrayTypeExpr) typeExpr() {}
+func (*TupleTypeExpr) typeExpr() {}
+func (*FnTypeExpr) typeExpr()    {}
+
+// Stmt is a statement.
+type Stmt interface{ stmt() }
+
+// LetStmt is let [mut] name [: T] = init;
+type LetStmt struct {
+	Pos  Pos
+	Name string
+	Mut  bool
+	Type TypeExpr // optional annotation
+	Init Expr
+}
+
+// AssignStmt is target = value; target is a name or index expression.
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr
+	Value  Expr
+}
+
+// ExprStmt is expr;
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// WhileStmt is while cond { body }.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockExpr
+}
+
+// ForStmt is for name in lo .. hi { body }.
+type ForStmt struct {
+	Pos    Pos
+	Name   string
+	Lo, Hi Expr
+	Body   *BlockExpr
+}
+
+// ReturnStmt is return [expr];
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // nil for unit return
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+func (*LetStmt) stmt()      {}
+func (*AssignStmt) stmt()   {}
+func (*ExprStmt) stmt()     {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// Expr is an expression. Every expression carries the type the checker
+// assigned via SetTy/Ty.
+type Expr interface {
+	expr()
+	Span() Pos
+	Ty() Type
+	setTy(Type)
+}
+
+type exprBase struct {
+	Pos Pos
+	ty  Type
+}
+
+func (e *exprBase) expr()        {}
+func (e *exprBase) Span() Pos    { return e.Pos }
+func (e *exprBase) Ty() Type     { return e.ty }
+func (e *exprBase) setTy(t Type) { e.ty = t }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	exprBase
+	Value bool
+}
+
+// Ident references a variable or function.
+type Ident struct {
+	exprBase
+	Name string
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// BinaryExpr is x op y.
+type BinaryExpr struct {
+	exprBase
+	Op   string
+	L, R Expr
+}
+
+// CallExpr is callee(args...).
+type CallExpr struct {
+	exprBase
+	Callee Expr
+	Args   []Expr
+}
+
+// IfExpr is if cond { then } [else { else }] — an expression.
+type IfExpr struct {
+	exprBase
+	Cond Expr
+	Then *BlockExpr
+	Else Expr // *BlockExpr, *IfExpr, or nil
+}
+
+// BlockExpr is { stmts...; tail? }.
+type BlockExpr struct {
+	exprBase
+	Stmts []Stmt
+	Tail  Expr // nil for unit blocks
+}
+
+// LambdaExpr is |params| [-> T] body.
+type LambdaExpr struct {
+	exprBase
+	Params []ParamDecl
+	Ret    TypeExpr // optional
+	Body   Expr
+}
+
+// ArrayLit is [init; len].
+type ArrayLit struct {
+	exprBase
+	Init Expr
+	Len  Expr
+}
+
+// IndexExpr is arr[idx].
+type IndexExpr struct {
+	exprBase
+	Arr, Idx Expr
+}
+
+// TupleLit is (a, b, ...).
+type TupleLit struct {
+	exprBase
+	Elems []Expr
+}
+
+// FieldExpr is tuple.N.
+type FieldExpr struct {
+	exprBase
+	X     Expr
+	Index int
+}
+
+// CastExpr is x as T.
+type CastExpr struct {
+	exprBase
+	X    Expr
+	Type TypeExpr
+}

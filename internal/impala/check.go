@@ -1,0 +1,683 @@
+package impala
+
+import "fmt"
+
+// checker performs type checking and annotates every expression with its
+// type. The language is monomorphic; top-level functions may be mutually
+// recursive (signatures are collected before bodies are checked).
+type checker struct {
+	funcs   map[string]*Fn
+	decls   map[string]*FuncDecl
+	statics map[string]Type
+	// scopes is a stack of lexical scopes.
+	scopes []map[string]varInfo
+	// fnRet is the current function/lambda return type.
+	fnRet Type
+	// loopDepth tracks break/continue legality.
+	loopDepth int
+}
+
+type varInfo struct {
+	ty  Type
+	mut bool
+}
+
+// Check type-checks prog, annotating the AST in place.
+func Check(prog *Program) error {
+	c := &checker{
+		funcs:   map[string]*Fn{},
+		decls:   map[string]*FuncDecl{},
+		statics: map[string]Type{},
+	}
+	for _, sd := range prog.Statics {
+		if _, dup := c.statics[sd.Name]; dup {
+			return errf(sd.Pos, "static %q redefined", sd.Name)
+		}
+		ty, err := c.staticInitType(sd.Init)
+		if err != nil {
+			return err
+		}
+		sd.Init.setTy(ty)
+		c.statics[sd.Name] = ty
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return errf(f.Pos, "function %q redefined", f.Name)
+		}
+		sig, err := c.funcSig(f)
+		if err != nil {
+			return err
+		}
+		c.funcs[f.Name] = sig
+		c.decls[f.Name] = f
+	}
+	if _, ok := c.funcs["main"]; !ok {
+		return errf(Pos{1, 1}, "missing function main")
+	}
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FuncType returns the checked signature of a declared function (valid
+// after Check).
+func FuncType(prog *Program, name string) *Fn {
+	c := &checker{funcs: map[string]*Fn{}}
+	for _, f := range prog.Funcs {
+		if f.Name == name {
+			sig, err := c.funcSig(f)
+			if err == nil {
+				return sig
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) funcSig(f *FuncDecl) (*Fn, error) {
+	sig := &Fn{Ret: TyUnit}
+	for _, p := range f.Params {
+		ty, err := c.resolveType(p.Type)
+		if err != nil {
+			return nil, err
+		}
+		sig.Params = append(sig.Params, ty)
+	}
+	if f.Ret != nil {
+		ty, err := c.resolveType(f.Ret)
+		if err != nil {
+			return nil, err
+		}
+		sig.Ret = ty
+	}
+	return sig, nil
+}
+
+func (c *checker) resolveType(te TypeExpr) (Type, error) {
+	switch te := te.(type) {
+	case *NamedType:
+		switch te.Name {
+		case "i64":
+			return TyI64, nil
+		case "f64":
+			return TyF64, nil
+		case "bool":
+			return TyBool, nil
+		}
+		return nil, errf(te.Pos, "unknown type %q", te.Name)
+	case *ArrayTypeExpr:
+		elem, err := c.resolveType(te.Elem)
+		if err != nil {
+			return nil, err
+		}
+		return &Array{Elem: elem}, nil
+	case *TupleTypeExpr:
+		if len(te.Elems) == 0 {
+			return TyUnit, nil
+		}
+		if len(te.Elems) == 1 {
+			return c.resolveType(te.Elems[0])
+		}
+		tt := &Tuple{}
+		for _, e := range te.Elems {
+			ty, err := c.resolveType(e)
+			if err != nil {
+				return nil, err
+			}
+			tt.Elems = append(tt.Elems, ty)
+		}
+		return tt, nil
+	case *FnTypeExpr:
+		ft := &Fn{Ret: TyUnit}
+		for _, p := range te.Params {
+			ty, err := c.resolveType(p)
+			if err != nil {
+				return nil, err
+			}
+			ft.Params = append(ft.Params, ty)
+		}
+		if te.Ret != nil {
+			ty, err := c.resolveType(te.Ret)
+			if err != nil {
+				return nil, err
+			}
+			ft.Ret = ty
+		}
+		return ft, nil
+	}
+	return nil, fmt.Errorf("impala: bad type expression %T", te)
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]varInfo{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) define(pos Pos, name string, ty Type, mut bool) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return errf(pos, "%q redefined in this scope", name)
+	}
+	top[name] = varInfo{ty: ty, mut: mut}
+	return nil
+}
+
+func (c *checker) lookup(name string) (varInfo, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if v, ok := c.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	if ty, ok := c.statics[name]; ok {
+		return varInfo{ty: ty, mut: true}, true
+	}
+	if sig, ok := c.funcs[name]; ok {
+		return varInfo{ty: sig}, true
+	}
+	return varInfo{}, false
+}
+
+// staticInitType validates a static initializer (a literal, possibly
+// negated) and returns its type.
+func (c *checker) staticInitType(x Expr) (Type, error) {
+	switch x := x.(type) {
+	case *IntLit:
+		return TyI64, nil
+	case *FloatLit:
+		return TyF64, nil
+	case *BoolLit:
+		return TyBool, nil
+	case *UnaryExpr:
+		if x.Op == "-" {
+			t, err := c.staticInitType(x.X)
+			if err == nil && IsNumeric(t) {
+				x.setTy(t)
+				return t, nil
+			}
+		}
+	}
+	return nil, errf(x.Span(), "static initializer must be a literal")
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	sig := c.funcs[f.Name]
+	c.fnRet = sig.Ret
+	c.push()
+	defer c.pop()
+	for i, p := range f.Params {
+		if err := c.define(p.Pos, p.Name, sig.Params[i], false); err != nil {
+			return err
+		}
+	}
+	bodyTy, err := c.checkExpr(f.Body)
+	if err != nil {
+		return err
+	}
+	if !Equal(bodyTy, sig.Ret) && !blockDiverges(f.Body) {
+		return errf(f.Pos, "function %q returns %s but body has type %s", f.Name, sig.Ret, bodyTy)
+	}
+	return nil
+}
+
+// blockDiverges reports whether the block always returns/breaks before its
+// end (so its tail type is irrelevant).
+func blockDiverges(b *BlockExpr) bool {
+	if b.Tail != nil {
+		return false
+	}
+	for _, s := range b.Stmts {
+		if _, ok := s.(*ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *LetStmt:
+		ty, err := c.checkExpr(s.Init)
+		if err != nil {
+			return err
+		}
+		if s.Type != nil {
+			want, err := c.resolveType(s.Type)
+			if err != nil {
+				return err
+			}
+			if !Equal(ty, want) {
+				return errf(s.Pos, "let %s: declared %s but initializer has type %s", s.Name, want, ty)
+			}
+			ty = want
+		}
+		return c.define(s.Pos, s.Name, ty, s.Mut)
+
+	case *AssignStmt:
+		vt, err := c.checkExpr(s.Value)
+		if err != nil {
+			return err
+		}
+		switch target := s.Target.(type) {
+		case *Ident:
+			info, ok := c.lookup(target.Name)
+			if !ok {
+				return errf(s.Pos, "assignment to undefined variable %q", target.Name)
+			}
+			if !info.mut {
+				return errf(s.Pos, "cannot assign to immutable %q (declare it with let mut)", target.Name)
+			}
+			if !Equal(info.ty, vt) {
+				return errf(s.Pos, "cannot assign %s to %q of type %s", vt, target.Name, info.ty)
+			}
+			target.setTy(info.ty)
+			return nil
+		case *IndexExpr:
+			tt, err := c.checkExpr(target)
+			if err != nil {
+				return err
+			}
+			if !Equal(tt, vt) {
+				return errf(s.Pos, "cannot store %s into array of %s", vt, tt)
+			}
+			return nil
+		default:
+			return errf(s.Pos, "left side of assignment must be a variable or array element")
+		}
+
+	case *ExprStmt:
+		_, err := c.checkExpr(s.X)
+		return err
+
+	case *WhileStmt:
+		ct, err := c.checkExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if !IsBool(ct) {
+			return errf(s.Pos, "while condition must be bool, got %s", ct)
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		_, err = c.checkExpr(s.Body)
+		return err
+
+	case *ForStmt:
+		lt, err := c.checkExpr(s.Lo)
+		if err != nil {
+			return err
+		}
+		ht, err := c.checkExpr(s.Hi)
+		if err != nil {
+			return err
+		}
+		if !IsInt(lt) || !IsInt(ht) {
+			return errf(s.Pos, "for bounds must be i64, got %s .. %s", lt, ht)
+		}
+		c.push()
+		defer c.pop()
+		if err := c.define(s.Pos, s.Name, TyI64, false); err != nil {
+			return err
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		_, err = c.checkExpr(s.Body)
+		return err
+
+	case *ReturnStmt:
+		ty := Type(TyUnit)
+		if s.X != nil {
+			var err error
+			ty, err = c.checkExpr(s.X)
+			if err != nil {
+				return err
+			}
+		}
+		if c.fnRet == nil {
+			return errf(s.Pos, "return requires a declared return type (annotate the lambda with -> T)")
+		}
+		if !Equal(ty, c.fnRet) {
+			return errf(s.Pos, "return of %s in function returning %s", ty, c.fnRet)
+		}
+		return nil
+
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			return errf(s.Pos, "break outside loop")
+		}
+		return nil
+
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return errf(s.Pos, "continue outside loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("impala: bad statement %T", s)
+}
+
+func (c *checker) checkExpr(e Expr) (Type, error) {
+	ty, err := c.typeOf(e)
+	if err != nil {
+		return nil, err
+	}
+	e.setTy(ty)
+	return ty, nil
+}
+
+func (c *checker) typeOf(e Expr) (Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return TyI64, nil
+	case *FloatLit:
+		return TyF64, nil
+	case *BoolLit:
+		return TyBool, nil
+
+	case *Ident:
+		// Builtins are handled at the call site; bare references to them
+		// are rejected below in CallExpr checking.
+		if info, ok := c.lookup(e.Name); ok {
+			return info.ty, nil
+		}
+		return nil, errf(e.Pos, "undefined name %q", e.Name)
+
+	case *UnaryExpr:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "-":
+			if !IsNumeric(xt) {
+				return nil, errf(e.Pos, "unary - on %s", xt)
+			}
+			return xt, nil
+		case "!":
+			if !IsBool(xt) {
+				return nil, errf(e.Pos, "unary ! on %s", xt)
+			}
+			return TyBool, nil
+		}
+		return nil, errf(e.Pos, "bad unary operator %q", e.Op)
+
+	case *BinaryExpr:
+		lt, err := c.checkExpr(e.L)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := c.checkExpr(e.R)
+		if err != nil {
+			return nil, err
+		}
+		if !Equal(lt, rt) {
+			return nil, errf(e.Pos, "operands of %q have different types: %s vs %s", e.Op, lt, rt)
+		}
+		switch e.Op {
+		case "&&", "||":
+			if !IsBool(lt) {
+				return nil, errf(e.Pos, "%q requires bool operands, got %s", e.Op, lt)
+			}
+			return TyBool, nil
+		case "==", "!=":
+			if _, ok := lt.(*Prim); !ok {
+				return nil, errf(e.Pos, "%q requires primitive operands, got %s", e.Op, lt)
+			}
+			return TyBool, nil
+		case "<", "<=", ">", ">=":
+			if !IsNumeric(lt) {
+				return nil, errf(e.Pos, "%q requires numeric operands, got %s", e.Op, lt)
+			}
+			return TyBool, nil
+		case "+", "-", "*", "/":
+			if !IsNumeric(lt) {
+				return nil, errf(e.Pos, "%q requires numeric operands, got %s", e.Op, lt)
+			}
+			return lt, nil
+		case "%":
+			if !IsNumeric(lt) {
+				return nil, errf(e.Pos, "%q requires numeric operands, got %s", e.Op, lt)
+			}
+			return lt, nil
+		case "&", "|", "^", "<<", ">>":
+			if !IsInt(lt) {
+				return nil, errf(e.Pos, "%q requires i64 operands, got %s", e.Op, lt)
+			}
+			return lt, nil
+		}
+		return nil, errf(e.Pos, "bad operator %q", e.Op)
+
+	case *CallExpr:
+		if id, ok := e.Callee.(*Ident); ok {
+			if _, isVar := c.lookup(id.Name); !isVar {
+				return c.checkBuiltin(e, id)
+			}
+		}
+		ct, err := c.checkExpr(e.Callee)
+		if err != nil {
+			return nil, err
+		}
+		ft, ok := ct.(*Fn)
+		if !ok {
+			return nil, errf(e.Span(), "cannot call value of type %s", ct)
+		}
+		if len(e.Args) != len(ft.Params) {
+			return nil, errf(e.Span(), "call expects %d arguments, got %d", len(ft.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			at, err := c.checkExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			if !Equal(at, ft.Params[i]) {
+				return nil, errf(a.Span(), "argument %d has type %s, expected %s", i+1, at, ft.Params[i])
+			}
+		}
+		return ft.Ret, nil
+
+	case *IfExpr:
+		ct, err := c.checkExpr(e.Cond)
+		if err != nil {
+			return nil, err
+		}
+		if !IsBool(ct) {
+			return nil, errf(e.Span(), "if condition must be bool, got %s", ct)
+		}
+		tt, err := c.checkExpr(e.Then)
+		if err != nil {
+			return nil, err
+		}
+		if e.Else == nil {
+			if !Equal(tt, TyUnit) {
+				return nil, errf(e.Span(), "if without else must have unit type, got %s", tt)
+			}
+			return TyUnit, nil
+		}
+		et, err := c.checkExpr(e.Else)
+		if err != nil {
+			return nil, err
+		}
+		if !Equal(tt, et) {
+			return nil, errf(e.Span(), "if branches have different types: %s vs %s", tt, et)
+		}
+		return tt, nil
+
+	case *BlockExpr:
+		c.push()
+		defer c.pop()
+		for _, s := range e.Stmts {
+			if err := c.checkStmt(s); err != nil {
+				return nil, err
+			}
+		}
+		if e.Tail == nil {
+			return TyUnit, nil
+		}
+		return c.checkExpr(e.Tail)
+
+	case *LambdaExpr:
+		ft := &Fn{Ret: TyUnit}
+		c.push()
+		defer c.pop()
+		for _, p := range e.Params {
+			pt, err := c.resolveType(p.Type)
+			if err != nil {
+				return nil, err
+			}
+			ft.Params = append(ft.Params, pt)
+			if err := c.define(p.Pos, p.Name, pt, false); err != nil {
+				return nil, err
+			}
+		}
+		savedRet := c.fnRet
+		savedLoop := c.loopDepth
+		c.loopDepth = 0
+		if e.Ret != nil {
+			rt, err := c.resolveType(e.Ret)
+			if err != nil {
+				return nil, err
+			}
+			ft.Ret = rt
+			c.fnRet = rt
+			bt, err := c.checkExpr(e.Body)
+			if err != nil {
+				return nil, err
+			}
+			if !Equal(bt, rt) && !lambdaDiverges(e) {
+				return nil, errf(e.Span(), "lambda declared -> %s but body has type %s", rt, bt)
+			}
+		} else {
+			// Infer: check the body with an unknown return type; explicit
+			// return statements are not allowed in inferred lambdas.
+			c.fnRet = nil
+			bt, err := c.checkExpr(e.Body)
+			if err != nil {
+				return nil, err
+			}
+			ft.Ret = bt
+		}
+		c.fnRet = savedRet
+		c.loopDepth = savedLoop
+		return ft, nil
+
+	case *ArrayLit:
+		it, err := c.checkExpr(e.Init)
+		if err != nil {
+			return nil, err
+		}
+		nt, err := c.checkExpr(e.Len)
+		if err != nil {
+			return nil, err
+		}
+		if !IsInt(nt) {
+			return nil, errf(e.Span(), "array length must be i64, got %s", nt)
+		}
+		return &Array{Elem: it}, nil
+
+	case *IndexExpr:
+		at, err := c.checkExpr(e.Arr)
+		if err != nil {
+			return nil, err
+		}
+		arr, ok := at.(*Array)
+		if !ok {
+			return nil, errf(e.Span(), "cannot index value of type %s", at)
+		}
+		it, err := c.checkExpr(e.Idx)
+		if err != nil {
+			return nil, err
+		}
+		if !IsInt(it) {
+			return nil, errf(e.Span(), "array index must be i64, got %s", it)
+		}
+		return arr.Elem, nil
+
+	case *TupleLit:
+		if len(e.Elems) == 0 {
+			return TyUnit, nil
+		}
+		tt := &Tuple{}
+		for _, el := range e.Elems {
+			et, err := c.checkExpr(el)
+			if err != nil {
+				return nil, err
+			}
+			tt.Elems = append(tt.Elems, et)
+		}
+		return tt, nil
+
+	case *FieldExpr:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		tt, ok := xt.(*Tuple)
+		if !ok {
+			return nil, errf(e.Span(), "field access on non-tuple %s", xt)
+		}
+		if e.Index < 0 || e.Index >= len(tt.Elems) {
+			return nil, errf(e.Span(), "tuple index %d out of range for %s", e.Index, tt)
+		}
+		return tt.Elems[e.Index], nil
+
+	case *CastExpr:
+		xt, err := c.checkExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		dt, err := c.resolveType(e.Type)
+		if err != nil {
+			return nil, err
+		}
+		if !IsNumeric(xt) && !IsBool(xt) {
+			return nil, errf(e.Span(), "cannot cast %s", xt)
+		}
+		if !IsNumeric(dt) {
+			return nil, errf(e.Span(), "cannot cast to %s", dt)
+		}
+		return dt, nil
+	}
+	return nil, fmt.Errorf("impala: bad expression %T", e)
+}
+
+func lambdaDiverges(e *LambdaExpr) bool {
+	b, ok := e.Body.(*BlockExpr)
+	return ok && blockDiverges(b)
+}
+
+// checkBuiltin types the built-in pseudo-functions print, print_char and
+// len.
+func (c *checker) checkBuiltin(e *CallExpr, id *Ident) (Type, error) {
+	argTypes := make([]Type, len(e.Args))
+	for i, a := range e.Args {
+		t, err := c.checkExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		argTypes[i] = t
+	}
+	switch id.Name {
+	case "print":
+		if len(e.Args) != 1 || !IsNumeric(argTypes[0]) {
+			return nil, errf(e.Span(), "print takes one numeric argument")
+		}
+		id.setTy(&Fn{Params: argTypes, Ret: TyUnit})
+		return TyUnit, nil
+	case "print_char":
+		if len(e.Args) != 1 || !IsInt(argTypes[0]) {
+			return nil, errf(e.Span(), "print_char takes one i64 argument")
+		}
+		id.setTy(&Fn{Params: argTypes, Ret: TyUnit})
+		return TyUnit, nil
+	case "len":
+		if len(e.Args) != 1 {
+			return nil, errf(e.Span(), "len takes one array argument")
+		}
+		if _, ok := argTypes[0].(*Array); !ok {
+			return nil, errf(e.Span(), "len takes an array, got %s", argTypes[0])
+		}
+		id.setTy(&Fn{Params: argTypes, Ret: TyI64})
+		return TyI64, nil
+	}
+	return nil, errf(e.Span(), "undefined function %q", id.Name)
+}

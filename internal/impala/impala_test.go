@@ -1,0 +1,271 @@
+package impala
+
+import (
+	"strings"
+	"testing"
+
+	"thorin/internal/ir"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func mustCheck(t *testing.T, src string) *Program {
+	t.Helper()
+	p := mustParse(t, src)
+	if err := Check(p); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return p
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`fn main() -> i64 { 1 + 2.5 } // comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"fn", "main", "(", ")", "->", "i64", "{", "1", "+", "2.5", "}", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(texts), texts, len(want))
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[0] != TokKeyword || kinds[1] != TokIdent || kinds[7] != TokInt || kinds[9] != TokFloat {
+		t.Error("token kinds wrong")
+	}
+}
+
+func TestLexCharAndRange(t *testing.T) {
+	toks, err := Lex(`'A' 0..10 '\n'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokInt || toks[0].Text != "65" {
+		t.Errorf("char literal: %v", toks[0])
+	}
+	if toks[2].Text != ".." {
+		t.Errorf("range token: %v", toks[2])
+	}
+	if toks[4].Text != "10" {
+		t.Errorf("int after ..: %v", toks[4])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'a", "/* unterminated", "`"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) must fail", src)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := mustParse(t, `fn main() -> i64 { 1 + 2 * 3 }`)
+	tail := p.Funcs[0].Body.Tail.(*BinaryExpr)
+	if tail.Op != "+" {
+		t.Fatalf("top op = %q, want +", tail.Op)
+	}
+	if r, ok := tail.R.(*BinaryExpr); !ok || r.Op != "*" {
+		t.Fatal("* must bind tighter than +")
+	}
+}
+
+func TestParseComparisonVsShift(t *testing.T) {
+	p := mustParse(t, `fn main() -> bool { 1 << 2 < 3 }`)
+	tail := p.Funcs[0].Body.Tail.(*BinaryExpr)
+	if tail.Op != "<" {
+		t.Fatalf("top op = %q, want <", tail.Op)
+	}
+}
+
+func TestParseLambdaAndCall(t *testing.T) {
+	p := mustParse(t, `fn main() -> i64 { (|x: i64| x + 1)(41) }`)
+	call := p.Funcs[0].Body.Tail.(*CallExpr)
+	lam := call.Callee.(*LambdaExpr)
+	if len(lam.Params) != 1 || lam.Params[0].Name != "x" {
+		t.Fatal("lambda params wrong")
+	}
+}
+
+func TestParseZeroParamLambda(t *testing.T) {
+	p := mustParse(t, `fn main() -> i64 { (|| 7)() }`)
+	call := p.Funcs[0].Body.Tail.(*CallExpr)
+	if lam, ok := call.Callee.(*LambdaExpr); !ok || len(lam.Params) != 0 {
+		t.Fatal("zero-param lambda not parsed")
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	src := `
+fn main() -> i64 {
+    let mut s = 0;
+    let xs = [0; 10];
+    for i in 0 .. 10 {
+        if i % 2 == 0 { continue; }
+        if i > 7 { break; }
+        s = s + i;
+        xs[i] = s;
+    }
+    while s > 100 { s = s - 1; }
+    return s;
+}`
+	p := mustParse(t, src)
+	if len(p.Funcs[0].Body.Stmts) != 5 {
+		t.Fatalf("got %d statements", len(p.Funcs[0].Body.Stmts))
+	}
+}
+
+func TestParseTuples(t *testing.T) {
+	p := mustParse(t, `fn main() -> i64 { let t = (1, 2.0, true); t.0 }`)
+	let := p.Funcs[0].Body.Stmts[0].(*LetStmt)
+	if len(let.Init.(*TupleLit).Elems) != 3 {
+		t.Fatal("tuple literal wrong")
+	}
+	if f, ok := p.Funcs[0].Body.Tail.(*FieldExpr); !ok || f.Index != 0 {
+		t.Fatal("tuple field wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`fn main( { }`,
+		`fn main() -> i64 { let = 3; }`,
+		`fn main() -> i64 { 1 + }`,
+		`fn main() -> i64 { foo(1 }`,
+		`fn 123() {}`,
+		`fn main() -> notatype { 0 }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse must fail on %q", src)
+		}
+	}
+}
+
+func TestCheckOK(t *testing.T) {
+	srcs := []string{
+		`fn main() -> i64 { 42 }`,
+		`fn add(a: i64, b: i64) -> i64 { a + b } fn main() -> i64 { add(1, 2) }`,
+		`fn main() -> i64 { let f = |x: i64| x * 2; f(21) }`,
+		`fn main() -> f64 { 1.5 + 2.5 }`,
+		`fn main() -> i64 { if true { 1 } else { 2 } }`,
+		`fn main() -> i64 { let a = [1; 5]; a[0] + len(a) }`,
+		`fn main() -> i64 { (1, 2).1 }`,
+		`fn main() -> i64 { 3.7 as i64 }`,
+		`fn main() -> i64 { let mut x = 1; x = x + 1; x }`,
+		`fn hof(f: fn(i64) -> i64) -> i64 { f(1) } fn main() -> i64 { hof(|x: i64| x) }`,
+		`fn main() { print(42); }`,
+		`fn main() -> i64 { if 1 < 2 { return 3; } 4 }`,
+		`fn f() -> i64 { return 1; } fn main() -> i64 { f() }`,
+	}
+	for _, src := range srcs {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		p := mustParse(t, src)
+		if err := Check(p); err != nil {
+			t.Errorf("check %q: %v", src, err)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct{ src, wantSub string }{
+		{`fn main() -> i64 { true }`, "returns i64"},
+		{`fn main() -> i64 { 1 + 2.0 }`, "different types"},
+		{`fn main() -> i64 { undefined }`, "undefined"},
+		{`fn main() -> i64 { let x = 1; x = 2; x }`, "immutable"},
+		{`fn main() -> i64 { if 1 { 2 } else { 3 } }`, "must be bool"},
+		{`fn main() -> i64 { if true { 1 } else { 2.0 } }`, "different types"},
+		{`fn main() -> i64 { let a = [1; 3]; a[1.5] }`, "index must be i64"},
+		{`fn main() -> i64 { break; 0 }`, "break outside loop"},
+		{`fn main() -> i64 { (1, 2).5 }`, "out of range"},
+		{`fn main() -> i64 { let f = |x: i64| x; f(true) }`, "expected i64"},
+		{`fn main() -> i64 { let f = |x: i64| x; f(1, 2) }`, "expects 1 arguments"},
+		{`fn f() -> i64 { 1 } fn f() -> i64 { 2 } fn main() -> i64 { 1 }`, "redefined"},
+		{`fn nomain() -> i64 { 1 }`, "missing function main"},
+		{`fn main() -> i64 { 1.0 && true; 1 }`, "different types"},
+		{`fn main() -> i64 { [1;3] as f64 }`, "cannot cast"},
+		{`fn main() -> i64 { let t = 5; t.0 }`, "non-tuple"},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.src)
+		if err != nil {
+			t.Errorf("parse %q failed: %v", tc.src, err)
+			continue
+		}
+		err = Check(p)
+		if err == nil {
+			t.Errorf("check %q must fail", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("check %q: error %q does not mention %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestEmitProducesValidIR(t *testing.T) {
+	srcs := []string{
+		`fn main() -> i64 { 42 }`,
+		`fn main() -> i64 { let mut s = 0; for i in 0 .. 10 { s = s + i; } s }`,
+		`fn fib(n: i64) -> i64 { if n < 2 { n } else { fib(n-1) + fib(n-2) } }
+		 fn main() -> i64 { fib(10) }`,
+		`fn main() -> i64 { let a = [7; 4]; a[2] = 9; a[2] + len(a) }`,
+		`fn apply(f: fn(i64) -> i64, x: i64) -> i64 { f(x) }
+		 fn main() -> i64 { apply(|v: i64| v * v, 6) }`,
+		`fn main() -> i64 { let t = (1, 2); t.0 + t.1 }`,
+		`fn main() { print(1); print(2.5); print_char('x'); }`,
+		`fn main() -> bool { 1 < 2 && 3 < 4 || false }`,
+		`fn main() -> i64 { let mut i = 0; while i < 5 { i = i + 1; if i == 3 { break; } } i }`,
+	}
+	for _, src := range srcs {
+		if _, err := Compile(src); err != nil {
+			t.Errorf("Compile(%q): %v", src, err)
+		}
+	}
+}
+
+func TestEmitMainIsExtern(t *testing.T) {
+	w, err := Compile(`fn helper() -> i64 { 1 } fn main() -> i64 { helper() }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := w.Find("main")
+	if main == nil || !main.IsExtern() {
+		t.Fatal("main must be extern")
+	}
+	if h := w.Find("helper"); h == nil || h.IsExtern() {
+		t.Fatal("helper must exist and not be extern")
+	}
+}
+
+func TestEmitMutVarBecomesSlot(t *testing.T) {
+	w, err := Compile(`fn main() -> i64 { let mut x = 1; x = 2; x }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := ir.DumpString(w)
+	if !strings.Contains(dump, "slot") {
+		t.Error("mutable variable must lower to a slot")
+	}
+	if !strings.Contains(dump, "store") || !strings.Contains(dump, "load") {
+		t.Error("assignments/reads must lower to store/load")
+	}
+}

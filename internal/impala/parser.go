@@ -1,0 +1,716 @@
+package impala
+
+import "strconv"
+
+// parser is a recursive-descent / precedence-climbing parser.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a compilation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(TokEOF, "") {
+		if p.atKeyword("static") {
+			sd, err := p.parseStatic()
+			if err != nil {
+				return nil, err
+			}
+			prog.Statics = append(prog.Statics, sd)
+			continue
+		}
+		fd, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, fd)
+	}
+	return prog, nil
+}
+
+// parseStatic parses: static name = literal;
+func (p *parser) parseStatic() (*StaticDecl, error) {
+	start := p.advance() // static
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, errf(p.cur().Pos, "expected static name, found %s", p.cur())
+	}
+	if _, err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	init, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &StaticDecl{Pos: start.Pos, Name: name.Text, Init: init}, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) atPunct(text string) bool   { return p.at(TokPunct, text) }
+func (p *parser) atKeyword(text string) bool { return p.at(TokKeyword, text) }
+
+func (p *parser) advance() Token {
+	t := p.cur()
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	if !p.at(kind, text) {
+		return Token{}, errf(p.cur().Pos, "expected %q, found %s", text, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectPunct(text string) (Token, error) { return p.expect(TokPunct, text) }
+
+// parseFunc parses: [@] [extern] fn name(params) [-> T] block
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	force := p.accept(TokPunct, "@")
+	extern := p.accept(TokKeyword, "extern")
+	start, err := p.expect(TokKeyword, "fn")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, errf(p.cur().Pos, "expected function name, found %s", p.cur())
+	}
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var params []ParamDecl
+	for !p.atPunct(")") {
+		if len(params) > 0 {
+			if _, err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		pd, err := p.parseParam()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, pd)
+	}
+	p.advance() // )
+	var ret TypeExpr
+	if p.accept(TokPunct, "->") {
+		ret, err = p.parseType()
+		if err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{
+		Pos: start.Pos, Name: name.Text, Params: params, Ret: ret,
+		Body: body, Extern: extern || name.Text == "main",
+		ForceInline: force,
+	}, nil
+}
+
+func (p *parser) parseParam() (ParamDecl, error) {
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return ParamDecl{}, errf(p.cur().Pos, "expected parameter name, found %s", p.cur())
+	}
+	if _, err := p.expectPunct(":"); err != nil {
+		return ParamDecl{}, err
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return ParamDecl{}, err
+	}
+	return ParamDecl{Pos: name.Pos, Name: name.Text, Type: ty}, nil
+}
+
+// parseType parses a type expression.
+func (p *parser) parseType() (TypeExpr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokIdent:
+		switch t.Text {
+		case "i64", "f64", "bool":
+			p.advance()
+			return &NamedType{Pos: t.Pos, Name: t.Text}, nil
+		}
+		return nil, errf(t.Pos, "unknown type %q", t.Text)
+	case p.atPunct("["):
+		p.advance()
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		return &ArrayTypeExpr{Pos: t.Pos, Elem: elem}, nil
+	case p.atPunct("("):
+		p.advance()
+		var elems []TypeExpr
+		for !p.atPunct(")") {
+			if len(elems) > 0 {
+				if _, err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			e, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+		}
+		p.advance()
+		return &TupleTypeExpr{Pos: t.Pos, Elems: elems}, nil
+	case p.atKeyword("fn"):
+		p.advance()
+		if _, err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var params []TypeExpr
+		for !p.atPunct(")") {
+			if len(params) > 0 {
+				if _, err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			e, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, e)
+		}
+		p.advance()
+		var ret TypeExpr
+		if p.accept(TokPunct, "->") {
+			var err error
+			ret, err = p.parseType()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &FnTypeExpr{Pos: t.Pos, Params: params, Ret: ret}, nil
+	}
+	return nil, errf(t.Pos, "expected type, found %s", t)
+}
+
+// parseBlock parses { stmts... } with an optional tail expression.
+func (p *parser) parseBlock() (*BlockExpr, error) {
+	open, err := p.expectPunct("{")
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockExpr{}
+	blk.Pos = open.Pos
+	for !p.atPunct("}") {
+		if p.at(TokEOF, "") {
+			return nil, errf(open.Pos, "unterminated block")
+		}
+		stmt, tail, err := p.parseStmtOrTail()
+		if err != nil {
+			return nil, err
+		}
+		if tail != nil {
+			blk.Tail = tail
+			break
+		}
+		blk.Stmts = append(blk.Stmts, stmt)
+	}
+	if _, err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return blk, nil
+}
+
+// parseStmtOrTail parses one statement, or recognizes the block's tail
+// expression (an expression not followed by ';').
+func (p *parser) parseStmtOrTail() (Stmt, Expr, error) {
+	t := p.cur()
+	switch {
+	case p.atKeyword("let"):
+		p.advance()
+		mut := p.accept(TokKeyword, "mut")
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, nil, errf(p.cur().Pos, "expected variable name, found %s", p.cur())
+		}
+		var ty TypeExpr
+		if p.accept(TokPunct, ":") {
+			ty, err = p.parseType()
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		if _, err := p.expectPunct("="); err != nil {
+			return nil, nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, nil, err
+		}
+		return &LetStmt{Pos: t.Pos, Name: name.Text, Mut: mut, Type: ty, Init: init}, nil, nil
+
+	case p.atKeyword("while"):
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, nil, err
+		}
+		return &WhileStmt{Pos: t.Pos, Cond: cond, Body: body}, nil, nil
+
+	case p.atKeyword("for"):
+		p.advance()
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, nil, errf(p.cur().Pos, "expected loop variable, found %s", p.cur())
+		}
+		if _, err := p.expect(TokKeyword, "in"); err != nil {
+			return nil, nil, err
+		}
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expectPunct(".."); err != nil {
+			return nil, nil, err
+		}
+		hi, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, nil, err
+		}
+		return &ForStmt{Pos: t.Pos, Name: name.Text, Lo: lo, Hi: hi, Body: body}, nil, nil
+
+	case p.atKeyword("return"):
+		p.advance()
+		var x Expr
+		if !p.atPunct(";") {
+			var err error
+			x, err = p.parseExpr()
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, nil, err
+		}
+		return &ReturnStmt{Pos: t.Pos, X: x}, nil, nil
+
+	case p.atKeyword("break"):
+		p.advance()
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, nil, err
+		}
+		return &BreakStmt{Pos: t.Pos}, nil, nil
+
+	case p.atKeyword("continue"):
+		p.advance()
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, nil, err
+		}
+		return &ContinueStmt{Pos: t.Pos}, nil, nil
+	}
+
+	// Block-shaped expressions in statement position end at the closing
+	// brace (the Rust rule): `if c { } -34` is an if-statement followed by
+	// the expression -34, not a subtraction.
+	if p.atKeyword("if") || p.atPunct("{") {
+		var x Expr
+		var err error
+		if p.atKeyword("if") {
+			x, err = p.parseIf()
+		} else {
+			x, err = p.parseBlock()
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if p.accept(TokPunct, ";") {
+			return &ExprStmt{Pos: t.Pos, X: x}, nil, nil
+		}
+		if p.atPunct("}") {
+			return nil, x, nil // the block's tail value
+		}
+		return &ExprStmt{Pos: t.Pos, X: x}, nil, nil
+	}
+
+	// Expression, assignment, or tail expression.
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case p.atPunct("="):
+		p.advance()
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, nil, err
+		}
+		return &AssignStmt{Pos: t.Pos, Target: x, Value: val}, nil, nil
+	case p.accept(TokPunct, ";"):
+		return &ExprStmt{Pos: t.Pos, X: x}, nil, nil
+	case p.atPunct("}"):
+		return nil, x, nil // the block's tail value
+	default:
+		// Block-shaped expressions (if/while-like) may stand as statements
+		// without ';'.
+		if isBlockExpr(x) && !p.atPunct("}") {
+			return &ExprStmt{Pos: t.Pos, X: x}, nil, nil
+		}
+		return nil, nil, errf(p.cur().Pos, "expected ';' or '}', found %s", p.cur())
+	}
+}
+
+func isBlockExpr(x Expr) bool {
+	switch x.(type) {
+	case *IfExpr, *BlockExpr:
+		return true
+	}
+	return false
+}
+
+// Binary operator precedence, loosest first.
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, "<=": 4, ">": 4, ">=": 4,
+	"|": 5, "^": 5,
+	"&":  6,
+	"<<": 7, ">>": 7,
+	"+": 8, "-": 8,
+	"*": 9, "/": 9, "%": 9,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			break
+		}
+		prec, ok := precedence[t.Text]
+		if !ok || prec < minPrec {
+			break
+		}
+		p.advance()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		b := &BinaryExpr{Op: t.Text, L: lhs, R: rhs}
+		b.Pos = t.Pos
+		lhs = b
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if p.atPunct("-") || p.atPunct("!") {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		u := &UnaryExpr{Op: t.Text, X: x}
+		u.Pos = t.Pos
+		return u, nil
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses a primary expression followed by calls, indexing and
+// tuple projections.
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if isBlockExpr(x) {
+		// Block-shaped expressions do not take postfix operators directly:
+		// `if c { } (e)` is a statement followed by an expression, not a
+		// call. Parenthesize to call a conditional's result.
+		return x, nil
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.atPunct("("):
+			p.advance()
+			var args []Expr
+			for !p.atPunct(")") {
+				if len(args) > 0 {
+					if _, err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			p.advance()
+			c := &CallExpr{Callee: x, Args: args}
+			c.Pos = t.Pos
+			x = c
+		case p.atPunct("["):
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			ix := &IndexExpr{Arr: x, Idx: idx}
+			ix.Pos = t.Pos
+			x = ix
+		case p.atPunct(".") && p.peek().Kind == TokInt:
+			p.advance()
+			idxTok := p.advance()
+			n, err := strconv.Atoi(idxTok.Text)
+			if err != nil {
+				return nil, errf(idxTok.Pos, "bad tuple index %q", idxTok.Text)
+			}
+			f := &FieldExpr{X: x, Index: n}
+			f.Pos = t.Pos
+			x = f
+		case p.atKeyword("as"):
+			p.advance()
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			c := &CastExpr{X: x, Type: ty}
+			c.Pos = t.Pos
+			x = c
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.advance()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad integer literal %q", t.Text)
+		}
+		e := &IntLit{Value: v}
+		e.Pos = t.Pos
+		return e, nil
+
+	case t.Kind == TokFloat:
+		p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad float literal %q", t.Text)
+		}
+		e := &FloatLit{Value: v}
+		e.Pos = t.Pos
+		return e, nil
+
+	case p.atKeyword("true") || p.atKeyword("false"):
+		p.advance()
+		e := &BoolLit{Value: t.Text == "true"}
+		e.Pos = t.Pos
+		return e, nil
+
+	case t.Kind == TokIdent:
+		p.advance()
+		e := &Ident{Name: t.Text}
+		e.Pos = t.Pos
+		return e, nil
+
+	case p.atKeyword("if"):
+		return p.parseIf()
+
+	case p.atPunct("{"):
+		return p.parseBlock()
+
+	case p.atPunct("|") || p.atPunct("||"):
+		return p.parseLambda()
+
+	case p.atPunct("("):
+		p.advance()
+		if p.atPunct(")") {
+			p.advance()
+			e := &TupleLit{}
+			e.Pos = t.Pos
+			return e, nil // unit
+		}
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.atPunct(",") {
+			elems := []Expr{first}
+			for p.accept(TokPunct, ",") {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				elems = append(elems, e)
+			}
+			if _, err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			e := &TupleLit{Elems: elems}
+			e.Pos = t.Pos
+			return e, nil
+		}
+		if _, err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return first, nil
+
+	case p.atPunct("["):
+		p.advance()
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		e := &ArrayLit{Init: init, Len: n}
+		e.Pos = t.Pos
+		return e, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %s", t)
+}
+
+func (p *parser) parseIf() (Expr, error) {
+	t := p.advance() // if
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	var els Expr
+	if p.accept(TokKeyword, "else") {
+		if p.atKeyword("if") {
+			els, err = p.parseIf()
+		} else {
+			els, err = p.parseBlock()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	e := &IfExpr{Cond: cond, Then: then, Else: els}
+	e.Pos = t.Pos
+	return e, nil
+}
+
+func (p *parser) parseLambda() (Expr, error) {
+	t := p.cur()
+	var params []ParamDecl
+	if p.atPunct("||") {
+		p.advance() // zero-parameter lambda
+	} else {
+		p.advance() // |
+		for !p.atPunct("|") {
+			if len(params) > 0 {
+				if _, err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			pd, err := p.parseParam()
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, pd)
+		}
+		p.advance() // |
+	}
+	var ret TypeExpr
+	if p.accept(TokPunct, "->") {
+		var err error
+		ret, err = p.parseType()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var body Expr
+	var err error
+	if p.atPunct("{") {
+		body, err = p.parseBlock()
+	} else {
+		body, err = p.parseExpr()
+	}
+	if err != nil {
+		return nil, err
+	}
+	e := &LambdaExpr{Params: params, Ret: ret, Body: body}
+	e.Pos = t.Pos
+	return e, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

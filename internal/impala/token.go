@@ -1,0 +1,63 @@
+// Package impala implements the frontend language of the reproduction: a
+// small, Impala-like functional/imperative language with first-class
+// functions, closures, arrays, tuples and loops. The frontend compiles
+// directly into the Thorin IR in continuation-passing style — mutable
+// variables become memory slots (promoted back to SSA values by mem2reg),
+// control flow becomes continuations, and function calls pass return
+// continuations, exactly as the paper describes for the Impala compiler.
+package impala
+
+import "fmt"
+
+// TokKind classifies tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokPunct   // operators and delimiters
+	TokKeyword // fn let mut if else while for in return true false as break continue extern static
+)
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+var keywords = map[string]bool{
+	"fn": true, "let": true, "mut": true, "if": true, "else": true,
+	"while": true, "for": true, "in": true, "return": true,
+	"true": true, "false": true, "as": true, "break": true,
+	"continue": true, "extern": true, "static": true,
+}
+
+// Error is a frontend error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,139 @@
+package impala
+
+import "strings"
+
+// Type is a semantic type of the frontend language. Types are compared
+// structurally with Equal.
+type Type interface {
+	String() string
+	equal(Type) bool
+}
+
+// PrimKind enumerates primitive frontend types.
+type PrimKind uint8
+
+// Primitive kinds.
+const (
+	PrimI64 PrimKind = iota
+	PrimF64
+	PrimBool
+)
+
+// Prim is a primitive type.
+type Prim struct{ Kind PrimKind }
+
+func (p *Prim) String() string {
+	switch p.Kind {
+	case PrimI64:
+		return "i64"
+	case PrimF64:
+		return "f64"
+	default:
+		return "bool"
+	}
+}
+
+func (p *Prim) equal(o Type) bool {
+	q, ok := o.(*Prim)
+	return ok && p.Kind == q.Kind
+}
+
+// Canonical primitive instances.
+var (
+	TyI64  = &Prim{Kind: PrimI64}
+	TyF64  = &Prim{Kind: PrimF64}
+	TyBool = &Prim{Kind: PrimBool}
+)
+
+// Unit is the unit type ().
+type Unit struct{}
+
+// TyUnit is the canonical unit type.
+var TyUnit = &Unit{}
+
+func (*Unit) String() string { return "()" }
+func (*Unit) equal(o Type) bool {
+	_, ok := o.(*Unit)
+	return ok
+}
+
+// Array is [T].
+type Array struct{ Elem Type }
+
+func (a *Array) String() string { return "[" + a.Elem.String() + "]" }
+func (a *Array) equal(o Type) bool {
+	b, ok := o.(*Array)
+	return ok && a.Elem.equal(b.Elem)
+}
+
+// Tuple is (T, U, ...), at least two elements.
+type Tuple struct{ Elems []Type }
+
+func (t *Tuple) String() string {
+	parts := make([]string, len(t.Elems))
+	for i, e := range t.Elems {
+		parts[i] = e.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (t *Tuple) equal(o Type) bool {
+	u, ok := o.(*Tuple)
+	if !ok || len(t.Elems) != len(u.Elems) {
+		return false
+	}
+	for i := range t.Elems {
+		if !t.Elems[i].equal(u.Elems[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fn is fn(T, ...) -> R.
+type Fn struct {
+	Params []Type
+	Ret    Type
+}
+
+func (f *Fn) String() string {
+	parts := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		parts[i] = p.String()
+	}
+	return "fn(" + strings.Join(parts, ", ") + ") -> " + f.Ret.String()
+}
+
+func (f *Fn) equal(o Type) bool {
+	g, ok := o.(*Fn)
+	if !ok || len(f.Params) != len(g.Params) || !f.Ret.equal(g.Ret) {
+		return false
+	}
+	for i := range f.Params {
+		if !f.Params[i].equal(g.Params[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports structural type equality.
+func Equal(a, b Type) bool { return a.equal(b) }
+
+// IsNumeric reports whether t is i64 or f64.
+func IsNumeric(t Type) bool {
+	p, ok := t.(*Prim)
+	return ok && (p.Kind == PrimI64 || p.Kind == PrimF64)
+}
+
+// IsInt reports whether t is i64.
+func IsInt(t Type) bool {
+	p, ok := t.(*Prim)
+	return ok && p.Kind == PrimI64
+}
+
+// IsBool reports whether t is bool.
+func IsBool(t Type) bool {
+	p, ok := t.(*Prim)
+	return ok && p.Kind == PrimBool
+}

@@ -1,0 +1,229 @@
+package ir
+
+import "math"
+
+// foldArith folds and normalizes arithmetic. It returns nil when the op must
+// be constructed as a node.
+func foldArith(w *World, kind OpKind, tag PrimTypeTag, a, b Def) Def {
+	la, aLit := a.(*Literal)
+	lb, bLit := b.(*Literal)
+	aLit = aLit && !la.Bottom
+	bLit = bLit && !lb.Bottom
+
+	if tag.IsFloat() {
+		if aLit && bLit {
+			return foldArithFloat(w, kind, tag, la.F, lb.F)
+		}
+		// Float normalizations that are exact: x+0, x-0, x*1, x/1.
+		if bLit {
+			switch kind {
+			case OpAdd, OpSub:
+				if lb.F == 0 && !math.Signbit(lb.F) {
+					return a
+				}
+			case OpMul, OpDiv:
+				if lb.F == 1 {
+					return a
+				}
+			}
+		}
+		if aLit && kind == OpAdd && la.F == 0 && !math.Signbit(la.F) {
+			return b
+		}
+		if aLit && kind == OpMul && la.F == 1 {
+			return b
+		}
+		return nil
+	}
+
+	// Integer (and bool for and/or/xor).
+	if aLit && bLit {
+		return foldArithInt(w, kind, tag, la.I, lb.I)
+	}
+	if bLit {
+		switch kind {
+		case OpAdd, OpSub, OpOr, OpXor, OpShl, OpShr:
+			if lb.I == 0 {
+				return a
+			}
+		case OpMul:
+			if lb.I == 0 {
+				return w.Zero(tag)
+			}
+			if lb.I == 1 {
+				return a
+			}
+		case OpDiv:
+			if lb.I == 1 {
+				return a
+			}
+		case OpRem:
+			if lb.I == 1 {
+				return w.Zero(tag)
+			}
+		case OpAnd:
+			if lb.I == 0 {
+				return w.Zero(tag)
+			}
+		}
+	}
+	if aLit {
+		switch kind {
+		case OpAdd, OpOr, OpXor:
+			if la.I == 0 {
+				return b
+			}
+		case OpMul:
+			if la.I == 0 {
+				return w.Zero(tag)
+			}
+			if la.I == 1 {
+				return b
+			}
+		case OpAnd:
+			if la.I == 0 {
+				return w.Zero(tag)
+			}
+		}
+	}
+	if a == b {
+		switch kind {
+		case OpSub, OpXor:
+			return w.Zero(tag)
+		case OpAnd, OpOr:
+			return a
+		case OpRem:
+			// x % x == 0 only if x != 0; not safe to fold in general.
+		}
+	}
+	return nil
+}
+
+func foldArithInt(w *World, kind OpKind, tag PrimTypeTag, a, b int64) Def {
+	var r int64
+	switch kind {
+	case OpAdd:
+		r = a + b
+	case OpSub:
+		r = a - b
+	case OpMul:
+		r = a * b
+	case OpDiv:
+		if b == 0 {
+			return w.Bottom(w.PrimType(tag))
+		}
+		r = a / b
+	case OpRem:
+		if b == 0 {
+			return w.Bottom(w.PrimType(tag))
+		}
+		r = a % b
+	case OpAnd:
+		r = a & b
+	case OpOr:
+		r = a | b
+	case OpXor:
+		r = a ^ b
+	case OpShl:
+		r = a << (uint64(b) & 63)
+	case OpShr:
+		r = a >> (uint64(b) & 63)
+	default:
+		return nil
+	}
+	return w.LitInt(tag, r)
+}
+
+func foldArithFloat(w *World, kind OpKind, tag PrimTypeTag, a, b float64) Def {
+	var r float64
+	switch kind {
+	case OpAdd:
+		r = a + b
+	case OpSub:
+		r = a - b
+	case OpMul:
+		r = a * b
+	case OpDiv:
+		r = a / b
+	case OpRem:
+		r = math.Mod(a, b)
+	default:
+		return nil
+	}
+	return w.LitFloat(tag, r)
+}
+
+// foldCmp folds comparisons; returns nil when the node must be built.
+func foldCmp(w *World, kind OpKind, a, b Def) Def {
+	la, aLit := a.(*Literal)
+	lb, bLit := b.(*Literal)
+	aLit = aLit && !la.Bottom
+	bLit = bLit && !lb.Bottom
+	pt := a.Type().(*PrimType)
+
+	if aLit && bLit {
+		if pt.Tag.IsFloat() {
+			return w.LitBool(cmpFloat(kind, la.F, lb.F))
+		}
+		return w.LitBool(cmpInt(kind, la.I, lb.I))
+	}
+	if a == b && !pt.Tag.IsFloat() { // NaN makes x==x false for floats
+		switch kind {
+		case OpEq, OpLe, OpGe:
+			return w.LitBool(true)
+		case OpNe, OpLt, OpGt:
+			return w.LitBool(false)
+		}
+	}
+	return nil
+}
+
+func cmpInt(kind OpKind, a, b int64) bool {
+	switch kind {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	return false
+}
+
+func cmpFloat(kind OpKind, a, b float64) bool {
+	switch kind {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	return false
+}
+
+// foldCast converts a literal between primitive types.
+func foldCast(w *World, dst *PrimType, src *PrimType, l *Literal) Def {
+	switch {
+	case src.Tag.IsFloat() && dst.Tag.IsFloat():
+		return w.LitFloat(dst.Tag, l.F)
+	case src.Tag.IsFloat():
+		return w.LitInt(dst.Tag, int64(l.F))
+	case dst.Tag.IsFloat():
+		return w.LitFloat(dst.Tag, float64(l.I))
+	default:
+		return w.LitInt(dst.Tag, l.I)
+	}
+}

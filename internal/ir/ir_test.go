@@ -1,0 +1,378 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeInterning(t *testing.T) {
+	w := NewWorld()
+	if w.PrimType(PrimI64) != w.PrimType(PrimI64) {
+		t.Fatal("prim types not interned")
+	}
+	f1 := w.FnType(w.MemType(), w.PrimType(PrimI64))
+	f2 := w.FnType(w.MemType(), w.PrimType(PrimI64))
+	if f1 != f2 {
+		t.Fatal("fn types not interned")
+	}
+	if w.FnType(w.PrimType(PrimI64)) == w.FnType(w.PrimType(PrimI32)) {
+		t.Fatal("distinct fn types interned together")
+	}
+	tu := w.TupleType(w.PrimType(PrimI64), w.PrimType(PrimF64))
+	if tu != w.TupleType(w.PrimType(PrimI64), w.PrimType(PrimF64)) {
+		t.Fatal("tuple types not interned")
+	}
+	if w.PtrType(tu) != w.PtrType(tu) {
+		t.Fatal("ptr types not interned")
+	}
+}
+
+func TestTypeOrder(t *testing.T) {
+	w := NewWorld()
+	i64 := w.PrimType(PrimI64)
+	if Order(i64) != 0 {
+		t.Errorf("order(i64) = %d", Order(i64))
+	}
+	f := w.FnType(i64) // fn(i64)
+	if Order(f) != 1 {
+		t.Errorf("order(fn(i64)) = %d", Order(f))
+	}
+	g := w.FnType(f) // fn(fn(i64))
+	if Order(g) != 2 {
+		t.Errorf("order(fn(fn(i64))) = %d", Order(g))
+	}
+}
+
+func TestCFFType(t *testing.T) {
+	w := NewWorld()
+	i64 := w.PrimType(PrimI64)
+	mem := w.MemType()
+	ret := w.FnType(mem, i64)
+	if !IsCFFType(w.FnType(mem, i64, ret)) {
+		t.Error("returning first-order fn should be CFF")
+	}
+	if !IsCFFType(w.FnType(mem)) {
+		t.Error("basic block type should be CFF")
+	}
+	if IsCFFType(w.FnType(mem, w.FnType(mem, i64), ret)) {
+		t.Error("fn with non-ret higher-order param must not be CFF")
+	}
+	higherRet := w.FnType(mem, w.FnType(mem, i64))
+	if IsCFFType(w.FnType(mem, i64, higherRet)) {
+		t.Error("second-order return continuation with fn param must not be CFF")
+	}
+}
+
+func TestLiteralInterning(t *testing.T) {
+	w := NewWorld()
+	if w.LitI64(42) != w.LitI64(42) {
+		t.Fatal("equal literals must be the same node")
+	}
+	if w.LitI64(42) == w.LitI64(43) {
+		t.Fatal("distinct literals must differ")
+	}
+	if w.LitI64(1) == w.LitInt(PrimI32, 1) {
+		t.Fatal("same value at different types must differ")
+	}
+	if w.Bottom(w.PrimType(PrimI64)) != w.Bottom(w.PrimType(PrimI64)) {
+		t.Fatal("bottoms not interned")
+	}
+	if w.Bottom(w.PrimType(PrimI64)) == w.LitI64(0) {
+		t.Fatal("bottom must differ from zero")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	w := NewWorld()
+	i64 := w.PrimType(PrimI64)
+	cont := w.Continuation(w.FnType(i64, i64), "f")
+	a, b := cont.Param(0), cont.Param(1)
+	x := w.Arith(OpAdd, a, b)
+	y := w.Arith(OpAdd, a, b)
+	if x != y {
+		t.Fatal("identical primops must be hash-consed to one node")
+	}
+	// Commutative canonicalization.
+	if w.Arith(OpAdd, b, a) != x {
+		t.Fatal("add must be canonicalized commutatively")
+	}
+	if w.Arith(OpMul, a, b) == x {
+		t.Fatal("different kinds must differ")
+	}
+	if w.Cmp(OpEq, a, b) != w.Cmp(OpEq, b, a) {
+		t.Fatal("eq must be canonicalized commutatively")
+	}
+	if w.Arith(OpSub, a, b) == w.Arith(OpSub, b, a) {
+		t.Fatal("sub must not be canonicalized commutatively")
+	}
+}
+
+func TestSlotsNotShared(t *testing.T) {
+	w := NewWorld()
+	cont := w.Continuation(w.FnType(w.MemType()), "f")
+	mem := cont.Param(0)
+	s1 := w.Slot(mem, w.PrimType(PrimI64))
+	s2 := w.Slot(mem, w.PrimType(PrimI64))
+	if s1 == s2 {
+		t.Fatal("slots must never be hash-consed together")
+	}
+	a1 := w.Alloc(mem, w.PrimType(PrimI64), w.LitI64(10))
+	a2 := w.Alloc(mem, w.PrimType(PrimI64), w.LitI64(10))
+	if a1 == a2 {
+		t.Fatal("allocs must never be hash-consed together")
+	}
+	g1 := w.Global(w.LitI64(0))
+	g2 := w.Global(w.LitI64(0))
+	if g1 == g2 {
+		t.Fatal("globals must never be hash-consed together")
+	}
+}
+
+func TestConstFolding(t *testing.T) {
+	w := NewWorld()
+	if v, _ := LitValue(w.Arith(OpAdd, w.LitI64(2), w.LitI64(3))); v != 5 {
+		t.Errorf("2+3 = %d", v)
+	}
+	if v, _ := LitValue(w.Arith(OpMul, w.LitI64(6), w.LitI64(7))); v != 42 {
+		t.Errorf("6*7 = %d", v)
+	}
+	if d := w.Arith(OpDiv, w.LitI64(1), w.LitI64(0)); !d.(*Literal).Bottom {
+		t.Error("1/0 must fold to bottom")
+	}
+	if v, _ := LitValue(w.Cmp(OpLt, w.LitI64(1), w.LitI64(2))); v != 1 {
+		t.Error("1<2 must fold to true")
+	}
+	f := w.Arith(OpDiv, w.LitF64(1), w.LitF64(4))
+	if fv, _ := LitFloat(f); fv != 0.25 {
+		t.Errorf("1.0/4.0 = %v", fv)
+	}
+	// i8 wraps.
+	if v, _ := LitValue(w.Arith(OpAdd, w.LitInt(PrimI8, 127), w.LitInt(PrimI8, 1))); v != -128 {
+		t.Error("i8 add must wrap")
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	w := NewWorld()
+	i64 := w.PrimType(PrimI64)
+	c := w.Continuation(w.FnType(i64), "f")
+	x := c.Param(0)
+	if w.Arith(OpAdd, x, w.LitI64(0)) != x {
+		t.Error("x+0 must normalize to x")
+	}
+	if w.Arith(OpMul, x, w.LitI64(1)) != x {
+		t.Error("x*1 must normalize to x")
+	}
+	if v, _ := LitValue(w.Arith(OpMul, x, w.LitI64(0))); v != 0 {
+		t.Error("x*0 must normalize to 0")
+	}
+	if v, _ := LitValue(w.Arith(OpSub, x, x)); v != 0 {
+		t.Error("x-x must normalize to 0")
+	}
+	if w.Arith(OpAnd, x, x) != x {
+		t.Error("x&x must normalize to x")
+	}
+	if v, _ := LitValue(w.Cmp(OpEq, x, x)); v != 1 {
+		t.Error("x==x must fold to true for ints")
+	}
+	// Floats: x==x must NOT fold (NaN).
+	fc := w.Continuation(w.FnType(w.PrimType(PrimF64)), "g")
+	fx := fc.Param(0)
+	if IsLit(w.Cmp(OpEq, fx, fx)) {
+		t.Error("x==x must not fold for floats")
+	}
+}
+
+func TestSelectAndExtractFolding(t *testing.T) {
+	w := NewWorld()
+	i64 := w.PrimType(PrimI64)
+	c := w.Continuation(w.FnType(i64, i64, w.BoolType()), "f")
+	a, b, cond := c.Param(0), c.Param(1), c.Param(2)
+	if w.Select(w.LitBool(true), a, b) != a {
+		t.Error("select(true) must fold")
+	}
+	if w.Select(w.LitBool(false), a, b) != b {
+		t.Error("select(false) must fold")
+	}
+	if w.Select(cond, a, a) != a {
+		t.Error("select with equal arms must fold")
+	}
+	tup := w.Tuple(a, b)
+	if w.ExtractAt(tup, 0) != a || w.ExtractAt(tup, 1) != b {
+		t.Error("extract of tuple must fold")
+	}
+	ins := w.Insert(tup, w.LitI64(1), a)
+	if w.ExtractAt(ins, 1) != a {
+		t.Error("extract through matching insert must fold")
+	}
+	if w.ExtractAt(ins, 0) != a {
+		t.Error("extract through non-matching insert must skip the insert")
+	}
+}
+
+func TestJumpAndUses(t *testing.T) {
+	w := NewWorld()
+	i64 := w.PrimType(PrimI64)
+	f := w.Continuation(w.FnType(i64), "f")
+	g := w.Continuation(w.FnType(i64), "g")
+	x := f.Param(0)
+	f.Jump(g, x)
+	if f.Callee() != g || f.NumArgs() != 1 || f.Arg(0) != x {
+		t.Fatal("jump body wrong")
+	}
+	if g.NumUses() != 1 || x.NumUses() != 1 {
+		t.Fatalf("uses not registered: g=%d x=%d", g.NumUses(), x.NumUses())
+	}
+	h := w.Continuation(w.FnType(i64), "h")
+	f.Jump(h, w.LitI64(3))
+	if g.NumUses() != 0 {
+		t.Fatal("re-jump must unregister old uses")
+	}
+	if h.NumUses() != 1 {
+		t.Fatal("re-jump must register new uses")
+	}
+	f.Unset()
+	if h.NumUses() != 0 || f.HasBody() {
+		t.Fatal("unset must clear body and uses")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	w := NewWorld()
+	i64 := w.PrimType(PrimI64)
+	f := w.Continuation(w.FnType(i64), "f")
+	g := w.Continuation(w.FnType(i64), "g")
+	f.Jump(g, w.LitI64(1))
+	g.Jump(f, g.Param(0))
+	if err := Verify(w); err != nil {
+		t.Fatalf("valid world rejected: %v", err)
+	}
+	// Arity error.
+	bad := w.Continuation(w.FnType(i64), "bad")
+	bad.Jump(g, w.LitI64(1), w.LitI64(2))
+	if err := Verify(w); err == nil {
+		t.Fatal("arity mismatch not caught")
+	}
+	bad.Jump(g, w.LitBool(true))
+	if err := Verify(w); err == nil {
+		t.Fatal("type mismatch not caught")
+	}
+	bad.Jump(g, w.LitI64(1))
+	if err := Verify(w); err != nil {
+		t.Fatalf("fixed world still rejected: %v", err)
+	}
+}
+
+func TestPrint(t *testing.T) {
+	w := NewWorld()
+	i64 := w.PrimType(PrimI64)
+	ret := w.FnType(w.MemType(), i64)
+	f := w.Continuation(w.FnType(w.MemType(), i64, ret), "double")
+	f.SetExtern(true)
+	mem, x, k := f.Param(0), f.Param(1), f.Param(2)
+	f.Jump(k, mem, w.Arith(OpMul, x, w.LitI64(2)))
+	s := DumpString(w)
+	for _, want := range []string{"double", "mul", "extern"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("dump missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Property: constructing the same arithmetic expression twice always yields
+// the same node (hash-consing = global value numbering).
+func TestHashConsingProperty(t *testing.T) {
+	w := NewWorld()
+	i64 := w.PrimType(PrimI64)
+	c := w.Continuation(w.FnType(i64, i64, i64), "f")
+	params := []Def{c.Param(0), c.Param(1), c.Param(2)}
+	kinds := []OpKind{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor}
+
+	build := func(prog []uint8) Def {
+		stack := append([]Def(nil), params...)
+		for _, b := range prog {
+			k := kinds[int(b)%len(kinds)]
+			n := len(stack)
+			a, bb := stack[n-2], stack[n-1]
+			stack = append(stack[:n-2], w.Arith(k, a, bb))
+			stack = append(stack, w.LitI64(int64(b)))
+		}
+		return stack[0]
+	}
+	prop := func(prog []uint8) bool {
+		if len(prog) == 0 || len(prog) > 30 {
+			return true
+		}
+		return build(prog) == build(prog)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: integer folding agrees with direct Go evaluation for i64.
+func TestFoldArithProperty(t *testing.T) {
+	w := NewWorld()
+	prop := func(a, b int64, k uint8) bool {
+		kind := []OpKind{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor}[int(k)%6]
+		got, ok := LitValue(w.Arith(kind, w.LitI64(a), w.LitI64(b)))
+		if !ok {
+			return false
+		}
+		var want int64
+		switch kind {
+		case OpAdd:
+			want = a + b
+		case OpSub:
+			want = a - b
+		case OpMul:
+			want = a * b
+		case OpAnd:
+			want = a & b
+		case OpOr:
+			want = a | b
+		case OpXor:
+			want = a ^ b
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRetParamConvention(t *testing.T) {
+	w := NewWorld()
+	i64 := w.PrimType(PrimI64)
+	mem := w.MemType()
+	ret := w.FnType(mem, i64)
+	f := w.Continuation(w.FnType(mem, i64, ret), "f")
+	if f.RetParam() == nil || f.RetParam().Index() != 2 {
+		t.Fatal("ret param not identified")
+	}
+	if !f.IsReturning() {
+		t.Fatal("f must be returning")
+	}
+	bb := w.BasicBlock("bb")
+	if bb.RetParam() != nil || bb.IsReturning() {
+		t.Fatal("basic block must not be returning")
+	}
+	if !bb.IsBasicBlockLike() {
+		t.Fatal("bb must be basic-block-like")
+	}
+	if f.IsBasicBlockLike() {
+		t.Fatal("returning f must not be basic-block-like")
+	}
+}
+
+func TestNoConsAblation(t *testing.T) {
+	w := NewWorld()
+	w.NoCons = true
+	i64 := w.PrimType(PrimI64)
+	c := w.Continuation(w.FnType(i64, i64), "f")
+	a, b := c.Param(0), c.Param(1)
+	if w.Arith(OpAdd, a, b) == w.Arith(OpAdd, a, b) {
+		t.Fatal("NoCons must disable sharing")
+	}
+}

@@ -1,0 +1,173 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randType builds a random type of bounded depth.
+func randType(w *World, r *rand.Rand, depth int) Type {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return w.PrimType(PrimI64)
+		case 1:
+			return w.PrimType(PrimF64)
+		case 2:
+			return w.BoolType()
+		default:
+			return w.MemType()
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return w.PtrType(randType(w, r, depth-1))
+	case 1:
+		return w.IndefArrayType(randType(w, r, depth-1))
+	case 2:
+		return w.ArrayType(int64(r.Intn(16)+1), randType(w, r, depth-1))
+	case 3:
+		n := r.Intn(3)
+		elems := make([]Type, n)
+		for i := range elems {
+			elems[i] = randType(w, r, depth-1)
+		}
+		return w.TupleType(elems...)
+	case 4:
+		n := r.Intn(3) + 1
+		params := make([]Type, n)
+		for i := range params {
+			params[i] = randType(w, r, depth-1)
+		}
+		return w.FnType(params...)
+	default:
+		return randType(w, r, 0)
+	}
+}
+
+// Property: a type's printed form parses back to the identical interned
+// type within the same world.
+func TestTypePrintParseRoundTripProperty(t *testing.T) {
+	w := NewWorld()
+	p := &worldParser{w: w}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ty := randType(w, r, 3)
+		back, err := p.parseType(ty.String())
+		if err != nil {
+			t.Logf("parse %q: %v", ty.String(), err)
+			return false
+		}
+		return back == ty // interned: structural equality is identity
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interning is stable — building the same random type twice
+// yields the same pointer.
+func TestTypeInterningProperty(t *testing.T) {
+	w := NewWorld()
+	prop := func(seed int64) bool {
+		a := randType(w, rand.New(rand.NewSource(seed)), 3)
+		b := randType(w, rand.New(rand.NewSource(seed)), 3)
+		return a == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: type order is non-negative, zero exactly for non-function,
+// closure-free data, and IsRetContType/ReturnsValue are consistent with it.
+func TestTypeOrderProperty(t *testing.T) {
+	w := NewWorld()
+	prop := func(seed int64) bool {
+		ty := randType(w, rand.New(rand.NewSource(seed)), 3)
+		o := Order(ty)
+		if o < 0 {
+			return false
+		}
+		if ft, ok := ty.(*FnType); ok {
+			if o == 0 {
+				return false // function types are at least first-order
+			}
+			if IsRetContType(ty) != (o%2 == 1) {
+				return false
+			}
+			if ReturnsValue(ft) && len(ft.Params) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: literal interning respects value and type identity.
+func TestLiteralInterningProperty(t *testing.T) {
+	w := NewWorld()
+	prop := func(a, b int64) bool {
+		la1, la2 := w.LitI64(a), w.LitI64(a)
+		lb := w.LitI64(b)
+		if la1 != la2 {
+			return false
+		}
+		return (a == b) == (la1 == lb)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: use lists stay consistent under random jump/rejump sequences —
+// after n rewrites, each operand's use set contains exactly its users.
+func TestUseListConsistencyProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := NewWorld()
+		i64 := w.PrimType(PrimI64)
+		n := r.Intn(6) + 2
+		conts := make([]*Continuation, n)
+		for i := range conts {
+			conts[i] = w.Continuation(w.FnType(i64), "c")
+		}
+		for step := 0; step < 30; step++ {
+			src := conts[r.Intn(n)]
+			dst := conts[r.Intn(n)]
+			var arg Def = src.Param(0)
+			if r.Intn(2) == 0 {
+				arg = w.LitI64(int64(r.Intn(5)))
+			}
+			src.Jump(dst, arg)
+		}
+		// Check: every continuation's recorded uses point at defs whose ops
+		// contain it at the recorded index.
+		for _, c := range conts {
+			for _, u := range c.Uses() {
+				if u.Def.Op(u.Index) != c {
+					return false
+				}
+			}
+			for i, op := range c.Ops() {
+				found := false
+				for _, u := range op.Uses() {
+					if u.Def == Def(c) && u.Index == i {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks structural and type sanity of the whole world:
+//
+//   - every body's callee has function type and argument types match the
+//     callee's parameter types,
+//   - branch intrinsic calls are well-formed,
+//   - operand slices contain no nil entries,
+//   - params point back to their continuation.
+//
+// It returns a joined error describing every violation found.
+func Verify(w *World) error {
+	var errs []error
+	for _, c := range w.conts {
+		if err := verifyCont(c); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func verifyCont(c *Continuation) error {
+	for i, p := range c.params {
+		if p.cont != c || p.index != i {
+			return fmt.Errorf("ir: %s: param %d broken back-link", c.name, i)
+		}
+	}
+	if !c.HasBody() {
+		return nil
+	}
+	callee := c.Callee()
+	if callee == nil {
+		return fmt.Errorf("ir: %s: nil callee", c.name)
+	}
+	ft, ok := callee.Type().(*FnType)
+	if !ok {
+		return fmt.Errorf("ir: %s: callee %s has non-function type %s", c.name, debugName(callee), callee.Type())
+	}
+	if len(ft.Params) != c.NumArgs() {
+		return fmt.Errorf("ir: %s: callee %s expects %d args, got %d",
+			c.name, debugName(callee), len(ft.Params), c.NumArgs())
+	}
+	for i, a := range c.Args() {
+		if a == nil {
+			return fmt.Errorf("ir: %s: nil argument %d", c.name, i)
+		}
+		if a.Type() != ft.Params[i] {
+			return fmt.Errorf("ir: %s: argument %d has type %s, callee %s expects %s",
+				c.name, i, a.Type(), debugName(callee), ft.Params[i])
+		}
+	}
+	return verifyOps(c)
+}
+
+func verifyOps(c *Continuation) error {
+	seen := map[Def]bool{}
+	var walk func(d Def) error
+	walk = func(d Def) error {
+		if seen[d] {
+			return nil
+		}
+		seen[d] = true
+		p, ok := d.(*PrimOp)
+		if !ok {
+			return nil
+		}
+		for i, op := range p.Ops() {
+			if op == nil {
+				return fmt.Errorf("ir: primop %s in %s: nil operand %d", p.kind, c.name, i)
+			}
+			if err := walk(op); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, op := range c.Ops() {
+		if err := walk(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// debugName renders a def for error messages.
+func debugName(d Def) string {
+	switch d := d.(type) {
+	case *Literal:
+		return d.String()
+	case *Param:
+		return d.String()
+	case *Continuation:
+		return d.Name()
+	case *PrimOp:
+		return fmt.Sprintf("%s_%d", d.kind, d.GID())
+	}
+	return "?"
+}

@@ -1,0 +1,520 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// World owns all types and defs of one program. It provides the only way to
+// construct IR nodes and guarantees hash-consing: structurally identical
+// primops (same kind, type and operands) are represented by a single node,
+// which makes global value numbering a side effect of IR construction.
+type World struct {
+	types    *typeTable
+	primops  map[string]*PrimOp
+	literals map[string]*Literal
+	nextGID  int
+	salt     int // uniquifier for non-consed primops (slot/alloc/global)
+
+	conts      []*Continuation
+	intrinsics map[Intrinsic]*Continuation
+
+	// Stats
+	primopCount int // number of primop constructions requested
+	consHits    int // number served from the hash-cons table
+
+	// NoCons disables hash-consing (for the ablation experiment A1).
+	NoCons bool
+}
+
+// NewWorld creates an empty world.
+func NewWorld() *World {
+	return &World{
+		types:      newTypeTable(),
+		primops:    make(map[string]*PrimOp),
+		literals:   make(map[string]*Literal),
+		intrinsics: make(map[Intrinsic]*Continuation),
+	}
+}
+
+// Continuations returns all live continuations, in creation order.
+func (w *World) Continuations() []*Continuation { return w.conts }
+
+// Externs returns all externally visible continuations.
+func (w *World) Externs() []*Continuation {
+	var out []*Continuation
+	for _, c := range w.conts {
+		if c.extern {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Find returns the continuation with the given name, or nil.
+func (w *World) Find(name string) *Continuation {
+	for _, c := range w.conts {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Stats returns (primop constructions requested, hash-cons hits, live
+// continuation count).
+func (w *World) Stats() (requested, consHits, conts int) {
+	return w.primopCount, w.consHits, len(w.conts)
+}
+
+// NumPrimOps returns the number of distinct primop nodes in the world.
+func (w *World) NumPrimOps() int { return len(w.primops) }
+
+func (w *World) newGID() int {
+	w.nextGID++
+	return w.nextGID
+}
+
+// Continuation creates a new continuation of the given type. Its params are
+// created eagerly; the body is unset until Jump is called.
+func (w *World) Continuation(t *FnType, name string) *Continuation {
+	c := &Continuation{defBase: defBase{world: w, gid: w.newGID(), typ: t, name: name}}
+	c.params = make([]*Param, len(t.Params))
+	for i, pt := range t.Params {
+		c.params[i] = &Param{
+			defBase: defBase{world: w, gid: w.newGID(), typ: pt},
+			cont:    c,
+			index:   i,
+		}
+	}
+	w.conts = append(w.conts, c)
+	return c
+}
+
+// BasicBlock creates a continuation taking only a memory token — the
+// canonical shape of a branch target.
+func (w *World) BasicBlock(name string) *Continuation {
+	return w.Continuation(w.FnType(w.MemType()), name)
+}
+
+// RemoveContinuation unlinks c from the world (used by cleanup). The
+// caller must have unset c's body first so use lists stay consistent.
+func (w *World) RemoveContinuation(c *Continuation) {
+	for i, x := range w.conts {
+		if x == c {
+			w.conts = append(w.conts[:i], w.conts[i+1:]...)
+			return
+		}
+	}
+}
+
+// Branch returns the branch intrinsic continuation:
+// branch(mem, cond, ifTrue: fn(mem), ifFalse: fn(mem)).
+func (w *World) Branch() *Continuation {
+	return w.intrinsic(IntrinsicBranch, w.FnType(
+		w.MemType(), w.BoolType(), w.FnType(w.MemType()), w.FnType(w.MemType()),
+	))
+}
+
+// PrintI64 returns the print_i64 intrinsic: print_i64(mem, i64, ret: fn(mem)).
+func (w *World) PrintI64() *Continuation {
+	return w.intrinsic(IntrinsicPrintI64, w.FnType(
+		w.MemType(), w.PrimType(PrimI64), w.FnType(w.MemType()),
+	))
+}
+
+// PrintF64 returns the print_f64 intrinsic: print_f64(mem, f64, ret: fn(mem)).
+func (w *World) PrintF64() *Continuation {
+	return w.intrinsic(IntrinsicPrintF64, w.FnType(
+		w.MemType(), w.PrimType(PrimF64), w.FnType(w.MemType()),
+	))
+}
+
+// PrintChar returns the print_char intrinsic: print_char(mem, i64, ret: fn(mem)).
+func (w *World) PrintChar() *Continuation {
+	return w.intrinsic(IntrinsicPrintChar, w.FnType(
+		w.MemType(), w.PrimType(PrimI64), w.FnType(w.MemType()),
+	))
+}
+
+func (w *World) intrinsic(tag Intrinsic, t *FnType) *Continuation {
+	if c, ok := w.intrinsics[tag]; ok {
+		return c
+	}
+	c := w.Continuation(t, tag.String())
+	c.intrinsic = tag
+	c.extern = true
+	w.intrinsics[tag] = c
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Literals
+// ---------------------------------------------------------------------------
+
+func (w *World) literal(t Type, i int64, f float64, bottom bool) *Literal {
+	key := fmt.Sprintf("%d:%d:%d:%t", t.ID(), i, math.Float64bits(f), bottom)
+	if l, ok := w.literals[key]; ok {
+		return l
+	}
+	l := &Literal{defBase: defBase{world: w, gid: w.newGID(), typ: t}, I: i, F: f, Bottom: bottom}
+	w.literals[key] = l
+	return l
+}
+
+// LitInt returns the integer literal v of the given primitive tag. The value
+// is truncated to the tag's width.
+func (w *World) LitInt(tag PrimTypeTag, v int64) *Literal {
+	return w.literal(w.PrimType(tag), truncInt(tag, v), 0, false)
+}
+
+// LitI64 returns an i64 literal.
+func (w *World) LitI64(v int64) *Literal { return w.LitInt(PrimI64, v) }
+
+// LitI32 returns an i32 literal.
+func (w *World) LitI32(v int32) *Literal { return w.LitInt(PrimI32, int64(v)) }
+
+// LitBool returns a bool literal.
+func (w *World) LitBool(v bool) *Literal {
+	i := int64(0)
+	if v {
+		i = 1
+	}
+	return w.literal(w.BoolType(), i, 0, false)
+}
+
+// LitFloat returns a floating literal of the given tag (PrimF32 or PrimF64).
+func (w *World) LitFloat(tag PrimTypeTag, v float64) *Literal {
+	if tag == PrimF32 {
+		v = float64(float32(v))
+	}
+	return w.literal(w.PrimType(tag), 0, v, false)
+}
+
+// LitF64 returns an f64 literal.
+func (w *World) LitF64(v float64) *Literal { return w.LitFloat(PrimF64, v) }
+
+// Bottom returns the undefined value of type t.
+func (w *World) Bottom(t Type) *Literal { return w.literal(t, 0, 0, true) }
+
+// Zero returns the zero literal of a primitive type.
+func (w *World) Zero(tag PrimTypeTag) *Literal {
+	if tag.IsFloat() {
+		return w.LitFloat(tag, 0)
+	}
+	return w.LitInt(tag, 0)
+}
+
+// One returns the one literal of a primitive type.
+func (w *World) One(tag PrimTypeTag) *Literal {
+	if tag.IsFloat() {
+		return w.LitFloat(tag, 1)
+	}
+	return w.LitInt(tag, 1)
+}
+
+func truncInt(tag PrimTypeTag, v int64) int64 {
+	switch tag {
+	case PrimBool:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	case PrimI8:
+		return int64(int8(v))
+	case PrimI16:
+		return int64(int16(v))
+	case PrimI32:
+		return int64(int32(v))
+	default:
+		return v
+	}
+}
+
+// ---------------------------------------------------------------------------
+// PrimOp construction (hash-consed)
+// ---------------------------------------------------------------------------
+
+func primopKey(kind OpKind, t Type, ops []Def, salt int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d:%d:%d", kind, t.ID(), salt)
+	for _, o := range ops {
+		fmt.Fprintf(&sb, ":%d", o.GID())
+	}
+	return sb.String()
+}
+
+// cse constructs or reuses the primop (kind, t, ops).
+func (w *World) cse(kind OpKind, t Type, ops ...Def) *PrimOp {
+	return w.cseSalted(kind, t, 0, ops...)
+}
+
+func (w *World) cseSalted(kind OpKind, t Type, salt int, ops ...Def) *PrimOp {
+	for i, o := range ops {
+		if o == nil {
+			panic(fmt.Sprintf("ir: %s: nil operand %d", kind, i))
+		}
+	}
+	w.primopCount++
+	if w.NoCons {
+		w.salt++
+		salt = w.salt
+	}
+	key := primopKey(kind, t, ops, salt)
+	if p, ok := w.primops[key]; ok {
+		w.consHits++
+		return p
+	}
+	p := &PrimOp{
+		defBase: defBase{world: w, gid: w.newGID(), typ: t, ops: append([]Def(nil), ops...)},
+		kind:    kind,
+	}
+	registerUses(p)
+	w.primops[key] = p
+	return p
+}
+
+// uniqueSalt returns a fresh salt so the next cseSalted call creates a node
+// that is never shared (slots, allocs, globals).
+func (w *World) uniqueSalt() int {
+	w.salt++
+	return w.salt
+}
+
+// Arith constructs an arithmetic primop, folding and normalizing where
+// possible.
+func (w *World) Arith(kind OpKind, a, b Def) Def {
+	if !kind.IsArith() {
+		panic("ir: Arith with non-arith kind " + kind.String())
+	}
+	pt, ok := a.Type().(*PrimType)
+	if !ok || a.Type() != b.Type() {
+		panic(fmt.Sprintf("ir: %s: operand type mismatch %s vs %s", kind, a.Type(), b.Type()))
+	}
+	if d := foldArith(w, kind, pt.Tag, a, b); d != nil {
+		return d
+	}
+	if kind.IsCommutative() {
+		// Canonical operand order: literal last, then by gid.
+		if IsLit(a) && !IsLit(b) {
+			a, b = b, a
+		} else if !IsLit(a) && !IsLit(b) && a.GID() > b.GID() {
+			a, b = b, a
+		}
+	}
+	return w.cse(kind, a.Type(), a, b)
+}
+
+// Cmp constructs a comparison primop (result type bool), folding literals.
+func (w *World) Cmp(kind OpKind, a, b Def) Def {
+	if !kind.IsCmp() {
+		panic("ir: Cmp with non-cmp kind " + kind.String())
+	}
+	if a.Type() != b.Type() {
+		panic(fmt.Sprintf("ir: %s: operand type mismatch %s vs %s", kind, a.Type(), b.Type()))
+	}
+	if d := foldCmp(w, kind, a, b); d != nil {
+		return d
+	}
+	if kind.IsCommutative() {
+		// eq/ne are symmetric: canonicalize operand order.
+		if IsLit(a) && !IsLit(b) {
+			a, b = b, a
+		} else if !IsLit(a) && !IsLit(b) && a.GID() > b.GID() {
+			a, b = b, a
+		}
+	}
+	return w.cse(kind, w.BoolType(), a, b)
+}
+
+// Select returns cond ? a : b, folding constant conditions.
+func (w *World) Select(cond, a, b Def) Def {
+	if a.Type() != b.Type() {
+		panic("ir: select: arm type mismatch")
+	}
+	if v, ok := LitValue(cond); ok {
+		if v != 0 {
+			return a
+		}
+		return b
+	}
+	if a == b {
+		return a
+	}
+	return w.cse(OpSelect, a.Type(), cond, a, b)
+}
+
+// Tuple aggregates the given defs.
+func (w *World) Tuple(elems ...Def) Def {
+	ts := make([]Type, len(elems))
+	for i, e := range elems {
+		ts[i] = e.Type()
+	}
+	return w.cse(OpTuple, w.TupleType(ts...), elems...)
+}
+
+// Unit returns the empty tuple.
+func (w *World) Unit() Def { return w.Tuple() }
+
+// Extract returns component index of agg. Extracting from a tuple literal or
+// through an insert folds.
+func (w *World) Extract(agg Def, index Def) Def {
+	elemT := extractType(agg.Type(), index)
+	if i, ok := LitValue(index); ok {
+		if t := AsPrimOp(agg, OpTuple); t != nil {
+			return t.Op(int(i))
+		}
+		if ins := AsPrimOp(agg, OpInsert); ins != nil {
+			if j, ok := LitValue(ins.Op(1)); ok {
+				if i == j {
+					return ins.Op(2)
+				}
+				return w.Extract(ins.Op(0), index)
+			}
+		}
+	}
+	return w.cse(OpExtract, elemT, agg, index)
+}
+
+// ExtractAt is Extract with a constant i64 index.
+func (w *World) ExtractAt(agg Def, i int) Def {
+	return w.Extract(agg, w.LitI64(int64(i)))
+}
+
+func extractType(agg Type, index Def) Type {
+	switch t := agg.(type) {
+	case *TupleType:
+		i, ok := LitValue(index)
+		if !ok {
+			panic("ir: extract from tuple needs constant index")
+		}
+		return t.ElemTypes[i]
+	case *ArrayType:
+		return t.Elem
+	case *IndefArrayType:
+		return t.Elem
+	}
+	panic("ir: extract from non-aggregate type " + agg.String())
+}
+
+// Insert returns agg with component index replaced by value.
+func (w *World) Insert(agg, index, value Def) Def {
+	return w.cse(OpInsert, agg.Type(), agg, index, value)
+}
+
+// Cast converts a numeric value to primitive type dst.
+func (w *World) Cast(dst *PrimType, a Def) Def {
+	src, ok := a.Type().(*PrimType)
+	if !ok {
+		panic("ir: cast of non-primitive " + a.Type().String())
+	}
+	if src == dst {
+		return a
+	}
+	if l, ok := a.(*Literal); ok && !l.Bottom {
+		return foldCast(w, dst, src, l)
+	}
+	return w.cse(OpCast, dst, a)
+}
+
+// Bitcast reinterprets a's bits as type dst.
+func (w *World) Bitcast(dst Type, a Def) Def {
+	if a.Type() == dst {
+		return a
+	}
+	return w.cse(OpBitcast, dst, a)
+}
+
+// Slot allocates a stack cell of type t; result is (mem, t*). Slots are
+// never shared by hash-consing: every call creates a fresh cell.
+func (w *World) Slot(mem Def, t Type) Def {
+	rt := w.TupleType(w.MemType(), w.PtrType(t))
+	return w.cseSalted(OpSlot, rt, w.uniqueSalt(), mem)
+}
+
+// Alloc allocates an array of count elements of type t on the heap; result
+// is (mem, [t]*). Never shared.
+func (w *World) Alloc(mem Def, t Type, count Def) Def {
+	rt := w.TupleType(w.MemType(), w.PtrType(w.IndefArrayType(t)))
+	return w.cseSalted(OpAlloc, rt, w.uniqueSalt(), mem, count)
+}
+
+// Load reads through ptr; result is (mem, value).
+func (w *World) Load(mem, ptr Def) Def {
+	pt, ok := ptr.Type().(*PtrType)
+	if !ok {
+		panic("ir: load through non-pointer " + ptr.Type().String())
+	}
+	return w.cse(OpLoad, w.TupleType(w.MemType(), pt.Pointee), mem, ptr)
+}
+
+// Store writes value through ptr; result is mem.
+func (w *World) Store(mem, ptr, value Def) Def {
+	pt, ok := ptr.Type().(*PtrType)
+	if !ok {
+		panic("ir: store through non-pointer " + ptr.Type().String())
+	}
+	if pt.Pointee != value.Type() {
+		panic(fmt.Sprintf("ir: store type mismatch: %s into %s", value.Type(), pt))
+	}
+	return w.cse(OpStore, w.MemType(), mem, ptr, value)
+}
+
+// Lea computes the address of element index of the array pointed to by ptr.
+func (w *World) Lea(ptr, index Def) Def {
+	pt, ok := ptr.Type().(*PtrType)
+	if !ok {
+		panic("ir: lea through non-pointer")
+	}
+	var elem Type
+	switch at := pt.Pointee.(type) {
+	case *ArrayType:
+		elem = at.Elem
+	case *IndefArrayType:
+		elem = at.Elem
+	default:
+		panic("ir: lea into non-array pointee " + pt.Pointee.String())
+	}
+	return w.cse(OpLea, w.PtrType(elem), ptr, index)
+}
+
+// ALen returns the runtime length of the indefinite array pointed to by ptr.
+func (w *World) ALen(ptr Def) Def {
+	pt, ok := ptr.Type().(*PtrType)
+	if !ok {
+		panic("ir: alen of non-pointer")
+	}
+	if _, ok := pt.Pointee.(*IndefArrayType); !ok {
+		panic("ir: alen of non-array pointee " + pt.Pointee.String())
+	}
+	return w.cse(OpALen, w.PrimType(PrimI64), ptr)
+}
+
+// Global creates a mutable global cell with the given initializer; result is
+// a pointer. Never shared.
+func (w *World) Global(init Def) Def {
+	return w.cseSalted(OpGlobal, w.PtrType(init.Type()), w.uniqueSalt(), init)
+}
+
+// Closure pairs fn (a continuation or function-typed def) with captured
+// environment values. Produced by closure conversion.
+func (w *World) Closure(t *FnType, fn Def, env ...Def) Def {
+	ops := append([]Def{fn}, env...)
+	return w.cse(OpClosure, t, ops...)
+}
+
+// Run marks def to be forced by the partial evaluator.
+func (w *World) Run(d Def) Def { return w.cse(OpRun, d.Type(), d) }
+
+// Hlt marks def to be left alone by the partial evaluator.
+func (w *World) Hlt(d Def) Def { return w.cse(OpHlt, d.Type(), d) }
+
+// MemParam returns the first parameter of c if it is a memory token; this is
+// the conventional position in every frontend-generated continuation.
+func MemParam(c *Continuation) *Param {
+	if len(c.params) > 0 && IsMemType(c.params[0].Type()) {
+		return c.params[0]
+	}
+	return nil
+}

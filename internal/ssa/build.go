@@ -1,0 +1,453 @@
+package ssa
+
+import (
+	"fmt"
+
+	"thorin/internal/impala"
+)
+
+// Build lowers a checked Impala program into a classical SSA module using
+// Braun et al.'s on-the-fly construction: variable reads trigger recursive
+// lookups over the CFG, placing pruned, minimal φ-functions at join points.
+func Build(prog *impala.Program) (*Module, error) {
+	mod := &Module{ByName: map[string]*Func{}}
+	b := &builder{mod: mod, prog: prog, globals: map[string]int{}}
+	for _, sd := range prog.Statics {
+		init := foldStaticInit(sd.Init)
+		b.globals[sd.Name] = len(mod.Globals)
+		mod.Globals = append(mod.Globals, GlobalInit{Name: sd.Name, I: init.I, F: init.F})
+	}
+	for _, fd := range prog.Funcs {
+		b.declare(fd)
+	}
+	for _, fd := range prog.Funcs {
+		if err := b.buildFunc(fd); err != nil {
+			return nil, err
+		}
+	}
+	// Lambdas discovered during building are appended to b.todo.
+	for len(b.todo) > 0 {
+		job := b.todo[0]
+		b.todo = b.todo[1:]
+		if err := b.buildLambda(job); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range mod.Funcs {
+		finalize(f)
+	}
+	return mod, nil
+}
+
+// varRef describes how a name is accessed.
+type varRef struct {
+	kind varKind
+	key  string // SSA variable key (Braun)
+	cell *Value // boxed mutable cell
+	ty   impala.Type
+}
+
+type varKind uint8
+
+const (
+	ssaVar varKind = iota
+	cellVar
+)
+
+type lambdaJob struct {
+	fn       *Func
+	lam      *impala.LambdaExpr
+	captures []capture
+}
+
+type capture struct {
+	name string
+	ref  varRef // how the lambda body should see it (env param index = position)
+}
+
+type loopBlocks struct {
+	brk, cont *Block
+}
+
+type builder struct {
+	mod  *Module
+	prog *impala.Program
+	todo []lambdaJob
+
+	f        *Func
+	cur      *Block
+	scopes   []map[string]varRef
+	loops    []loopBlocks
+	boxed    map[*impala.LetStmt]bool
+	globals  map[string]int
+	lambdaID int
+	tmpID    int
+}
+
+// foldStaticInit evaluates a (possibly negated) literal initializer.
+func foldStaticInit(x impala.Expr) GlobalInit {
+	switch x := x.(type) {
+	case *impala.IntLit:
+		return GlobalInit{I: x.Value}
+	case *impala.FloatLit:
+		return GlobalInit{F: x.Value}
+	case *impala.BoolLit:
+		if x.Value {
+			return GlobalInit{I: 1}
+		}
+		return GlobalInit{}
+	case *impala.UnaryExpr:
+		g := foldStaticInit(x.X)
+		return GlobalInit{I: -g.I, F: -g.F}
+	}
+	return GlobalInit{}
+}
+
+// globalAddr emits a pointer to global cell idx.
+func (b *builder) globalAddr(idx int) *Value {
+	v := b.ins(OpGlobalAddr)
+	v.Index = idx
+	return v
+}
+
+func (b *builder) declare(fd *impala.FuncDecl) *Func {
+	f := &Func{Name: fd.Name}
+	b.mod.Funcs = append(b.mod.Funcs, f)
+	b.mod.ByName[fd.Name] = f
+	return f
+}
+
+func (b *builder) newFunc(name string) *Func {
+	f := &Func{Name: name}
+	b.mod.Funcs = append(b.mod.Funcs, f)
+	b.mod.ByName[name] = f
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// Braun et al. SSA construction primitives
+// ---------------------------------------------------------------------------
+
+func (b *builder) writeVar(key string, blk *Block, v *Value) {
+	blk.defs[key] = v
+}
+
+func (b *builder) readVar(key string, blk *Block) *Value {
+	if v, ok := blk.defs[key]; ok {
+		return resolveValue(v)
+	}
+	return b.readVarRecursive(key, blk)
+}
+
+func (b *builder) readVarRecursive(key string, blk *Block) *Value {
+	var v *Value
+	switch {
+	case !blk.sealed:
+		// Incomplete CFG (e.g. a loop header before its back edge): place an
+		// operandless φ and fill it when the block is sealed.
+		v = b.newPhi(blk)
+		blk.incPhis[key] = v
+	case len(blk.Preds) == 1:
+		v = b.readVar(key, blk.Preds[0])
+	case len(blk.Preds) == 0:
+		// Unreachable or entry without a definition: undefined value.
+		v = b.constI(blk, 0)
+	default:
+		phi := b.newPhi(blk)
+		b.writeVar(key, blk, phi)
+		v = b.addPhiOperands(key, phi)
+	}
+	b.writeVar(key, blk, v)
+	return v
+}
+
+func (b *builder) newPhi(blk *Block) *Value {
+	phi := b.f.newValue(OpPhi)
+	phi.Block = blk
+	blk.Phis = append(blk.Phis, phi)
+	return phi
+}
+
+func (b *builder) addPhiOperands(key string, phi *Value) *Value {
+	for _, pred := range phi.Block.Preds {
+		a := b.readVar(key, pred)
+		phi.Args = append(phi.Args, a)
+		if a.Op == OpPhi {
+			a.phiUsers = append(a.phiUsers, phi)
+		}
+	}
+	return b.tryRemoveTrivialPhi(phi)
+}
+
+func (b *builder) tryRemoveTrivialPhi(phi *Value) *Value {
+	var same *Value
+	for _, a := range phi.Args {
+		a = resolveValue(a)
+		if a == phi || a == same {
+			continue
+		}
+		if same != nil {
+			return phi // two distinct operands: not trivial
+		}
+		same = a
+	}
+	if same == nil {
+		same = b.constI(phi.Block, 0) // self-referential only: undefined
+	}
+	phi.replacedBy = same
+	for _, u := range phi.phiUsers {
+		if u != phi && u.replacedBy == nil {
+			b.tryRemoveTrivialPhi(u)
+		}
+	}
+	return same
+}
+
+// sealBlock declares that blk's predecessor list is final and completes its
+// pending φs.
+func (b *builder) sealBlock(blk *Block) {
+	if blk.sealed {
+		return
+	}
+	blk.sealed = true
+	for key, phi := range blk.incPhis {
+		b.writeVar(key, blk, b.addPhiOperands(key, phi))
+	}
+	blk.incPhis = map[string]*Value{}
+}
+
+// ---------------------------------------------------------------------------
+// Instruction emission helpers
+// ---------------------------------------------------------------------------
+
+func (b *builder) emit(v *Value) *Value {
+	v.Block = b.cur
+	b.cur.Instrs = append(b.cur.Instrs, v)
+	return v
+}
+
+func (b *builder) constI(blk *Block, x int64) *Value {
+	v := b.f.newValue(OpConstI)
+	v.I = x
+	v.Block = blk
+	blk.Instrs = append(blk.Instrs, v)
+	return v
+}
+
+func (b *builder) cInt(x int64) *Value { return b.constI(b.cur, x) }
+func (b *builder) cBool(x bool) *Value {
+	if x {
+		return b.cInt(1)
+	}
+	return b.cInt(0)
+}
+
+func (b *builder) cFloat(x float64) *Value {
+	v := b.f.newValue(OpConstF)
+	v.F = x
+	v.IsF64 = true
+	return b.emit(v)
+}
+
+func (b *builder) ins(op Op, args ...*Value) *Value {
+	for i, a := range args {
+		args[i] = resolveValue(a)
+	}
+	return b.emit(b.f.newValue(op, args...))
+}
+
+func (b *builder) jump(to *Block) {
+	b.cur.Term = Terminator{Kind: TermJump, To: []*Block{to}}
+	to.Preds = append(to.Preds, b.cur)
+}
+
+func (b *builder) branch(cond *Value, t, f *Block) {
+	b.cur.Term = Terminator{Kind: TermBranch, Cond: resolveValue(cond), To: []*Block{t, f}}
+	t.Preds = append(t.Preds, b.cur)
+	f.Preds = append(f.Preds, b.cur)
+}
+
+func (b *builder) ret(v *Value) {
+	if v != nil {
+		v = resolveValue(v)
+	}
+	b.cur.Term = Terminator{Kind: TermRet, Val: v}
+}
+
+// deadBlock starts an unreachable block after return/break/continue.
+func (b *builder) deadBlock() {
+	nb := b.f.NewBlock("dead")
+	nb.sealed = true
+	b.cur = nb
+}
+
+func (b *builder) push() { b.scopes = append(b.scopes, map[string]varRef{}) }
+func (b *builder) pop()  { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+func (b *builder) bind(name string, r varRef) {
+	b.scopes[len(b.scopes)-1][name] = r
+}
+
+func (b *builder) lookup(name string) (varRef, bool) {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		if r, ok := b.scopes[i][name]; ok {
+			return r, true
+		}
+	}
+	return varRef{}, false
+}
+
+func (b *builder) freshKey(name string) string {
+	b.tmpID++
+	return fmt.Sprintf("%s#%d", name, b.tmpID)
+}
+
+// ---------------------------------------------------------------------------
+// Function building
+// ---------------------------------------------------------------------------
+
+func (b *builder) buildFunc(fd *impala.FuncDecl) error {
+	f := b.mod.ByName[fd.Name]
+	b.f = f
+	f.Ret = retTypeOf(fd)
+	b.boxed = boxedLets(fd.Body)
+	b.scopes = nil
+	b.loops = nil
+
+	entry := f.NewBlock("entry")
+	entry.sealed = true
+	b.cur = entry
+	b.push()
+	for _, p := range fd.Params {
+		pv := f.newValue(OpParam)
+		pv.Name = p.Name
+		pv.Block = entry
+		f.Params = append(f.Params, pv)
+		key := b.freshKey(p.Name)
+		b.writeVar(key, entry, pv)
+		b.bind(p.Name, varRef{kind: ssaVar, key: key})
+	}
+	v, err := b.buildExpr(fd.Body)
+	if err != nil {
+		return err
+	}
+	if Equalish(f.Ret, impala.TyUnit) {
+		b.ret(nil)
+	} else {
+		b.ret(v)
+	}
+	b.pop()
+	return nil
+}
+
+func retTypeOf(fd *impala.FuncDecl) impala.Type {
+	ft := impala.FuncType(&impala.Program{Funcs: []*impala.FuncDecl{fd}}, fd.Name)
+	if ft == nil {
+		return impala.TyUnit
+	}
+	return ft.Ret
+}
+
+// Equalish handles nil types leniently.
+func Equalish(a, b impala.Type) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return impala.Equal(a, b)
+}
+
+func (b *builder) buildLambda(job lambdaJob) error {
+	f := job.fn
+	savedF, savedCur, savedScopes, savedLoops, savedBoxed :=
+		b.f, b.cur, b.scopes, b.loops, b.boxed
+	defer func() {
+		b.f, b.cur, b.scopes, b.loops, b.boxed =
+			savedF, savedCur, savedScopes, savedLoops, savedBoxed
+	}()
+
+	b.f = f
+	b.scopes = nil
+	b.loops = nil
+	// boxedLets walks any expression shape — the lambda body need not be a
+	// block for a nested lambda to capture one of its mutables.
+	b.boxed = boxedLets(job.lam.Body)
+
+	ft := job.lam.Ty().(*impala.Fn)
+	f.Ret = ft.Ret
+	entry := f.NewBlock("entry")
+	entry.sealed = true
+	b.cur = entry
+	b.push()
+	for i, p := range job.lam.Params {
+		pv := f.newValue(OpParam)
+		pv.Name = p.Name
+		pv.Block = entry
+		f.Params = append(f.Params, pv)
+		key := b.freshKey(p.Name)
+		b.writeVar(key, entry, pv)
+		b.bind(p.Name, varRef{kind: ssaVar, key: key, ty: ft.Params[i]})
+	}
+	// Environment parameters follow the declared ones.
+	for _, cap := range job.captures {
+		pv := f.newValue(OpParam)
+		pv.Name = cap.name + ".env"
+		pv.Block = entry
+		f.Params = append(f.Params, pv)
+		f.NumEnv++
+		switch cap.ref.kind {
+		case cellVar:
+			b.bind(cap.name, varRef{kind: cellVar, cell: pv, ty: cap.ref.ty})
+		default:
+			key := b.freshKey(cap.name)
+			b.writeVar(key, entry, pv)
+			b.bind(cap.name, varRef{kind: ssaVar, key: key, ty: cap.ref.ty})
+		}
+	}
+	v, err := b.buildExpr(job.lam.Body)
+	if err != nil {
+		return err
+	}
+	if Equalish(ft.Ret, impala.TyUnit) {
+		b.ret(nil)
+	} else {
+		b.ret(v)
+	}
+	b.pop()
+	return nil
+}
+
+// makeClosure lowers a lambda occurrence: captures are computed
+// syntactically, the code function is queued, and a closure record is built.
+func (b *builder) makeClosure(lam *impala.LambdaExpr) (*Value, error) {
+	b.lambdaID++
+	fn := b.newFunc(fmt.Sprintf("lambda$%d", b.lambdaID))
+
+	free := freeNames(lam)
+	var caps []capture
+	var envVals []*Value
+	for _, name := range free {
+		ref, ok := b.lookup(name)
+		if !ok {
+			continue // a top-level function or builtin; not captured
+		}
+		caps = append(caps, capture{name: name, ref: ref})
+		switch ref.kind {
+		case cellVar:
+			envVals = append(envVals, ref.cell)
+		default:
+			envVals = append(envVals, b.readVar(ref.key, b.cur))
+		}
+	}
+	b.todo = append(b.todo, lambdaJob{fn: fn, lam: lam, captures: caps})
+
+	mk := b.ins(OpMakeClosure, envVals...)
+	mk.Fn = fn.Name
+	return mk, nil
+}
+
+// funcValue wraps a top-level function used as a value.
+func (b *builder) funcValue(name string) *Value {
+	mk := b.ins(OpMakeClosure)
+	mk.Fn = name
+	return mk
+}

@@ -1,0 +1,507 @@
+package ssa
+
+import (
+	"fmt"
+
+	"thorin/internal/impala"
+)
+
+var ssaBinOp = map[string]Op{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpRem,
+	"&": OpAnd, "|": OpOr, "^": OpXor, "<<": OpShl, ">>": OpShr,
+	"==": OpEq, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (b *builder) buildStmt(s impala.Stmt) error {
+	switch s := s.(type) {
+	case *impala.LetStmt:
+		v, err := b.buildExpr(s.Init)
+		if err != nil {
+			return err
+		}
+		ty := s.Init.Ty()
+		if s.Mut && b.boxed[s] {
+			cell := b.ins(OpCellNew, v)
+			cell.Name = s.Name
+			b.bind(s.Name, varRef{kind: cellVar, cell: cell, ty: ty})
+			return nil
+		}
+		key := b.freshKey(s.Name)
+		b.writeVar(key, b.cur, resolveValue(v))
+		b.bind(s.Name, varRef{kind: ssaVar, key: key, ty: ty})
+		return nil
+
+	case *impala.AssignStmt:
+		switch target := s.Target.(type) {
+		case *impala.Ident:
+			ref, found := b.lookup(target.Name)
+			v, err := b.buildExpr(s.Value)
+			if err != nil {
+				return err
+			}
+			switch {
+			case found && ref.kind == cellVar:
+				b.ins(OpCellStore, ref.cell, v)
+			case found:
+				b.writeVar(ref.key, b.cur, resolveValue(v))
+			default:
+				idx, ok := b.globals[target.Name]
+				if !ok {
+					return fmt.Errorf("ssa: assignment to undefined %q", target.Name)
+				}
+				b.ins(OpCellStore, b.globalAddr(idx), v)
+			}
+			return nil
+		case *impala.IndexExpr:
+			arr, err := b.buildExpr(target.Arr)
+			if err != nil {
+				return err
+			}
+			idx, err := b.buildExpr(target.Idx)
+			if err != nil {
+				return err
+			}
+			v, err := b.buildExpr(s.Value)
+			if err != nil {
+				return err
+			}
+			b.ins(OpArrayStore, arr, idx, v)
+			return nil
+		}
+		return fmt.Errorf("ssa: bad assignment target")
+
+	case *impala.ExprStmt:
+		_, err := b.buildExpr(s.X)
+		return err
+
+	case *impala.WhileStmt:
+		head := b.f.NewBlock("while.head")
+		body := b.f.NewBlock("while.body")
+		exit := b.f.NewBlock("while.exit")
+		b.jump(head)
+		b.cur = head
+		cond, err := b.buildExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		b.branch(cond, body, exit)
+		body.sealed = true
+
+		b.loops = append(b.loops, loopBlocks{brk: exit, cont: head})
+		b.cur = body
+		if _, err := b.buildExpr(s.Body); err != nil {
+			return err
+		}
+		b.jump(head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.sealBlock(head)
+		b.sealBlock(exit)
+		b.cur = exit
+		return nil
+
+	case *impala.ForStmt:
+		lo, err := b.buildExpr(s.Lo)
+		if err != nil {
+			return err
+		}
+		hi, err := b.buildExpr(s.Hi)
+		if err != nil {
+			return err
+		}
+		key := b.freshKey(s.Name)
+		b.writeVar(key, b.cur, resolveValue(lo))
+
+		head := b.f.NewBlock("for.head")
+		body := b.f.NewBlock("for.body")
+		step := b.f.NewBlock("for.step")
+		exit := b.f.NewBlock("for.exit")
+		b.jump(head)
+		b.cur = head
+		iv := b.readVar(key, head)
+		b.branch(b.ins(OpLt, iv, hi), body, exit)
+		body.sealed = true
+
+		b.loops = append(b.loops, loopBlocks{brk: exit, cont: step})
+		b.push()
+		b.bind(s.Name, varRef{kind: ssaVar, key: key, ty: impala.TyI64})
+		b.cur = body
+		if _, err := b.buildExpr(s.Body); err != nil {
+			return err
+		}
+		b.jump(step)
+		b.pop()
+		b.loops = b.loops[:len(b.loops)-1]
+
+		b.sealBlock(step)
+		b.cur = step
+		next := b.ins(OpAdd, b.readVar(key, step), b.cInt(1))
+		b.writeVar(key, step, next)
+		b.jump(head)
+		b.sealBlock(head)
+		b.sealBlock(exit)
+		b.cur = exit
+		return nil
+
+	case *impala.ReturnStmt:
+		if s.X != nil {
+			v, err := b.buildExpr(s.X)
+			if err != nil {
+				return err
+			}
+			b.ret(v)
+		} else {
+			b.ret(nil)
+		}
+		b.deadBlock()
+		return nil
+
+	case *impala.BreakStmt:
+		b.jump(b.loops[len(b.loops)-1].brk)
+		b.deadBlock()
+		return nil
+
+	case *impala.ContinueStmt:
+		b.jump(b.loops[len(b.loops)-1].cont)
+		b.deadBlock()
+		return nil
+	}
+	return fmt.Errorf("ssa: bad statement %T", s)
+}
+
+func (b *builder) buildExpr(x impala.Expr) (*Value, error) {
+	switch x := x.(type) {
+	case *impala.IntLit:
+		return b.cInt(x.Value), nil
+	case *impala.FloatLit:
+		return b.cFloat(x.Value), nil
+	case *impala.BoolLit:
+		return b.cBool(x.Value), nil
+
+	case *impala.Ident:
+		if ref, ok := b.lookup(x.Name); ok {
+			if ref.kind == cellVar {
+				return b.ins(OpCellLoad, ref.cell), nil
+			}
+			return b.readVar(ref.key, b.cur), nil
+		}
+		if idx, ok := b.globals[x.Name]; ok {
+			v := b.ins(OpCellLoad, b.globalAddr(idx))
+			return v, nil
+		}
+		if _, ok := b.mod.ByName[x.Name]; ok {
+			return b.funcValue(x.Name), nil
+		}
+		return nil, fmt.Errorf("ssa: undefined name %q", x.Name)
+
+	case *impala.UnaryExpr:
+		v, err := b.buildExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "-" {
+			if impala.Equal(x.Ty(), impala.TyF64) {
+				r := b.ins(OpSub, b.cFloat(0), v)
+				r.IsF64 = true
+				return r, nil
+			}
+			return b.ins(OpSub, b.cInt(0), v), nil
+		}
+		return b.ins(OpXor, v, b.cInt(1)), nil
+
+	case *impala.BinaryExpr:
+		if x.Op == "&&" || x.Op == "||" {
+			return b.buildShortCircuit(x)
+		}
+		l, err := b.buildExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.buildExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		v := b.ins(ssaBinOp[x.Op], l, r)
+		v.IsF64 = impala.Equal(x.L.Ty(), impala.TyF64)
+		if impala.Equal(x.Ty(), impala.TyF64) {
+			// arithmetic result class
+			v.IsF64 = true
+		}
+		return v, nil
+
+	case *impala.CallExpr:
+		return b.buildCall(x)
+
+	case *impala.IfExpr:
+		return b.buildIf(x)
+
+	case *impala.BlockExpr:
+		b.push()
+		defer b.pop()
+		for _, s := range x.Stmts {
+			if err := b.buildStmt(s); err != nil {
+				return nil, err
+			}
+		}
+		if x.Tail == nil {
+			return b.cInt(0), nil // unit
+		}
+		return b.buildExpr(x.Tail)
+
+	case *impala.LambdaExpr:
+		return b.makeClosure(x)
+
+	case *impala.ArrayLit:
+		init, err := b.buildExpr(x.Init)
+		if err != nil {
+			return nil, err
+		}
+		n, err := b.buildExpr(x.Len)
+		if err != nil {
+			return nil, err
+		}
+		arr := b.ins(OpArrayNew, n)
+		// Fill loop.
+		key := b.freshKey("$fill")
+		b.writeVar(key, b.cur, b.cInt(0))
+		head := b.f.NewBlock("afill.head")
+		body := b.f.NewBlock("afill.body")
+		exit := b.f.NewBlock("afill.exit")
+		b.jump(head)
+		b.cur = head
+		iv := b.readVar(key, head)
+		b.branch(b.ins(OpLt, iv, n), body, exit)
+		body.sealed = true
+		b.cur = body
+		b.ins(OpArrayStore, arr, b.readVar(key, body), init)
+		b.writeVar(key, body, b.ins(OpAdd, b.readVar(key, body), b.cInt(1)))
+		b.jump(head)
+		b.sealBlock(head)
+		b.sealBlock(exit)
+		b.cur = exit
+		return arr, nil
+
+	case *impala.IndexExpr:
+		arr, err := b.buildExpr(x.Arr)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := b.buildExpr(x.Idx)
+		if err != nil {
+			return nil, err
+		}
+		return b.ins(OpArrayLoad, arr, idx), nil
+
+	case *impala.TupleLit:
+		if len(x.Elems) == 0 {
+			return b.cInt(0), nil // unit
+		}
+		vals := make([]*Value, len(x.Elems))
+		for i, el := range x.Elems {
+			v, err := b.buildExpr(el)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return b.ins(OpTupleNew, vals...), nil
+
+	case *impala.FieldExpr:
+		v, err := b.buildExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		g := b.ins(OpTupleGet, v)
+		g.Index = x.Index
+		return g, nil
+
+	case *impala.CastExpr:
+		v, err := b.buildExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		srcF := impala.Equal(x.X.Ty(), impala.TyF64)
+		dstF := impala.Equal(x.Ty(), impala.TyF64)
+		switch {
+		case srcF == dstF:
+			return v, nil
+		case dstF:
+			r := b.ins(OpCastIF, v)
+			r.IsF64 = true
+			return r, nil
+		default:
+			return b.ins(OpCastFI, v), nil
+		}
+	}
+	return nil, fmt.Errorf("ssa: bad expression %T", x)
+}
+
+func (b *builder) buildShortCircuit(x *impala.BinaryExpr) (*Value, error) {
+	key := b.freshKey("$sc")
+	l, err := b.buildExpr(x.L)
+	if err != nil {
+		return nil, err
+	}
+	rhs := b.f.NewBlock("sc.rhs")
+	short := b.f.NewBlock("sc.short")
+	join := b.f.NewBlock("sc.join")
+	if x.Op == "&&" {
+		b.branch(l, rhs, short)
+	} else {
+		b.branch(l, short, rhs)
+	}
+	rhs.sealed, short.sealed = true, true
+
+	b.cur = short
+	b.writeVar(key, short, b.cBool(x.Op == "||"))
+	b.jump(join)
+
+	b.cur = rhs
+	r, err := b.buildExpr(x.R)
+	if err != nil {
+		return nil, err
+	}
+	b.writeVar(key, b.cur, resolveValue(r))
+	b.jump(join)
+
+	b.sealBlock(join)
+	b.cur = join
+	return b.readVar(key, join), nil
+}
+
+func (b *builder) buildIf(x *impala.IfExpr) (*Value, error) {
+	cond, err := b.buildExpr(x.Cond)
+	if err != nil {
+		return nil, err
+	}
+	thenB := b.f.NewBlock("if.then")
+	elseB := b.f.NewBlock("if.else")
+	join := b.f.NewBlock("if.join")
+	b.branch(cond, thenB, elseB)
+	thenB.sealed, elseB.sealed = true, true
+
+	unit := impala.Equal(x.Ty(), impala.TyUnit)
+	key := b.freshKey("$if")
+
+	b.cur = thenB
+	tv, err := b.buildExpr(x.Then)
+	if err != nil {
+		return nil, err
+	}
+	if !unit && tv != nil {
+		b.writeVar(key, b.cur, resolveValue(tv))
+	} else if !unit {
+		b.writeVar(key, b.cur, b.cInt(0))
+	}
+	b.jump(join)
+
+	b.cur = elseB
+	if x.Else != nil {
+		ev, err := b.buildExpr(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		if !unit && ev != nil {
+			b.writeVar(key, b.cur, resolveValue(ev))
+		} else if !unit {
+			b.writeVar(key, b.cur, b.cInt(0))
+		}
+	} else if !unit {
+		b.writeVar(key, b.cur, b.cInt(0))
+	}
+	b.jump(join)
+
+	b.sealBlock(join)
+	b.cur = join
+	if unit {
+		return b.cInt(0), nil
+	}
+	return b.readVar(key, join), nil
+}
+
+func (b *builder) buildCall(x *impala.CallExpr) (*Value, error) {
+	if id, ok := x.Callee.(*impala.Ident); ok {
+		if _, isVar := b.lookup(id.Name); !isVar {
+			if _, isFn := b.mod.ByName[id.Name]; !isFn {
+				return b.buildBuiltin(x, id)
+			}
+			// Direct call.
+			args := make([]*Value, len(x.Args))
+			for i, a := range x.Args {
+				v, err := b.buildExpr(a)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = v
+			}
+			call := b.ins(OpCall, args...)
+			call.Fn = id.Name
+			call.RetUnit = impala.Equal(x.Ty(), impala.TyUnit)
+			return call, nil
+		}
+	}
+	clo, err := b.buildExpr(x.Callee)
+	if err != nil {
+		return nil, err
+	}
+	args := []*Value{clo}
+	for _, a := range x.Args {
+		v, err := b.buildExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	call := b.ins(OpCallClosure, args...)
+	call.RetUnit = impala.Equal(x.Ty(), impala.TyUnit)
+	return call, nil
+}
+
+func (b *builder) buildBuiltin(x *impala.CallExpr, id *impala.Ident) (*Value, error) {
+	var arg *Value
+	var err error
+	if len(x.Args) > 0 {
+		arg, err = b.buildExpr(x.Args[0])
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch id.Name {
+	case "print":
+		if impala.Equal(x.Args[0].Ty(), impala.TyF64) {
+			return b.ins(OpPrintF, arg), nil
+		}
+		return b.ins(OpPrintI, arg), nil
+	case "print_char":
+		return b.ins(OpPrintC, arg), nil
+	case "len":
+		return b.ins(OpArrayLen, arg), nil
+	}
+	return nil, fmt.Errorf("ssa: undefined function %q", id.Name)
+}
+
+// finalize resolves φ-replacement chains everywhere and prunes replaced φs.
+func finalize(f *Func) {
+	for _, blk := range f.Blocks {
+		live := blk.Phis[:0]
+		for _, phi := range blk.Phis {
+			if phi.replacedBy == nil {
+				for i, a := range phi.Args {
+					phi.Args[i] = resolveValue(a)
+				}
+				live = append(live, phi)
+			}
+		}
+		blk.Phis = live
+		for _, in := range blk.Instrs {
+			for i, a := range in.Args {
+				in.Args[i] = resolveValue(a)
+			}
+		}
+		if blk.Term.Cond != nil {
+			blk.Term.Cond = resolveValue(blk.Term.Cond)
+		}
+		if blk.Term.Val != nil {
+			blk.Term.Val = resolveValue(blk.Term.Val)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package ssa
+
+import "thorin/internal/impala"
+
+// boxedLets returns the mutable let-statements whose variable is referenced
+// from inside a lambda and therefore must live in a heap cell (the classical
+// closure-conversion strategy the baseline uses). The analysis is
+// conservative: any name that occurs free under a lambda boxes every mutable
+// let of that name in the unit.
+func boxedLets(body impala.Expr) map[*impala.LetStmt]bool {
+	inLambda := map[string]bool{}
+	collectLambdaNames(body, 0, inLambda)
+
+	out := map[*impala.LetStmt]bool{}
+	var visitStmt func(s impala.Stmt)
+	var visitExpr func(x impala.Expr)
+	visitStmt = func(s impala.Stmt) {
+		switch s := s.(type) {
+		case *impala.LetStmt:
+			if s.Mut && inLambda[s.Name] {
+				out[s] = true
+			}
+			visitExpr(s.Init)
+		case *impala.AssignStmt:
+			visitExpr(s.Target)
+			visitExpr(s.Value)
+		case *impala.ExprStmt:
+			visitExpr(s.X)
+		case *impala.WhileStmt:
+			visitExpr(s.Cond)
+			visitExpr(s.Body)
+		case *impala.ForStmt:
+			visitExpr(s.Lo)
+			visitExpr(s.Hi)
+			visitExpr(s.Body)
+		case *impala.ReturnStmt:
+			if s.X != nil {
+				visitExpr(s.X)
+			}
+		}
+	}
+	visitExpr = func(x impala.Expr) {
+		walkChildren(x, visitStmt, visitExpr)
+	}
+	visitExpr(body)
+	return out
+}
+
+// collectLambdaNames records every identifier that occurs at lambda depth
+// greater than zero.
+func collectLambdaNames(x impala.Expr, depth int, out map[string]bool) {
+	var visitStmt func(s impala.Stmt)
+	var visitExpr func(x impala.Expr)
+	visitStmt = func(s impala.Stmt) {
+		switch s := s.(type) {
+		case *impala.LetStmt:
+			visitExpr(s.Init)
+		case *impala.AssignStmt:
+			visitExpr(s.Target)
+			visitExpr(s.Value)
+		case *impala.ExprStmt:
+			visitExpr(s.X)
+		case *impala.WhileStmt:
+			visitExpr(s.Cond)
+			visitExpr(s.Body)
+		case *impala.ForStmt:
+			visitExpr(s.Lo)
+			visitExpr(s.Hi)
+			visitExpr(s.Body)
+		case *impala.ReturnStmt:
+			if s.X != nil {
+				visitExpr(s.X)
+			}
+		}
+	}
+	visitExpr = func(x impala.Expr) {
+		switch x := x.(type) {
+		case *impala.Ident:
+			if depth > 0 {
+				out[x.Name] = true
+			}
+		case *impala.LambdaExpr:
+			depth++
+			walkChildren(x, visitStmt, visitExpr)
+			depth--
+			return
+		}
+		walkChildren(x, visitStmt, visitExpr)
+	}
+	visitExpr(x)
+}
+
+// freeNames returns the identifiers that occur free in the lambda's body
+// (not bound by its params or local lets), in first-occurrence order.
+func freeNames(lam *impala.LambdaExpr) []string {
+	bound := []map[string]bool{{}}
+	for _, p := range lam.Params {
+		bound[0][p.Name] = true
+	}
+	isBound := func(name string) bool {
+		for i := len(bound) - 1; i >= 0; i-- {
+			if bound[i][name] {
+				return true
+			}
+		}
+		return false
+	}
+
+	seen := map[string]bool{}
+	var out []string
+	var visitStmt func(s impala.Stmt)
+	var visitExpr func(x impala.Expr)
+	visitStmt = func(s impala.Stmt) {
+		switch s := s.(type) {
+		case *impala.LetStmt:
+			visitExpr(s.Init)
+			bound[len(bound)-1][s.Name] = true
+		case *impala.AssignStmt:
+			visitExpr(s.Target)
+			visitExpr(s.Value)
+		case *impala.ExprStmt:
+			visitExpr(s.X)
+		case *impala.WhileStmt:
+			visitExpr(s.Cond)
+			visitExpr(s.Body)
+		case *impala.ForStmt:
+			visitExpr(s.Lo)
+			visitExpr(s.Hi)
+			bound = append(bound, map[string]bool{s.Name: true})
+			visitExpr(s.Body)
+			bound = bound[:len(bound)-1]
+		case *impala.ReturnStmt:
+			if s.X != nil {
+				visitExpr(s.X)
+			}
+		}
+	}
+	visitExpr = func(x impala.Expr) {
+		switch x := x.(type) {
+		case *impala.Ident:
+			if !isBound(x.Name) && !seen[x.Name] {
+				seen[x.Name] = true
+				out = append(out, x.Name)
+			}
+			return
+		case *impala.BlockExpr:
+			bound = append(bound, map[string]bool{})
+			walkChildren(x, visitStmt, visitExpr)
+			bound = bound[:len(bound)-1]
+			return
+		case *impala.LambdaExpr:
+			inner := map[string]bool{}
+			for _, p := range x.Params {
+				inner[p.Name] = true
+			}
+			bound = append(bound, inner)
+			walkChildren(x, visitStmt, visitExpr)
+			bound = bound[:len(bound)-1]
+			return
+		}
+		walkChildren(x, visitStmt, visitExpr)
+	}
+	visitExpr(lam.Body)
+	return out
+}
+
+// walkChildren applies the visitors to the direct children of x.
+func walkChildren(x impala.Expr, visitStmt func(impala.Stmt), visitExpr func(impala.Expr)) {
+	switch x := x.(type) {
+	case *impala.UnaryExpr:
+		visitExpr(x.X)
+	case *impala.BinaryExpr:
+		visitExpr(x.L)
+		visitExpr(x.R)
+	case *impala.CallExpr:
+		visitExpr(x.Callee)
+		for _, a := range x.Args {
+			visitExpr(a)
+		}
+	case *impala.IfExpr:
+		visitExpr(x.Cond)
+		visitExpr(x.Then)
+		if x.Else != nil {
+			visitExpr(x.Else)
+		}
+	case *impala.BlockExpr:
+		for _, s := range x.Stmts {
+			visitStmt(s)
+		}
+		if x.Tail != nil {
+			visitExpr(x.Tail)
+		}
+	case *impala.LambdaExpr:
+		visitExpr(x.Body)
+	case *impala.ArrayLit:
+		visitExpr(x.Init)
+		visitExpr(x.Len)
+	case *impala.IndexExpr:
+		visitExpr(x.Arr)
+		visitExpr(x.Idx)
+	case *impala.TupleLit:
+		for _, el := range x.Elems {
+			visitExpr(el)
+		}
+	case *impala.FieldExpr:
+		visitExpr(x.X)
+	case *impala.CastExpr:
+		visitExpr(x.X)
+	}
+}

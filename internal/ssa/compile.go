@@ -1,0 +1,379 @@
+package ssa
+
+import (
+	"fmt"
+
+	"thorin/internal/impala"
+	"thorin/internal/vm"
+)
+
+// CompileProgram builds, optimizes (constant folding + dead code
+// elimination) and lowers a checked Impala program through the classical
+// SSA pipeline into VM bytecode.
+func CompileProgram(prog *impala.Program) (*vm.Program, *Module, error) {
+	mod, err := Build(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	Optimize(mod)
+	p, err := CompileModule(mod, "main")
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, mod, nil
+}
+
+// CompileModule lowers an SSA module to bytecode.
+func CompileModule(mod *Module, mainName string) (*vm.Program, error) {
+	prog := &vm.Program{Main: -1}
+	fnIdx := map[string]int{}
+	for i, f := range mod.Funcs {
+		fnIdx[f.Name] = i
+		prog.Funcs = append(prog.Funcs, &vm.Func{Name: f.Name})
+	}
+	for i, f := range mod.Funcs {
+		vf, err := compileFunc(f, fnIdx)
+		if err != nil {
+			return nil, fmt.Errorf("ssa: %s: %w", f.Name, err)
+		}
+		prog.Funcs[i] = vf
+	}
+	idx, ok := fnIdx[mainName]
+	if !ok {
+		return nil, fmt.Errorf("ssa: main function %q not found", mainName)
+	}
+	prog.Main = idx
+	for _, g := range mod.Globals {
+		prog.Globals = append(prog.Globals, vm.Value{I: g.I, F: g.F})
+	}
+	return prog, nil
+}
+
+// vmBlk is a bytecode block under construction.
+type vmBlk struct {
+	name      string
+	paramRegs []int
+	code      []vm.Instr
+	fixes     []blockFix
+}
+
+type blockFix struct {
+	instr int
+	field byte // 'I' = Imm, 'B', 'C'
+	blk   *vmBlk
+}
+
+type fnCompiler struct {
+	f       *Func
+	fnIdx   map[string]int
+	regs    map[*Value]int
+	numRegs int
+	blks    []*vmBlk
+	first   map[*Block]*vmBlk
+	cur     *vmBlk
+}
+
+func compileFunc(f *Func, fnIdx map[string]int) (*vm.Func, error) {
+	c := &fnCompiler{f: f, fnIdx: fnIdx, regs: map[*Value]int{}, first: map[*Block]*vmBlk{}}
+
+	vf := &vm.Func{Name: f.Name}
+	for _, p := range f.Params {
+		r := c.reg(p)
+		vf.ParamRegs = append(vf.ParamRegs, r)
+	}
+	for _, b := range f.Blocks {
+		nb := &vmBlk{name: b.Name}
+		for _, phi := range b.Phis {
+			nb.paramRegs = append(nb.paramRegs, c.reg(phi))
+		}
+		c.blks = append(c.blks, nb)
+		c.first[b] = nb
+	}
+	for _, b := range f.Blocks {
+		if err := c.emitBlock(b); err != nil {
+			return nil, err
+		}
+	}
+
+	// Linearize.
+	starts := map[*vmBlk]int{}
+	idxOf := map[*vmBlk]int{}
+	pc := 0
+	for i, nb := range c.blks {
+		idxOf[nb] = i
+		starts[nb] = pc
+		pc += len(nb.code)
+	}
+	vf.NumRegs = c.numRegs
+	for _, nb := range c.blks {
+		base := len(vf.Code)
+		vf.Blocks = append(vf.Blocks, vm.Block{
+			Name:      nb.name,
+			Start:     base,
+			ParamRegs: nb.paramRegs,
+		})
+		vf.Code = append(vf.Code, nb.code...)
+		for _, fix := range nb.fixes {
+			in := &vf.Code[base+fix.instr]
+			target := int64(idxOf[fix.blk])
+			switch fix.field {
+			case 'I':
+				in.Imm = target
+			case 'B':
+				in.B = int(target)
+			case 'C':
+				in.C = int(target)
+			}
+		}
+	}
+	return vf, nil
+}
+
+func (c *fnCompiler) reg(v *Value) int {
+	v = resolveValue(v)
+	if r, ok := c.regs[v]; ok {
+		return r
+	}
+	r := c.numRegs
+	c.numRegs++
+	c.regs[v] = r
+	return r
+}
+
+func (c *fnCompiler) emit(in vm.Instr) { c.cur.code = append(c.cur.code, in) }
+
+func (c *fnCompiler) fix(field byte, blk *Block) {
+	c.cur.fixes = append(c.cur.fixes, blockFix{
+		instr: len(c.cur.code) - 1, field: field, blk: c.first[blk],
+	})
+}
+
+// newBlk appends a fresh bytecode block (call continuations, edge splits).
+func (c *fnCompiler) newBlk(name string) *vmBlk {
+	nb := &vmBlk{name: name}
+	c.blks = append(c.blks, nb)
+	return nb
+}
+
+var vmArithI = map[Op]vm.Opcode{
+	OpAdd: vm.OpAddI, OpSub: vm.OpSubI, OpMul: vm.OpMulI, OpDiv: vm.OpDivI,
+	OpRem: vm.OpRemI, OpAnd: vm.OpAndI, OpOr: vm.OpOrI, OpXor: vm.OpXorI,
+	OpShl: vm.OpShlI, OpShr: vm.OpShrI,
+	OpEq: vm.OpEqI, OpNe: vm.OpNeI, OpLt: vm.OpLtI, OpLe: vm.OpLeI,
+	OpGt: vm.OpGtI, OpGe: vm.OpGeI,
+}
+
+var vmArithF = map[Op]vm.Opcode{
+	OpAdd: vm.OpAddF, OpSub: vm.OpSubF, OpMul: vm.OpMulF, OpDiv: vm.OpDivF,
+	OpRem: vm.OpRemF,
+	OpEq:  vm.OpEqF, OpNe: vm.OpNeF, OpLt: vm.OpLtF, OpLe: vm.OpLeF,
+	OpGt: vm.OpGtF, OpGe: vm.OpGeF,
+}
+
+func (c *fnCompiler) emitBlock(b *Block) error {
+	c.cur = c.first[b]
+
+	// Tail-call peephole: ret of the block's final call compiles to a tail
+	// call, keeping recursion depth independent of the stack.
+	var tail *Value
+	if b.Term.Kind == TermRet && b.Term.Val != nil {
+		v := resolveValue(b.Term.Val)
+		if len(b.Instrs) > 0 && resolveValue(b.Instrs[len(b.Instrs)-1]) == v &&
+			(v.Op == OpCall || v.Op == OpCallClosure) {
+			tail = v
+		}
+	}
+
+	for _, in := range b.Instrs {
+		if resolveValue(in) == tail {
+			continue // emitted as the terminator
+		}
+		if err := c.emitInstr(in); err != nil {
+			return err
+		}
+	}
+
+	switch b.Term.Kind {
+	case TermJump:
+		c.emitEdge(b, b.Term.To[0], true)
+	case TermBranch:
+		cond := c.reg(b.Term.Cond)
+		c.emit(vm.Instr{Op: vm.OpBr, A: cond})
+		brPos := len(c.cur.code) - 1
+		from := c.cur
+		for i, field := range []byte{'B', 'C'} {
+			target := b.Term.To[i]
+			if len(target.Phis) == 0 {
+				from.fixes = append(from.fixes, blockFix{instr: brPos, field: field, blk: c.first[target]})
+				continue
+			}
+			// Edge split: pass φ arguments through a forwarding block.
+			edge := c.newBlk(fmt.Sprintf("%s.to.%s", b.Name, target.Name))
+			from.fixes = append(from.fixes, blockFix{instr: brPos, field: field, blk: edge})
+			c.cur = edge
+			c.emitEdge(b, target, true)
+			c.cur = from
+		}
+	case TermRet:
+		if tail != nil {
+			return c.emitTailCall(tail)
+		}
+		var args []int
+		if b.Term.Val != nil && !Equalish(c.f.Ret, impala.TyUnit) {
+			args = []int{c.reg(b.Term.Val)}
+		}
+		c.emit(vm.Instr{Op: vm.OpRet, Args: args})
+	default:
+		return fmt.Errorf("block %s missing terminator", b.Name)
+	}
+	return nil
+}
+
+// emitEdge emits the jump from pred block b to target, passing the φ
+// operands belonging to this edge.
+func (c *fnCompiler) emitEdge(b *Block, target *Block, emitJmp bool) {
+	var args []int
+	if len(target.Phis) > 0 {
+		predIdx := -1
+		for i, p := range target.Preds {
+			if p == b {
+				predIdx = i
+				break
+			}
+		}
+		for _, phi := range target.Phis {
+			args = append(args, c.reg(phi.Args[predIdx]))
+		}
+	}
+	c.emit(vm.Instr{Op: vm.OpJmp, Args: args})
+	c.fix('I', target)
+}
+
+func (c *fnCompiler) emitTailCall(v *Value) error {
+	switch v.Op {
+	case OpCall:
+		idx, ok := c.fnIdx[v.Fn]
+		if !ok {
+			return fmt.Errorf("unknown function %q", v.Fn)
+		}
+		c.emit(vm.Instr{Op: vm.OpTailCall, Imm: int64(idx), Args: c.regsOf(v.Args)})
+	case OpCallClosure:
+		c.emit(vm.Instr{Op: vm.OpTailCallClosure, B: c.reg(v.Args[0]), Args: c.regsOf(v.Args[1:])})
+	}
+	return nil
+}
+
+func (c *fnCompiler) regsOf(vals []*Value) []int {
+	out := make([]int, len(vals))
+	for i, v := range vals {
+		out[i] = c.reg(v)
+	}
+	return out
+}
+
+func (c *fnCompiler) emitInstr(in *Value) error {
+	if in.replacedBy != nil {
+		return nil
+	}
+	switch in.Op {
+	case OpConstI:
+		c.emit(vm.Instr{Op: vm.OpConstI, A: c.reg(in), Imm: in.I})
+	case OpConstF:
+		c.emit(vm.Instr{Op: vm.OpConstF, A: c.reg(in), F: in.F})
+	case OpCastIF:
+		c.emit(vm.Instr{Op: vm.OpCastIF, A: c.reg(in), B: c.reg(in.Args[0])})
+	case OpCastFI:
+		c.emit(vm.Instr{Op: vm.OpCastFI, A: c.reg(in), B: c.reg(in.Args[0])})
+
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		table := vmArithI
+		if in.IsF64 || in.Args[0].IsF64 {
+			table = vmArithF
+		}
+		op, ok := table[in.Op]
+		if !ok {
+			return fmt.Errorf("no float variant of %s", in.Op)
+		}
+		c.emit(vm.Instr{Op: op, A: c.reg(in), B: c.reg(in.Args[0]), C: c.reg(in.Args[1])})
+
+	case OpCall:
+		idx, ok := c.fnIdx[in.Fn]
+		if !ok {
+			return fmt.Errorf("unknown function %q", in.Fn)
+		}
+		c.callInstr(in, vm.Instr{Op: vm.OpCall, Imm: int64(idx), Args: c.regsOf(in.Args)})
+
+	case OpCallClosure:
+		c.callInstr(in, vm.Instr{
+			Op: vm.OpCallClosure, B: c.reg(in.Args[0]), Args: c.regsOf(in.Args[1:]),
+		})
+
+	case OpMakeClosure:
+		idx, ok := c.fnIdx[in.Fn]
+		if !ok {
+			return fmt.Errorf("unknown closure code %q", in.Fn)
+		}
+		c.emit(vm.Instr{Op: vm.OpClosureNew, A: c.reg(in), Imm: int64(idx), Args: c.regsOf(in.Args)})
+
+	case OpArrayNew:
+		c.emit(vm.Instr{Op: vm.OpArrayNew, A: c.reg(in), B: c.reg(in.Args[0])})
+	case OpArrayLen:
+		c.emit(vm.Instr{Op: vm.OpArrayLen, A: c.reg(in), B: c.reg(in.Args[0])})
+	case OpArrayLoad:
+		tmp := c.reg(in)
+		ptr := c.scratch()
+		c.emit(vm.Instr{Op: vm.OpLea, A: ptr, B: c.reg(in.Args[0]), C: c.reg(in.Args[1])})
+		c.emit(vm.Instr{Op: vm.OpPtrLoad, A: tmp, B: ptr})
+	case OpArrayStore:
+		ptr := c.scratch()
+		c.emit(vm.Instr{Op: vm.OpLea, A: ptr, B: c.reg(in.Args[0]), C: c.reg(in.Args[1])})
+		c.emit(vm.Instr{Op: vm.OpPtrStore, A: ptr, B: c.reg(in.Args[2])})
+	case OpCellNew:
+		c.emit(vm.Instr{Op: vm.OpSlotNew, A: c.reg(in)})
+		c.emit(vm.Instr{Op: vm.OpPtrStore, A: c.reg(in), B: c.reg(in.Args[0])})
+	case OpGlobalAddr:
+		c.emit(vm.Instr{Op: vm.OpGlobalPtr, A: c.reg(in), Imm: int64(in.Index)})
+	case OpCellLoad:
+		c.emit(vm.Instr{Op: vm.OpPtrLoad, A: c.reg(in), B: c.reg(in.Args[0])})
+	case OpCellStore:
+		c.emit(vm.Instr{Op: vm.OpPtrStore, A: c.reg(in.Args[0]), B: c.reg(in.Args[1])})
+
+	case OpTupleNew:
+		c.emit(vm.Instr{Op: vm.OpTupleNew, A: c.reg(in), Args: c.regsOf(in.Args)})
+	case OpTupleGet:
+		c.emit(vm.Instr{Op: vm.OpTupleGet, A: c.reg(in), B: c.reg(in.Args[0]), Imm: int64(in.Index)})
+
+	case OpPrintI:
+		c.emit(vm.Instr{Op: vm.OpPrintI64, A: c.reg(in.Args[0])})
+	case OpPrintF:
+		c.emit(vm.Instr{Op: vm.OpPrintF64, A: c.reg(in.Args[0])})
+	case OpPrintC:
+		c.emit(vm.Instr{Op: vm.OpPrintChar, A: c.reg(in.Args[0])})
+
+	case OpParam, OpPhi:
+		// Materialized through registers; nothing to emit.
+
+	default:
+		return fmt.Errorf("cannot emit %s", in.Op)
+	}
+	return nil
+}
+
+// callInstr emits a non-tail call: the call terminates the current bytecode
+// block and execution resumes in a fresh continuation block.
+func (c *fnCompiler) callInstr(in *Value, instr vm.Instr) {
+	if !in.RetUnit {
+		instr.Rets = []int{c.reg(in)}
+	}
+	cont := c.newBlk(c.cur.name + ".cont")
+	c.emit(instr)
+	c.cur.fixes = append(c.cur.fixes, blockFix{instr: len(c.cur.code) - 1, field: 'C', blk: cont})
+	c.cur = cont
+}
+
+func (c *fnCompiler) scratch() int {
+	r := c.numRegs
+	c.numRegs++
+	return r
+}

@@ -1,0 +1,179 @@
+package ssa
+
+// Optimize runs the baseline's classical optimizations: local constant
+// folding and global dead-code elimination. (Deliberately no inlining and no
+// higher-order specialization — the comparison point of the evaluation.)
+func Optimize(mod *Module) {
+	for _, f := range mod.Funcs {
+		foldConstants(f)
+		eliminateDeadCode(f)
+		sinkReturns(f)
+	}
+}
+
+// sinkReturns duplicates a trivial return block into its jump predecessors:
+// `ret φ(a, b)` becomes `ret a` / `ret b` at the predecessors. This exposes
+// tail calls (ret of a call) to the code generator — the classical
+// transformation every serious SSA backend performs.
+func sinkReturns(f *Func) {
+	for rounds := 0; rounds < 8; rounds++ {
+		changed := false
+		for _, b := range f.Blocks {
+			if b.Term.Kind != TermRet || len(b.Instrs) != 0 {
+				continue
+			}
+			v := b.Term.Val
+			for i := len(b.Preds) - 1; i >= 0; i-- {
+				p := b.Preds[i]
+				if p == b || p.Term.Kind != TermJump {
+					continue
+				}
+				pv := v
+				if v != nil {
+					if rv := resolveValue(v); rv.Op == OpPhi && rv.Block == b {
+						pv = resolveValue(rv.Args[i])
+					}
+				}
+				p.Term = Terminator{Kind: TermRet, Val: pv}
+				// Unlink the edge: drop pred i and every φ's i-th argument.
+				b.Preds = append(b.Preds[:i], b.Preds[i+1:]...)
+				for _, phi := range b.Phis {
+					if phi.replacedBy == nil && len(phi.Args) > i {
+						phi.Args = append(phi.Args[:i], phi.Args[i+1:]...)
+					}
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func foldConstants(f *Func) {
+	changed := true
+	for rounds := 0; changed && rounds < 8; rounds++ {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if fold(in) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func fold(in *Value) bool {
+	if len(in.Args) != 2 {
+		return false
+	}
+	a, b := resolveValue(in.Args[0]), resolveValue(in.Args[1])
+	if a.Op != OpConstI || b.Op != OpConstI {
+		return false // float folding skipped: keeps bit-exactness trivial
+	}
+	var r int64
+	switch in.Op {
+	case OpAdd:
+		r = a.I + b.I
+	case OpSub:
+		r = a.I - b.I
+	case OpMul:
+		r = a.I * b.I
+	case OpAnd:
+		r = a.I & b.I
+	case OpOr:
+		r = a.I | b.I
+	case OpXor:
+		r = a.I ^ b.I
+	case OpShl:
+		r = a.I << (uint64(b.I) & 63)
+	case OpShr:
+		r = a.I >> (uint64(b.I) & 63)
+	case OpDiv:
+		if b.I == 0 {
+			return false
+		}
+		r = a.I / b.I
+	case OpRem:
+		if b.I == 0 {
+			return false
+		}
+		r = a.I % b.I
+	case OpEq:
+		r = b2i(a.I == b.I)
+	case OpNe:
+		r = b2i(a.I != b.I)
+	case OpLt:
+		r = b2i(a.I < b.I)
+	case OpLe:
+		r = b2i(a.I <= b.I)
+	case OpGt:
+		r = b2i(a.I > b.I)
+	case OpGe:
+		r = b2i(a.I >= b.I)
+	default:
+		return false
+	}
+	in.Op = OpConstI
+	in.I = r
+	in.Args = nil
+	in.Fn = ""
+	return true
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// eliminateDeadCode removes instructions and φs whose values are never used
+// and that have no side effects.
+func eliminateDeadCode(f *Func) {
+	live := map[*Value]bool{}
+	var mark func(v *Value)
+	mark = func(v *Value) {
+		v = resolveValue(v)
+		if live[v] {
+			return
+		}
+		live[v] = true
+		for _, a := range v.Args {
+			mark(a)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.HasSideEffect() {
+				mark(in)
+			}
+		}
+		if b.Term.Cond != nil {
+			mark(b.Term.Cond)
+		}
+		if b.Term.Val != nil {
+			mark(b.Term.Val)
+		}
+	}
+	// φs keep each other alive through their arguments; a fixpoint over the
+	// marking above already handles that because mark is transitive.
+	for _, b := range f.Blocks {
+		instrs := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if live[resolveValue(in)] || in.Op.HasSideEffect() {
+				instrs = append(instrs, in)
+			}
+		}
+		b.Instrs = instrs
+		phis := b.Phis[:0]
+		for _, phi := range b.Phis {
+			if live[resolveValue(phi)] {
+				phis = append(phis, phi)
+			}
+		}
+		b.Phis = phis
+	}
+}

@@ -1,0 +1,282 @@
+// Package ssa implements the baseline comparator of the evaluation: a
+// classical control-flow-graph IR in SSA form with explicit φ-functions,
+// built directly from the Impala AST with the algorithm of Braun et al.
+// (the paper the Thorin frontend's on-the-fly construction is based on).
+//
+// Unlike the Thorin pipeline, this backend treats functions as second-class:
+// every first-class function value becomes a heap-allocated closure record
+// and every call through a variable an indirect call — the higher-order
+// overhead that lambda mangling eliminates in the graph IR.
+package ssa
+
+import (
+	"fmt"
+	"strings"
+
+	"thorin/internal/impala"
+)
+
+// Op enumerates SSA instruction operations.
+type Op uint8
+
+// Instruction operations.
+const (
+	OpInvalid Op = iota
+	OpParam      // function parameter
+	OpConstI     // I payload
+	OpConstF     // F payload
+	OpPhi        // one arg per predecessor, in Preds order
+
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+
+	OpCastIF
+	OpCastFI
+
+	OpCall        // direct call: Fn names the callee; args are the values
+	OpCallClosure // args[0] is the closure
+	OpMakeClosure // Fn names the code; args are the captured environment
+	OpArrayNew    // args[0] = length
+	OpArrayLen    // args[0] = array
+	OpArrayLoad   // args[0] = array, args[1] = index
+	OpArrayStore  // args[0] = array, args[1] = index, args[2] = value
+	OpCellNew     // heap cell for captured mutable variables; args[0] = init
+	OpCellLoad    // args[0] = cell
+	OpCellStore   // args[0] = cell, args[1] = value
+	OpGlobalAddr  // pointer to global cell Index
+	OpTupleNew
+	OpTupleGet // Index payload
+	OpPrintI
+	OpPrintF
+	OpPrintC
+)
+
+var opNames = map[Op]string{
+	OpParam: "param", OpConstI: "const", OpConstF: "constf", OpPhi: "φ",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+	OpCastIF: "i2f", OpCastFI: "f2i",
+	OpCall: "call", OpCallClosure: "callc", OpMakeClosure: "mkclosure",
+	OpArrayNew: "anew", OpArrayLen: "alen", OpArrayLoad: "aload",
+	OpArrayStore: "astore", OpCellNew: "cellnew", OpCellLoad: "cellload",
+	OpCellStore: "cellstore", OpGlobalAddr: "gaddr",
+	OpTupleNew: "tuple", OpTupleGet: "tupleget",
+	OpPrintI: "printi", OpPrintF: "printf", OpPrintC: "printc",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// HasSideEffect reports whether the instruction cannot be removed even if
+// its value is unused.
+func (o Op) HasSideEffect() bool {
+	switch o {
+	case OpCall, OpCallClosure, OpArrayStore, OpCellStore,
+		OpPrintI, OpPrintF, OpPrintC, OpDiv, OpRem:
+		// Div/Rem can trap; keep them.
+		return true
+	}
+	return false
+}
+
+// Value is one SSA value: a parameter, constant, φ, or instruction.
+type Value struct {
+	ID      int
+	Op      Op
+	Args    []*Value
+	Block   *Block
+	I       int64
+	F       float64
+	Fn      string // callee / closure code for OpCall and OpMakeClosure
+	Index   int    // payload for OpTupleGet
+	Name    string // debug
+	IsF64   bool   // numeric class for arithmetic/comparison selection
+	RetUnit bool   // for calls: the callee returns no value
+
+	// Braun-construction bookkeeping.
+	phiUsers   []*Value
+	replacedBy *Value
+}
+
+// resolveValue follows trivial-φ replacement chains.
+func resolveValue(v *Value) *Value {
+	for v.replacedBy != nil {
+		v = v.replacedBy
+	}
+	return v
+}
+
+func (v *Value) String() string { return fmt.Sprintf("v%d", v.ID) }
+
+// TermKind discriminates block terminators.
+type TermKind uint8
+
+// Terminator kinds.
+const (
+	TermNone TermKind = iota
+	TermJump
+	TermBranch
+	TermRet
+)
+
+// Terminator ends a block.
+type Terminator struct {
+	Kind TermKind
+	Cond *Value
+	To   []*Block // Jump: 1, Branch: 2 (true, false)
+	Val  *Value   // Ret (nil for unit)
+}
+
+// Block is a basic block.
+type Block struct {
+	ID      int
+	Name    string
+	Phis    []*Value
+	Instrs  []*Value
+	Term    Terminator
+	Preds   []*Block
+	sealed  bool
+	defs    map[string]*Value // current definition per variable (Braun)
+	incPhis map[string]*Value // incomplete φs awaiting sealing
+}
+
+// Func is one SSA function.
+type Func struct {
+	Name      string
+	Params    []*Value
+	NumEnv    int // trailing params that receive closure environment
+	Blocks    []*Block
+	Ret       impala.Type
+	nextValue int
+	nextBlock int
+}
+
+// GlobalInit is the initial value of one global cell.
+type GlobalInit struct {
+	Name string
+	I    int64
+	F    float64
+}
+
+// Module is a compiled program.
+type Module struct {
+	Funcs   []*Func
+	ByName  map[string]*Func
+	Globals []GlobalInit
+}
+
+// NewBlock appends a fresh block to f.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{
+		ID:      f.nextBlock,
+		Name:    fmt.Sprintf("%s%d", name, f.nextBlock),
+		defs:    map[string]*Value{},
+		incPhis: map[string]*Value{},
+	}
+	f.nextBlock++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+func (f *Func) newValue(op Op, args ...*Value) *Value {
+	v := &Value{ID: f.nextValue, Op: op, Args: args}
+	f.nextValue++
+	return v
+}
+
+// NumPhis counts φ-functions (the Table 3 metric).
+func (f *Func) NumPhis() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Phis)
+	}
+	return n
+}
+
+// NumInstrs counts instructions including φs and terminators.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Phis) + len(b.Instrs) + 1
+	}
+	return n
+}
+
+// String renders the function for debugging.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s:%s", p, p.Name)
+	}
+	sb.WriteString(")\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:", b.Name)
+		if len(b.Preds) > 0 {
+			fmt.Fprintf(&sb, " ; preds:")
+			for _, p := range b.Preds {
+				fmt.Fprintf(&sb, " %s", p.Name)
+			}
+		}
+		sb.WriteString("\n")
+		for _, phi := range b.Phis {
+			fmt.Fprintf(&sb, "  %s = φ", phi)
+			for _, a := range phi.Args {
+				fmt.Fprintf(&sb, " %s", a)
+			}
+			sb.WriteString("\n")
+		}
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s = %s", in, in.Op)
+			for _, a := range in.Args {
+				fmt.Fprintf(&sb, " %s", a)
+			}
+			if in.Op == OpConstI {
+				fmt.Fprintf(&sb, " %d", in.I)
+			}
+			if in.Op == OpConstF {
+				fmt.Fprintf(&sb, " %g", in.F)
+			}
+			if in.Fn != "" {
+				fmt.Fprintf(&sb, " @%s", in.Fn)
+			}
+			sb.WriteString("\n")
+		}
+		switch b.Term.Kind {
+		case TermJump:
+			fmt.Fprintf(&sb, "  jmp %s\n", b.Term.To[0].Name)
+		case TermBranch:
+			fmt.Fprintf(&sb, "  br %s ? %s : %s\n", b.Term.Cond, b.Term.To[0].Name, b.Term.To[1].Name)
+		case TermRet:
+			if b.Term.Val != nil {
+				fmt.Fprintf(&sb, "  ret %s\n", b.Term.Val)
+			} else {
+				fmt.Fprintf(&sb, "  ret\n")
+			}
+		}
+	}
+	return sb.String()
+}

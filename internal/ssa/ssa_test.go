@@ -1,0 +1,278 @@
+package ssa
+
+import (
+	"strings"
+	"testing"
+
+	"thorin/internal/impala"
+	"thorin/internal/vm"
+)
+
+func compileSrc(t *testing.T, src string) (*vm.Program, *Module) {
+	t.Helper()
+	prog, err := impala.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := impala.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	p, mod, err := CompileProgram(prog)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p, mod
+}
+
+func runSrc(t *testing.T, src string, args ...int64) (int64, vm.Counters) {
+	t.Helper()
+	p, _ := compileSrc(t, src)
+	m := vm.New(p, nil)
+	m.MaxSteps = 1_000_000_000
+	vals := make([]vm.Value, len(args))
+	for i, a := range args {
+		vals[i] = vm.Value{I: a}
+	}
+	res, err := m.Run(vals...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res) == 0 {
+		return 0, m.Counters
+	}
+	return res[0].I, m.Counters
+}
+
+func TestSSAArithmetic(t *testing.T) {
+	if got, _ := runSrc(t, `fn main() -> i64 { (3 + 4) * 5 - 100 / 4 % 7 }`); got != 31 {
+		t.Errorf("got %d, want 31", got)
+	}
+}
+
+func TestSSALoop(t *testing.T) {
+	src := `fn main(n: i64) -> i64 {
+		let mut s = 0;
+		let mut i = 0;
+		while i < n { s = s + i; i = i + 1; }
+		s
+	}`
+	if got, _ := runSrc(t, src, 100); got != 4950 {
+		t.Errorf("got %d, want 4950", got)
+	}
+}
+
+func TestSSAPhiPlacement(t *testing.T) {
+	// A while loop over two mutable variables needs exactly two φs at the
+	// header (pruned, minimal SSA — the Braun et al. guarantee).
+	src := `fn main(n: i64) -> i64 {
+		let mut s = 0;
+		let mut i = 0;
+		while i < n { s = s + i; i = i + 1; }
+		s
+	}`
+	_, mod := compileSrc(t, src)
+	main := mod.ByName["main"]
+	if got := main.NumPhis(); got != 2 {
+		t.Errorf("φ count = %d, want 2\n%s", got, main)
+	}
+}
+
+func TestSSANoPhiForStraightLine(t *testing.T) {
+	src := `fn main(n: i64) -> i64 { let mut x = n; x = x + 1; x = x * 2; x }`
+	_, mod := compileSrc(t, src)
+	if got := mod.ByName["main"].NumPhis(); got != 0 {
+		t.Errorf("straight-line code needs no φs, got %d", got)
+	}
+}
+
+func TestSSAIfPhi(t *testing.T) {
+	src := `fn main(n: i64) -> i64 { if n > 0 { n } else { -n } }`
+	_, mod := compileSrc(t, src)
+	main := mod.ByName["main"]
+	if got := main.NumPhis(); got != 1 {
+		t.Errorf("diamond needs exactly 1 φ, got %d\n%s", got, main)
+	}
+	if got, _ := runSrc(t, src, -9); got != 9 {
+		t.Errorf("abs: got %d", got)
+	}
+}
+
+func TestSSARecursionAndCalls(t *testing.T) {
+	src := `
+fn fib(n: i64) -> i64 { if n < 2 { n } else { fib(n-1) + fib(n-2) } }
+fn main(n: i64) -> i64 { fib(n) }`
+	if got, _ := runSrc(t, src, 20); got != 6765 {
+		t.Errorf("fib(20) = %d", got)
+	}
+}
+
+func TestSSATailCallPeephole(t *testing.T) {
+	src := `
+fn count(i: i64, n: i64, acc: i64) -> i64 {
+	if i >= n { acc } else { count(i + 1, n, acc + i) }
+}
+fn main(n: i64) -> i64 { count(0, n, 0) }`
+	got, c := runSrc(t, src, 200000)
+	if got != 19999900000 {
+		t.Errorf("got %d", got)
+	}
+	if c.MaxStackDepth > 4 {
+		t.Errorf("tail recursion must not grow the stack, depth %d", c.MaxStackDepth)
+	}
+}
+
+func TestSSAClosuresAlwaysIndirect(t *testing.T) {
+	src := `
+fn apply(f: fn(i64) -> i64, x: i64) -> i64 { f(x) }
+fn main(n: i64) -> i64 { apply(|v: i64| v * v, n) }`
+	got, c := runSrc(t, src, 12)
+	if got != 144 {
+		t.Errorf("got %d", got)
+	}
+	if c.ClosureAllocs == 0 || c.IndirectCalls == 0 {
+		t.Errorf("baseline must pay closure overhead: %+v", c)
+	}
+}
+
+func TestSSAClosureCapture(t *testing.T) {
+	src := `
+fn main(n: i64) -> i64 {
+	let add = |y: i64| y + n;
+	add(1) + add(2)
+}`
+	if got, _ := runSrc(t, src, 10); got != 23 {
+		t.Errorf("got %d, want 23", got)
+	}
+}
+
+func TestSSAMutableCapture(t *testing.T) {
+	src := `
+fn main() -> i64 {
+	let mut total = 0;
+	let bump = |v: i64| { total = total + v; };
+	bump(3);
+	bump(4);
+	total
+}`
+	if got, _ := runSrc(t, src); got != 7 {
+		t.Errorf("got %d, want 7", got)
+	}
+	// The captured mutable must be boxed.
+	_, mod := compileSrc(t, src)
+	found := false
+	for _, b := range mod.ByName["main"].Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpCellNew {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("captured mutable variable must be boxed in a cell")
+	}
+}
+
+func TestSSAUncapturedMutNotBoxed(t *testing.T) {
+	src := `fn main(n: i64) -> i64 { let mut x = n; x = x + 1; x }`
+	_, mod := compileSrc(t, src)
+	for _, b := range mod.ByName["main"].Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpCellNew {
+				t.Fatal("uncaptured mutable must stay in SSA registers")
+			}
+		}
+	}
+}
+
+func TestSSAArraysAndFor(t *testing.T) {
+	src := `fn main(n: i64) -> i64 {
+		let a = [0; n];
+		for i in 0 .. n { a[i] = i * i; }
+		let mut s = 0;
+		for i in 0 .. len(a) { s = s + a[i]; }
+		s
+	}`
+	if got, _ := runSrc(t, src, 10); got != 285 {
+		t.Errorf("got %d, want 285", got)
+	}
+}
+
+func TestSSABreakContinue(t *testing.T) {
+	src := `fn main() -> i64 {
+		let mut s = 0;
+		for i in 0 .. 100 {
+			if i % 2 == 0 { continue; }
+			if i > 20 { break; }
+			s = s + i;
+		}
+		s
+	}`
+	if got, _ := runSrc(t, src); got != 100 {
+		t.Errorf("got %d, want 100", got)
+	}
+}
+
+func TestSSAConstantFolding(t *testing.T) {
+	src := `fn main() -> i64 { 2 * 3 + 4 * 5 }`
+	_, mod := compileSrc(t, src)
+	for _, b := range mod.ByName["main"].Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpAdd || in.Op == OpMul {
+				t.Error("constants must fold")
+			}
+		}
+	}
+	if got, _ := runSrc(t, src); got != 26 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestSSADeadCodeElimination(t *testing.T) {
+	src := `fn main(n: i64) -> i64 { let unused = n * 17; n }`
+	_, mod := compileSrc(t, src)
+	for _, b := range mod.ByName["main"].Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpMul {
+				t.Error("dead mul must be eliminated")
+			}
+		}
+	}
+}
+
+func TestSSATuples(t *testing.T) {
+	src := `
+fn divmod(a: i64, b: i64) -> (i64, i64) { (a / b, a % b) }
+fn main() -> i64 { let r = divmod(17, 5); r.0 * 100 + r.1 }`
+	if got, _ := runSrc(t, src); got != 302 {
+		t.Errorf("got %d, want 302", got)
+	}
+}
+
+func TestSSAPrint(t *testing.T) {
+	p, _ := compileSrc(t, `fn main() -> i64 { print(5); print_char('!'); print_char('\n'); 0 }`)
+	var sb strings.Builder
+	m := vm.New(p, &sb)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "5\n!\n" {
+		t.Fatalf("output %q", sb.String())
+	}
+}
+
+func TestSSAFloats(t *testing.T) {
+	src := `fn main() -> i64 { ((1.5 + 2.25) * 4.0) as i64 }`
+	if got, _ := runSrc(t, src); got != 15 {
+		t.Errorf("got %d, want 15", got)
+	}
+}
+
+func TestSSAStringer(t *testing.T) {
+	_, mod := compileSrc(t, `fn main(n: i64) -> i64 { if n > 0 { n } else { 0 } }`)
+	s := mod.ByName["main"].String()
+	for _, want := range []string{"func main", "entry", "br", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("dump missing %q:\n%s", want, s)
+		}
+	}
+}

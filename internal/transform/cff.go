@@ -1,0 +1,162 @@
+package transform
+
+import (
+	"fmt"
+
+	"thorin/internal/analysis"
+	"thorin/internal/ir"
+)
+
+// CFFStats reports the outcome of control-flow-form conversion.
+type CFFStats struct {
+	Specialized int  // higher-order call sites specialized away
+	Saturated   bool // budget exhausted before reaching a fixed point
+}
+
+// maxCFFSpecializations bounds code growth; conversion to control-flow form
+// does not terminate for programs that fabricate unboundedly many distinct
+// continuations.
+const maxCFFSpecializations = 4096
+
+// LowerToCFF converts the program towards control-flow form (the paper's
+// lambda-dropping step): every call that passes a statically known
+// continuation to a higher-order (non-return) parameter is rewritten to call
+// a specialized copy of the callee in which that parameter is dropped.
+//
+// After a successful run every residual continuation is either a basic block
+// (first-order params only) or a global function (first-order params plus a
+// return continuation) — the forms a classical SSA backend can consume.
+func LowerToCFF(w *ir.World) CFFStats {
+	var stats CFFStats
+	cache := map[string]*ir.Continuation{}
+
+	// Worklist of call sites to inspect; rewriting a jump enqueues the new
+	// callee's scope instead of rescanning the whole world each round, so
+	// conversion cost is proportional to the code it actually touches.
+	work := append([]*ir.Continuation(nil), w.Continuations()...)
+	inWork := map[*ir.Continuation]bool{}
+	for _, c := range work {
+		inWork[c] = true
+	}
+	push := func(c *ir.Continuation) {
+		if !inWork[c] {
+			inWork[c] = true
+			work = append(work, c)
+		}
+	}
+
+	for len(work) > 0 {
+		caller := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[caller] = false
+		if !caller.HasBody() {
+			continue
+		}
+		callee, ok := caller.Callee().(*ir.Continuation)
+		if !ok || !callee.HasBody() || callee.IsIntrinsic() || callee.NoInline {
+			continue
+		}
+		args := droppableArgs(callee, caller.Args())
+		if args == nil {
+			continue
+		}
+		if stats.Specialized >= maxCFFSpecializations {
+			stats.Saturated = true
+			break
+		}
+		key := specKey(callee, args)
+		spec, ok := cache[key]
+		if !ok {
+			spec = Drop(analysis.NewScope(callee), args)
+			spec.SetName(callee.Name() + ".cff")
+			cache[key] = spec
+			// The copy may itself contain higher-order calls.
+			for _, c := range analysis.NewScope(spec).Conts {
+				push(c)
+			}
+		}
+		var kept []ir.Def
+		for i, a := range caller.Args() {
+			if args[i] == nil {
+				kept = append(kept, a)
+			}
+		}
+		caller.Jump(spec, kept...)
+		stats.Specialized++
+		push(caller) // the rewritten jump may be specializable again
+	}
+	Cleanup(w)
+	return stats
+}
+
+// droppableArgs returns a specialization vector for a call to callee, or nil
+// if the call has no higher-order parameter bound to a known continuation.
+// The trailing return-continuation position is exempt: return continuations
+// are permitted by control-flow form and handled by the calling convention.
+func droppableArgs(callee *ir.Continuation, args []ir.Def) []ir.Def {
+	ft := callee.FnType()
+	if len(args) != len(ft.Params) {
+		return nil
+	}
+	out := make([]ir.Def, len(args))
+	any := false
+	for i, pt := range ft.Params {
+		if ir.Order(pt) == 0 {
+			continue
+		}
+		if i == len(ft.Params)-1 && ir.IsRetContType(pt) {
+			continue // conventional return continuation
+		}
+		if c, ok := args[i].(*ir.Continuation); ok && !c.IsIntrinsic() {
+			out[i] = c
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+func specKey(callee *ir.Continuation, args []ir.Def) string {
+	key := fmt.Sprintf("%d", callee.GID())
+	for i, a := range args {
+		if a != nil {
+			key += fmt.Sprintf(":%d=%d", i, a.GID())
+		}
+	}
+	return key
+}
+
+// InCFF reports whether every continuation of the world with a body is in
+// control-flow form (basic block or returning function per the paper's
+// definition).
+func InCFF(w *ir.World) bool {
+	for _, c := range w.Continuations() {
+		if !c.HasBody() && !c.IsIntrinsic() && !c.IsExtern() {
+			continue
+		}
+		if c.IsIntrinsic() {
+			continue
+		}
+		if !ir.IsCFFType(c.FnType()) {
+			return false
+		}
+	}
+	return true
+}
+
+// HigherOrderConts returns the continuations whose type violates
+// control-flow form (the metric of Table 2).
+func HigherOrderConts(w *ir.World) []*ir.Continuation {
+	var out []*ir.Continuation
+	for _, c := range w.Continuations() {
+		if c.IsIntrinsic() {
+			continue
+		}
+		if !ir.IsCFFType(c.FnType()) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package transform
+
+import (
+	"thorin/internal/analysis"
+	"thorin/internal/ir"
+)
+
+// CleanupStats reports what a cleanup round removed or rewired.
+type CleanupStats struct {
+	RemovedConts int // unreachable continuations deleted
+	EtaReduced   int // continuations replaced by their eta-equal callee
+	DeadParams   int // parameters eliminated
+}
+
+// Cleanup removes continuations unreachable from the extern roots,
+// eta-reduces forwarder continuations, and eliminates dead parameters. It
+// iterates to a fixed point.
+func Cleanup(w *ir.World) CleanupStats {
+	var total CleanupStats
+	for round := 0; round < 32; round++ {
+		s := cleanupRound(w)
+		total.RemovedConts += s.RemovedConts
+		total.EtaReduced += s.EtaReduced
+		total.DeadParams += s.DeadParams
+		if s == (CleanupStats{}) {
+			break
+		}
+	}
+	return total
+}
+
+func cleanupRound(w *ir.World) CleanupStats {
+	var stats CleanupStats
+	stats.EtaReduced = etaReduce(w)
+	stats.DeadParams = eliminateDeadParams(w)
+	stats.RemovedConts = sweepUnreachable(w)
+	return stats
+}
+
+// sweepUnreachable removes every continuation not reachable from an extern
+// root through operand edges.
+func sweepUnreachable(w *ir.World) int {
+	reachable := map[*ir.Continuation]bool{}
+	seen := map[ir.Def]bool{}
+	var visitDef func(d ir.Def)
+	var visitCont func(c *ir.Continuation)
+	visitDef = func(d ir.Def) {
+		if seen[d] {
+			return
+		}
+		seen[d] = true
+		switch d := d.(type) {
+		case *ir.Continuation:
+			visitCont(d)
+		case *ir.PrimOp:
+			for _, op := range d.Ops() {
+				visitDef(op)
+			}
+		}
+	}
+	visitCont = func(c *ir.Continuation) {
+		if reachable[c] {
+			return
+		}
+		reachable[c] = true
+		for _, op := range c.Ops() {
+			visitDef(op)
+		}
+	}
+	for _, c := range w.Externs() {
+		visitCont(c)
+	}
+
+	var dead []*ir.Continuation
+	for _, c := range w.Continuations() {
+		if !reachable[c] {
+			dead = append(dead, c)
+		}
+	}
+	for _, c := range dead {
+		c.Unset()
+		w.RemoveContinuation(c)
+	}
+	return len(dead)
+}
+
+// etaReduce replaces continuations of the shape k(p0..pn) = g(p0..pn) with g
+// itself wherever k is referenced.
+func etaReduce(w *ir.World) int {
+	n := 0
+	for _, k := range append([]*ir.Continuation(nil), w.Continuations()...) {
+		if k.IsExtern() || k.IsIntrinsic() || !k.HasBody() {
+			continue
+		}
+		if k.NumArgs() != k.NumParams() {
+			continue
+		}
+		callee := k.Callee()
+		if callee == k {
+			continue
+		}
+		if c, ok := callee.(*ir.Continuation); ok && c.IsIntrinsic() {
+			continue
+		}
+		match := true
+		for i, a := range k.Args() {
+			// Each param must be forwarded in place and must have no other
+			// use: if the callee's scope referenced k's params in any other
+			// way, replacing k would leave those references dangling.
+			if a != k.Param(i) || k.Param(i).NumUses() != 1 {
+				match = false
+				break
+			}
+		}
+		if !match || k.NumUses() == 0 {
+			continue
+		}
+		// If the replacement is not itself a continuation (e.g. a return
+		// parameter), k may only be replaced at callee positions: branch
+		// targets and value uses need a real continuation.
+		if _, isCont := callee.(*ir.Continuation); !isCont {
+			calleeOnly := true
+			for _, u := range k.Uses() {
+				if u.Index != 0 {
+					calleeOnly = false
+					break
+				}
+				if _, ok := u.Def.(*ir.Continuation); !ok {
+					calleeOnly = false
+					break
+				}
+			}
+			if !calleeOnly {
+				continue
+			}
+		}
+		ReplaceUses(w, k, callee)
+		k.Unset()
+		n++
+	}
+	return n
+}
+
+// eliminateDeadParams drops parameters without uses from continuations whose
+// every use is a direct call.
+func eliminateDeadParams(w *ir.World) int {
+	n := 0
+	for _, c := range append([]*ir.Continuation(nil), w.Continuations()...) {
+		if c.IsExtern() || c.IsIntrinsic() || !c.HasBody() || c.NumUses() == 0 {
+			continue
+		}
+		var deadIdx []int
+		for i, p := range c.Params() {
+			if p.NumUses() == 0 {
+				deadIdx = append(deadIdx, i)
+			}
+		}
+		if len(deadIdx) == 0 {
+			continue
+		}
+		directOnly := true
+		for _, u := range c.Uses() {
+			user, ok := u.Def.(*ir.Continuation)
+			if !ok || u.Index != 0 {
+				directOnly = false
+				break
+			}
+			_ = user
+		}
+		if !directOnly {
+			continue
+		}
+
+		// Normalize every call site's argument at a dead position to bottom
+		// so the recursive-call rewiring inside Mangle fires.
+		args := make([]ir.Def, c.NumParams())
+		for _, i := range deadIdx {
+			args[i] = w.Bottom(c.Param(i).Type())
+		}
+		for _, u := range c.Uses() {
+			caller := u.Def.(*ir.Continuation)
+			newArgs := append([]ir.Def(nil), caller.Args()...)
+			for _, i := range deadIdx {
+				newArgs[i] = args[i]
+			}
+			caller.Jump(c, newArgs...)
+		}
+
+		slim := Drop(analysis.NewScope(c), args)
+		slim.SetName(c.Name())
+		for _, u := range c.Uses() {
+			caller := u.Def.(*ir.Continuation)
+			var kept []ir.Def
+			for i, a := range caller.Args() {
+				if args[i] == nil {
+					kept = append(kept, a)
+				}
+			}
+			caller.Jump(slim, kept...)
+		}
+		n += len(deadIdx)
+	}
+	return n
+}

@@ -1,0 +1,93 @@
+package transform
+
+import (
+	"thorin/internal/analysis"
+	"thorin/internal/ir"
+)
+
+// Contify turns functions whose every call site passes the *same* return
+// continuation into local control flow of that continuation's scope: the
+// return parameter is dropped (one more instance of lambda mangling), so the
+// function's "returns" become direct jumps and the callee fuses into the
+// caller's control-flow graph.
+//
+// This is the classical contification optimization; in the mangling
+// framework it is a one-call specialization.
+func Contify(w *ir.World) int {
+	n := 0
+	for round := 0; round < 8; round++ {
+		changed := false
+		for _, f := range append([]*ir.Continuation(nil), w.Continuations()...) {
+			if f.IsExtern() || f.IsIntrinsic() || !f.HasBody() || !f.IsReturning() {
+				continue
+			}
+			k := commonRetArg(f)
+			if k == nil {
+				continue
+			}
+			// Specialize the return parameter to k. Recursive calls passing
+			// k are rewired to the specialized entry by Mangle itself.
+			args := make([]ir.Def, f.NumParams())
+			args[f.NumParams()-1] = k
+			spec := Drop(analysis.NewScope(f), args)
+			spec.SetName(f.Name() + ".cont")
+			for _, u := range f.Uses() {
+				caller, ok := u.Def.(*ir.Continuation)
+				if !ok || u.Index != 0 {
+					continue
+				}
+				kept := caller.Args()[:caller.NumArgs()-1]
+				caller.Jump(spec, kept...)
+			}
+			n++
+			changed = true
+		}
+		if !changed {
+			break
+		}
+		Cleanup(w)
+	}
+	return n
+}
+
+// commonRetArg returns the single continuation passed as f's return argument
+// at every external call site, or nil if call sites disagree, any use is not
+// a direct call, or the continuation is not viable (an intrinsic).
+// Recursive call sites inside f's own scope that forward f's ret param are
+// ignored — they stay self-recursive after specialization.
+func commonRetArg(f *ir.Continuation) *ir.Continuation {
+	uses := f.Uses()
+	if len(uses) == 0 {
+		return nil
+	}
+	var common *ir.Continuation
+	external := 0
+	for _, u := range uses {
+		caller, ok := u.Def.(*ir.Continuation)
+		if !ok || u.Index != 0 {
+			return nil // escapes as a value
+		}
+		if caller.NumArgs() != f.NumParams() {
+			return nil
+		}
+		last := caller.Arg(caller.NumArgs() - 1)
+		if p, ok := last.(*ir.Param); ok && p == f.RetParam() {
+			// A self-recursive tail call; neutral.
+			continue
+		}
+		k, ok := last.(*ir.Continuation)
+		if !ok || k.IsIntrinsic() {
+			return nil
+		}
+		if common == nil {
+			common = k
+		} else if common != k {
+			return nil
+		}
+		external++
+	}
+	if external == 0 {
+		return nil
+	}
+	return common
+}

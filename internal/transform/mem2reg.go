@@ -1,0 +1,491 @@
+package transform
+
+import (
+	"sort"
+
+	"thorin/internal/analysis"
+	"thorin/internal/ir"
+)
+
+// Mem2RegStats reports slot promotion results. PhiParams is the number of
+// continuation parameters introduced at join points — the CPS analogue of
+// φ-functions, and the metric compared against classical SSA construction
+// in Table 3.
+type Mem2RegStats struct {
+	PromotedSlots int
+	PhiParams     int
+	SkippedScopes int
+}
+
+// Mem2Reg promotes non-escaping stack slots to values flowing through
+// continuation parameters in every promotable top-level scope. This is the
+// paper's demonstration that SSA construction is an ordinary IR
+// transformation in Thorin: the φ-placement algorithm of Braun et al. runs
+// on the CPS graph, and φ-functions materialize as parameters of join-point
+// continuations.
+func Mem2Reg(w *ir.World) Mem2RegStats {
+	var stats Mem2RegStats
+	for _, c := range append([]*ir.Continuation(nil), w.Continuations()...) {
+		if !c.HasBody() || c.IsIntrinsic() || !c.IsReturning() {
+			continue
+		}
+		s := analysis.NewScope(c)
+		if !s.TopLevel() {
+			continue // nested function: promoted via its enclosing root
+		}
+		if !blockFormScope(s) {
+			stats.SkippedScopes++
+			continue
+		}
+		slots, phis := promoteScope(w, s)
+		stats.PromotedSlots += slots
+		stats.PhiParams += phis
+	}
+	Cleanup(w)
+	return stats
+}
+
+// blockFormScope reports whether every non-entry continuation of the scope
+// is basic-block-like, so the scope's CFG fully describes its control flow.
+func blockFormScope(s *analysis.Scope) bool {
+	for _, c := range s.Conts[1:] {
+		if !c.IsBasicBlockLike() {
+			return false
+		}
+	}
+	return true
+}
+
+// PromotableSlots returns the slot primops of s whose address never escapes:
+// every use of the address is the pointer operand of a load or store.
+func PromotableSlots(s *analysis.Scope) []*ir.PrimOp {
+	var out []*ir.PrimOp
+	for _, p := range s.ReachablePrimOps() {
+		if p.OpKind() == ir.OpSlot && slotPromotable(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func slotPromotable(slot *ir.PrimOp) bool {
+	for _, u := range slot.Uses() {
+		ext, ok := u.Def.(*ir.PrimOp)
+		if !ok || ext.OpKind() != ir.OpExtract {
+			return false
+		}
+		idx, ok := ir.LitValue(ext.Op(1))
+		if !ok {
+			return false
+		}
+		if idx == 0 {
+			continue // mem projection
+		}
+		// Pointer projection: all uses must be load/store addresses.
+		for _, pu := range ext.Uses() {
+			op, ok := pu.Def.(*ir.PrimOp)
+			if !ok {
+				return false
+			}
+			switch op.OpKind() {
+			case ir.OpLoad:
+				if pu.Index != 1 {
+					return false
+				}
+			case ir.OpStore:
+				if pu.Index != 1 {
+					return false // stored as a value or used as mem
+				}
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func slotType(slot *ir.PrimOp) ir.Type {
+	return slot.Type().(*ir.TupleType).ElemTypes[1].(*ir.PtrType).Pointee
+}
+
+// m2rPhi is a pending φ for (block, slot) during Braun-style value
+// numbering; surviving φs become fresh parameters of their block.
+type m2rPhi struct {
+	block *analysis.Node
+	slot  *ir.PrimOp
+	args  []any // ir.Def or *m2rPhi, one per pred
+	users []*m2rPhi
+	repl  any // non-nil once replaced by a simpler value
+}
+
+type promoter struct {
+	w       *ir.World
+	s       *analysis.Scope
+	sched   *analysis.Schedule
+	slots   map[*ir.PrimOp]bool // promotable slots
+	slotOf  map[*ir.PrimOp]*ir.PrimOp
+	loadVal map[*ir.PrimOp]any                    // load primop -> value at its point
+	endVal  map[*analysis.Node]map[*ir.PrimOp]any // value after the block
+	phis    map[*analysis.Node]map[*ir.PrimOp]*m2rPhi
+	inProg  map[*analysis.Node]map[*ir.PrimOp]bool
+}
+
+// promoteScope rewrites s in place, returning (#slots promoted, #φ params).
+func promoteScope(w *ir.World, s *analysis.Scope) (int, int) {
+	slots := PromotableSlots(s)
+	if len(slots) == 0 {
+		return 0, 0
+	}
+	p := &promoter{
+		w:       w,
+		s:       s,
+		sched:   analysis.NewSchedule(s, analysis.ScheduleEarly),
+		slots:   map[*ir.PrimOp]bool{},
+		slotOf:  map[*ir.PrimOp]*ir.PrimOp{},
+		loadVal: map[*ir.PrimOp]any{},
+		endVal:  map[*analysis.Node]map[*ir.PrimOp]any{},
+		phis:    map[*analysis.Node]map[*ir.PrimOp]*m2rPhi{},
+		inProg:  map[*analysis.Node]map[*ir.PrimOp]bool{},
+	}
+	for _, sl := range slots {
+		p.slots[sl] = true
+		for _, u := range sl.Uses() {
+			ext := u.Def.(*ir.PrimOp)
+			if idx, _ := ir.LitValue(ext.Op(1)); idx == 1 {
+				p.slotOf[ext] = sl // address projection -> its slot
+			}
+		}
+	}
+
+	// Phase 1: symbolic evaluation of all loads & block end values.
+	for _, b := range p.sched.Blocks {
+		for _, sl := range slots {
+			p.blockEnd(b.Node, sl)
+		}
+	}
+	// Resolve all load values now, then rewrite.
+	phiParams := p.rewrite()
+	return len(slots), phiParams
+}
+
+// addressedSlot returns the promoted slot a load/store pointer refers to.
+func (p *promoter) addressedSlot(ptr ir.Def) *ir.PrimOp {
+	if e, ok := ptr.(*ir.PrimOp); ok {
+		return p.slotOf[e]
+	}
+	return nil
+}
+
+// blockEnd computes the symbolic value of sl after executing block n,
+// filling loadVal for loads along the way.
+func (p *promoter) blockEnd(n *analysis.Node, sl *ir.PrimOp) any {
+	if m := p.endVal[n]; m != nil {
+		if v, ok := m[sl]; ok {
+			return v
+		}
+	}
+	if p.inProg[n] == nil {
+		p.inProg[n] = map[*ir.PrimOp]bool{}
+	}
+	if p.inProg[n][sl] {
+		// We are inside a loop and re-entered the block whose φ is being
+		// filled: its start value is the pending φ; apply the block's own
+		// stores to produce the end-of-block value.
+		v := any(p.getPhi(n, sl))
+		for _, op := range p.sched.Block(n).PrimOps {
+			if op.OpKind() == ir.OpStore && p.addressedSlot(op.Op(1)) == sl {
+				v = op.Op(2)
+			}
+		}
+		return v
+	}
+	p.inProg[n][sl] = true
+	defer func() { p.inProg[n][sl] = false }()
+
+	v := p.blockStart(n, sl)
+	for _, op := range p.sched.Block(n).PrimOps {
+		switch op.OpKind() {
+		case ir.OpLoad:
+			if p.addressedSlot(op.Op(1)) == sl {
+				p.loadVal[op] = v
+			}
+		case ir.OpStore:
+			if p.addressedSlot(op.Op(1)) == sl {
+				v = op.Op(2)
+			}
+		}
+	}
+	if p.endVal[n] == nil {
+		p.endVal[n] = map[*ir.PrimOp]any{}
+	}
+	p.endVal[n][sl] = v
+	return v
+}
+
+// blockStart computes the symbolic value of sl on entry to block n.
+func (p *promoter) blockStart(n *analysis.Node, sl *ir.PrimOp) any {
+	if n == p.sched.CFG.Entry() || len(n.Preds) == 0 {
+		return p.w.Bottom(slotType(sl))
+	}
+	if len(n.Preds) == 1 {
+		return p.blockEnd(n.Preds[0], sl)
+	}
+	return p.getPhi(n, sl)
+}
+
+func (p *promoter) getPhi(n *analysis.Node, sl *ir.PrimOp) *m2rPhi {
+	if m := p.phis[n]; m != nil {
+		if phi, ok := m[sl]; ok {
+			return phi
+		}
+	}
+	phi := &m2rPhi{block: n, slot: sl}
+	if p.phis[n] == nil {
+		p.phis[n] = map[*ir.PrimOp]*m2rPhi{}
+	}
+	p.phis[n][sl] = phi
+	// Record the start value eagerly so recursive lookups see the φ.
+	if p.endVal[n] == nil {
+		p.endVal[n] = map[*ir.PrimOp]any{}
+	}
+	// Fill operands (may recurse back to this φ through loops).
+	for _, pred := range n.Preds {
+		a := p.blockEnd(pred, sl)
+		phi.args = append(phi.args, a)
+		if ap, ok := a.(*m2rPhi); ok {
+			ap.users = append(ap.users, phi)
+		}
+	}
+	p.tryRemoveTrivial(phi)
+	return phi
+}
+
+// resolve follows replacement chains.
+func resolve(v any) any {
+	for {
+		phi, ok := v.(*m2rPhi)
+		if !ok || phi.repl == nil {
+			return v
+		}
+		v = phi.repl
+	}
+}
+
+// tryRemoveTrivial implements Braun et al.'s trivial-φ elimination: a φ
+// whose operands are all the φ itself or a single other value is replaced
+// by that value.
+func (p *promoter) tryRemoveTrivial(phi *m2rPhi) any {
+	var same any
+	for _, a := range phi.args {
+		a = resolve(a)
+		if a == any(phi) {
+			continue
+		}
+		if same != nil && a != same {
+			return phi // non-trivial
+		}
+		same = a
+	}
+	if same == nil {
+		same = p.w.Bottom(slotType(phi.slot))
+	}
+	phi.repl = same
+	for _, u := range phi.users {
+		if u != phi && u.repl == nil {
+			p.tryRemoveTrivial(u)
+		}
+	}
+	return same
+}
+
+// livePhis returns the surviving φs of block n in deterministic order.
+func (p *promoter) livePhis(n *analysis.Node) []*m2rPhi {
+	var out []*m2rPhi
+	for _, phi := range p.phis[n] {
+		if phi.repl == nil {
+			out = append(out, phi)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].slot.GID() < out[j].slot.GID() })
+	return out
+}
+
+// rewrite rebuilds the scope without the promoted slots. It returns the
+// number of φ parameters introduced.
+func (p *promoter) rewrite() int {
+	w := p.w
+	entry := p.s.Entry
+	old2new := map[ir.Def]ir.Def{}
+	phiParams := 0
+
+	// New continuations for every non-entry block; φ-extended where needed.
+	type blockInfo struct {
+		node *analysis.Node
+		old  *ir.Continuation
+		new  *ir.Continuation
+		phis []*m2rPhi
+	}
+	var blocks []*blockInfo
+	byNode := map[*analysis.Node]*blockInfo{}
+
+	for _, n := range p.sched.CFG.Nodes {
+		c := n.Cont
+		info := &blockInfo{node: n, old: c, phis: p.livePhis(n)}
+		if c == entry {
+			if len(info.phis) != 0 {
+				panic("transform: mem2reg: entry cannot need φs")
+			}
+			info.new = c // the entry keeps its identity and type
+		} else {
+			types := append([]ir.Type(nil), c.FnType().Params...)
+			for _, phi := range info.phis {
+				types = append(types, slotType(phi.slot))
+			}
+			nc := w.Continuation(w.FnType(types...), c.Name())
+			for i, op := range c.Params() {
+				nc.Param(i).SetName(op.Name())
+			}
+			info.new = nc
+			old2new[c] = nc
+			for i, op := range c.Params() {
+				old2new[op] = nc.Param(i)
+			}
+			phiParams += len(info.phis)
+		}
+		blocks = append(blocks, info)
+		byNode[n] = info
+	}
+
+	// Def rewriter shared across blocks.
+	var rw func(d ir.Def) ir.Def
+	var valDef func(v any) ir.Def
+
+	phiDef := func(phi *m2rPhi) ir.Def {
+		bi := byNode[phi.block]
+		base := bi.old.NumParams()
+		for i, q := range bi.phis {
+			if q == phi {
+				return bi.new.Param(base + i)
+			}
+		}
+		panic("transform: mem2reg: φ lost")
+	}
+	valDef = func(v any) ir.Def {
+		v = resolve(v)
+		if phi, ok := v.(*m2rPhi); ok {
+			return phiDef(phi)
+		}
+		return rw(v.(ir.Def))
+	}
+	rw = func(d ir.Def) ir.Def {
+		if n, ok := old2new[d]; ok {
+			return n
+		}
+		op, ok := d.(*ir.PrimOp)
+		if !ok || !p.s.Contains(d) {
+			return d
+		}
+		var n ir.Def
+		switch {
+		case op.OpKind() == ir.OpSlot && p.slots[op]:
+			panic("transform: mem2reg: promoted slot still referenced")
+		case op.OpKind() == ir.OpExtract && p.isSlotProj(op):
+			// Projections of a promoted slot: the mem projection forwards
+			// the slot's incoming mem; the ptr projection must be gone.
+			slot := op.Op(0).(*ir.PrimOp)
+			if idx, _ := ir.LitValue(op.Op(1)); idx == 0 {
+				n = rw(slot.Op(0))
+			} else {
+				panic("transform: mem2reg: address of promoted slot escaped")
+			}
+		case op.OpKind() == ir.OpExtract && p.isPromotedLoadProj(op):
+			load := op.Op(0).(*ir.PrimOp)
+			if idx, _ := ir.LitValue(op.Op(1)); idx == 0 {
+				n = rw(load.Op(0)) // mem flows through
+			} else {
+				n = valDef(p.loadVal[load])
+			}
+		case op.OpKind() == ir.OpStore && p.addressedSlot(op.Op(1)) != nil:
+			n = rw(op.Op(0)) // store vanishes; mem flows through
+		default:
+			ops := make([]ir.Def, op.NumOps())
+			for i, o := range op.Ops() {
+				ops[i] = rw(o)
+			}
+			n = Rebuild(w, op, ops)
+		}
+		old2new[d] = n
+		return n
+	}
+
+	// endArg yields the value of phi's slot at the end of block bi — the
+	// argument bi must pass when jumping to phi's block.
+	endArg := func(bi *blockInfo, phi *m2rPhi) ir.Def {
+		return valDef(p.endVal[bi.node][phi.slot])
+	}
+
+	// Rewrite every block body; append φ arguments at jumps.
+	for _, bi := range blocks {
+		if !bi.old.HasBody() {
+			continue
+		}
+		callee := bi.old.Callee()
+		args := make([]ir.Def, bi.old.NumArgs())
+		for j, a := range bi.old.Args() {
+			args[j] = rw(a)
+		}
+
+		// trampoline wraps target t (which gained φ params) in a fresh
+		// continuation of t's *old* type that forwards its params plus the
+		// φ values as seen at the end of bi.
+		trampoline := func(t *ir.Continuation, ti *blockInfo) *ir.Continuation {
+			tramp := w.Continuation(t.FnType(), t.Name()+".phi")
+			targs := make([]ir.Def, tramp.NumParams(), tramp.NumParams()+len(ti.phis))
+			for pi := range tramp.Params() {
+				targs[pi] = tramp.Param(pi)
+			}
+			for _, phi := range ti.phis {
+				targs = append(targs, endArg(bi, phi))
+			}
+			tramp.Jump(ti.new, targs...)
+			return tramp
+		}
+
+		if t, ok := callee.(*ir.Continuation); ok && t.Intrinsic() != ir.IntrinsicBranch {
+			if tn := p.sched.CFG.NodeOf(t); tn != nil {
+				// Direct jump to a block in scope: pass the φ values inline.
+				for _, phi := range byNode[tn].phis {
+					args = append(args, endArg(bi, phi))
+				}
+				bi.new.Jump(byNode[tn].new, args...)
+				continue
+			}
+		}
+
+		// Branch or call leaving the scope: continuation-typed arguments
+		// that gained φ params keep their old type via trampolines.
+		for j, a := range bi.old.Args() {
+			t, ok := a.(*ir.Continuation)
+			if !ok {
+				continue
+			}
+			tn := p.sched.CFG.NodeOf(t)
+			if tn == nil || len(byNode[tn].phis) == 0 {
+				continue
+			}
+			args[j] = trampoline(t, byNode[tn])
+		}
+		bi.new.Jump(rw(callee), args...)
+	}
+	return phiParams
+}
+
+func (p *promoter) isSlotProj(op *ir.PrimOp) bool {
+	src, ok := op.Op(0).(*ir.PrimOp)
+	return ok && src.OpKind() == ir.OpSlot && p.slots[src]
+}
+
+func (p *promoter) isPromotedLoadProj(op *ir.PrimOp) bool {
+	src, ok := op.Op(0).(*ir.PrimOp)
+	return ok && src.OpKind() == ir.OpLoad && p.addressedSlot(src.Op(1)) != nil
+}

@@ -1,0 +1,153 @@
+package transform
+
+import (
+	"thorin/internal/analysis"
+	"thorin/internal/ir"
+)
+
+// PEStats reports what the partial evaluator did.
+type PEStats struct {
+	Specialized int
+	Inlined     int
+	Saturated   bool
+}
+
+// peSizeThreshold is the scope size (in continuations) below which calls
+// with known arguments are specialized unconditionally.
+const peSizeThreshold = 12
+
+// maxPESpecializations bounds the online evaluator (the paper's follow-on
+// work shows naive online PE diverges on recursive programs).
+const maxPESpecializations = 2048
+
+// PartialEval is a simple online partial evaluator over the CPS graph: a
+// call that binds literal values to parameters of a small (or
+// AlwaysInline-marked) callee is replaced by a call to a copy of the callee
+// specialized to those values. Because specialization uses lambda mangling,
+// constant folding inside the world simplifies the copy while it is built.
+func PartialEval(w *ir.World) PEStats {
+	var stats PEStats
+	cache := map[string]*ir.Continuation{}
+
+	work := append([]*ir.Continuation(nil), w.Continuations()...)
+	inWork := map[*ir.Continuation]bool{}
+	for _, c := range work {
+		inWork[c] = true
+	}
+	push := func(c *ir.Continuation) {
+		if !inWork[c] {
+			inWork[c] = true
+			work = append(work, c)
+		}
+	}
+
+	for len(work) > 0 {
+		caller := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[caller] = false
+		if !caller.HasBody() {
+			continue
+		}
+		callee, ok := caller.Callee().(*ir.Continuation)
+		if !ok || !callee.HasBody() || callee.IsIntrinsic() || callee.NoInline || callee == caller {
+			continue
+		}
+		if !callee.IsReturning() {
+			// Specializing a local (block-like) continuation on a literal
+			// argument is loop unrolling: on data-dependent loops it never
+			// terminates (the naive online PE divergence the paper warns
+			// about). Only specialize function calls.
+			continue
+		}
+		args := literalArgs(callee, caller.Args())
+		if args == nil {
+			continue
+		}
+		if !callee.AlwaysInline {
+			if len(analysis.NewScope(callee).Conts) > peSizeThreshold {
+				continue
+			}
+		}
+		if stats.Specialized >= maxPESpecializations {
+			stats.Saturated = true
+			break
+		}
+		key := specKey(callee, args)
+		spec, ok := cache[key]
+		if !ok {
+			spec = Drop(analysis.NewScope(callee), args)
+			spec.SetName(callee.Name() + ".pe")
+			cache[key] = spec
+			for _, c := range analysis.NewScope(spec).Conts {
+				push(c)
+			}
+		}
+		var kept []ir.Def
+		for i, a := range caller.Args() {
+			if args[i] == nil {
+				kept = append(kept, a)
+			}
+		}
+		caller.Jump(spec, kept...)
+		stats.Specialized++
+		push(caller)
+	}
+	Cleanup(w)
+	return stats
+}
+
+// literalArgs returns a specialization vector binding literal-valued
+// first-order params, or nil if there are none.
+func literalArgs(callee *ir.Continuation, args []ir.Def) []ir.Def {
+	ft := callee.FnType()
+	if len(args) != len(ft.Params) {
+		return nil
+	}
+	out := make([]ir.Def, len(args))
+	any := false
+	for i := range ft.Params {
+		if ir.IsLit(args[i]) {
+			out[i] = args[i]
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// InlineOnce inlines every continuation that is called from exactly one
+// place and not otherwise referenced — this never grows code. Returns the
+// number of call sites inlined.
+func InlineOnce(w *ir.World) int {
+	n := 0
+	for round := 0; round < 16; round++ {
+		changed := false
+		for _, callee := range append([]*ir.Continuation(nil), w.Continuations()...) {
+			if callee.IsExtern() || callee.IsIntrinsic() || !callee.HasBody() {
+				continue
+			}
+			if !callee.IsReturning() {
+				continue // block-like conts are already local control flow
+			}
+			uses := callee.Uses()
+			if len(uses) != 1 || uses[0].Index != 0 {
+				continue
+			}
+			caller, ok := uses[0].Def.(*ir.Continuation)
+			if !ok || caller == callee || !caller.HasBody() {
+				continue
+			}
+			if InlineCall(caller) {
+				n++
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		Cleanup(w)
+	}
+	return n
+}

@@ -1,0 +1,115 @@
+// Package transform implements the Thorin IR transformations of the paper:
+// lambda mangling (the generalization of inlining, lambda lifting, lambda
+// dropping and tail-recursion specialization), conversion to control-flow
+// form, slot promotion (SSA construction as an IR transformation), partial
+// evaluation, closure conversion and cleanup.
+package transform
+
+import (
+	"fmt"
+
+	"thorin/internal/ir"
+)
+
+// Rebuild reconstructs primop p with new operands through the World's
+// smart constructors, so folding and hash-consing apply to the copy.
+// Slots, allocs and globals copied this way get fresh identity.
+func Rebuild(w *ir.World, p *ir.PrimOp, ops []ir.Def) ir.Def {
+	k := p.OpKind()
+	switch {
+	case k.IsArith():
+		return w.Arith(k, ops[0], ops[1])
+	case k.IsCmp():
+		return w.Cmp(k, ops[0], ops[1])
+	}
+	switch k {
+	case ir.OpSelect:
+		return w.Select(ops[0], ops[1], ops[2])
+	case ir.OpTuple:
+		return w.Tuple(ops...)
+	case ir.OpExtract:
+		return w.Extract(ops[0], ops[1])
+	case ir.OpInsert:
+		return w.Insert(ops[0], ops[1], ops[2])
+	case ir.OpCast:
+		return w.Cast(p.Type().(*ir.PrimType), ops[0])
+	case ir.OpBitcast:
+		return w.Bitcast(p.Type(), ops[0])
+	case ir.OpSlot:
+		pointee := p.Type().(*ir.TupleType).ElemTypes[1].(*ir.PtrType).Pointee
+		return w.Slot(ops[0], pointee)
+	case ir.OpAlloc:
+		elem := p.Type().(*ir.TupleType).ElemTypes[1].(*ir.PtrType).Pointee.(*ir.IndefArrayType).Elem
+		return w.Alloc(ops[0], elem, ops[1])
+	case ir.OpLoad:
+		return w.Load(ops[0], ops[1])
+	case ir.OpStore:
+		return w.Store(ops[0], ops[1], ops[2])
+	case ir.OpLea:
+		return w.Lea(ops[0], ops[1])
+	case ir.OpALen:
+		return w.ALen(ops[0])
+	case ir.OpGlobal:
+		// Globals are top-level entities; a rewrite never clones them.
+		return p
+	case ir.OpClosure:
+		return w.Closure(p.Type().(*ir.FnType), ops[0], ops[1:]...)
+	case ir.OpRun:
+		return w.Run(ops[0])
+	case ir.OpHlt:
+		return w.Hlt(ops[0])
+	}
+	panic(fmt.Sprintf("transform: cannot rebuild primop %s", k))
+}
+
+// ReplaceUses rewrites every (transitive) user of old to refer to new
+// instead: continuation bodies are re-jumped in place, primop users are
+// rebuilt through the world constructors and their users processed in turn.
+func ReplaceUses(w *ir.World, old, new ir.Def) {
+	if old == new {
+		return
+	}
+	type repl struct{ old, new ir.Def }
+	work := []repl{{old, new}}
+	replaced := map[ir.Def]ir.Def{old: new}
+
+	resolve := func(d ir.Def) ir.Def {
+		for {
+			n, ok := replaced[d]
+			if !ok || n == d {
+				return d
+			}
+			d = n
+		}
+	}
+
+	for len(work) > 0 {
+		r := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, u := range r.old.Uses() {
+			switch user := u.Def.(type) {
+			case *ir.Continuation:
+				ops := user.Ops()
+				callee := resolve(ops[0])
+				args := make([]ir.Def, len(ops)-1)
+				for i, a := range ops[1:] {
+					args[i] = resolve(a)
+				}
+				user.Jump(callee, args...)
+			case *ir.PrimOp:
+				if _, done := replaced[user]; done {
+					continue
+				}
+				ops := make([]ir.Def, user.NumOps())
+				for i, a := range user.Ops() {
+					ops[i] = resolve(a)
+				}
+				nu := Rebuild(w, user, ops)
+				if nu != user {
+					replaced[user] = nu
+					work = append(work, repl{user, nu})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,642 @@
+// Package vm implements a register-based bytecode virtual machine used as
+// the execution substrate for the reproduction. The paper's authors compile
+// Thorin to native code via LLVM; this VM plays that role while providing
+// deterministic cost counters (instructions, closure allocations, direct vs.
+// indirect calls) so the experiments measure structure rather than machine
+// noise, alongside wall-clock benchmarks.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Opcode enumerates VM instructions.
+type Opcode uint8
+
+// Instruction set. Register operands are denoted A, B, C; Imm is an
+// immediate. Call-like instructions use Args (argument registers) and Rets
+// (caller registers receiving results).
+const (
+	OpNop Opcode = iota
+
+	OpConstI // regs[A] = Imm
+	OpConstF // regs[A] = F
+	OpMov    // regs[A] = regs[B]
+
+	// Integer arithmetic: regs[A] = regs[B] op regs[C].
+	OpAddI
+	OpSubI
+	OpMulI
+	OpDivI
+	OpRemI
+	OpAndI
+	OpOrI
+	OpXorI
+	OpShlI
+	OpShrI
+
+	// Float arithmetic.
+	OpAddF
+	OpSubF
+	OpMulF
+	OpDivF
+	OpRemF
+
+	// Comparisons (result 0/1 in I).
+	OpEqI
+	OpNeI
+	OpLtI
+	OpLeI
+	OpGtI
+	OpGeI
+	OpEqF
+	OpNeF
+	OpLtF
+	OpLeF
+	OpGtF
+	OpGeF
+
+	OpSelect // regs[A] = regs[B].I != 0 ? regs[C] : regs[Imm]
+
+	OpCastIF // regs[A] = float(regs[B].I)
+	OpCastFI // regs[A] = int(regs[B].F)
+	OpCastII // regs[A] = truncate(regs[B].I, Imm bits)
+	OpCastFF // regs[A] = float32-round(regs[B].F) if Imm==32
+
+	OpJmp // jump to block Imm, copying Args to its param registers
+
+	OpBr // if regs[A].I != 0 jump block B else block C
+
+	// OpCall calls function Imm with Args; on return, Rets receive the
+	// results and execution continues at block C.
+	OpCall
+	// OpTailCall replaces the current frame with a call to function Imm.
+	OpTailCall
+	// OpCallClosure calls the closure in regs[B] (env appended to Args).
+	OpCallClosure
+	// OpTailCallClosure tail-calls the closure in regs[B].
+	OpTailCallClosure
+	// OpRet returns Args to the caller.
+	OpRet
+
+	OpClosureNew // regs[A] = closure{fn: Imm, env: Args}
+	OpArrayNew   // regs[A] = new array of regs[B].I zero values
+	OpArrayLen   // regs[A] = len(regs[B] array)
+	OpLea        // regs[A] = &regs[B].array[regs[C].I]
+	OpSlotNew    // regs[A] = new cell pointer
+	OpGlobalPtr  // regs[A] = pointer to global Imm
+	OpPtrLoad    // regs[A] = *regs[B]
+	OpPtrStore   // *regs[A] = regs[B]
+
+	OpTupleNew // regs[A] = tuple(Args)
+	OpTupleGet // regs[A] = regs[B].tuple[Imm]
+	OpTupleSet // regs[A] = regs[B].tuple with [Imm] = regs[C]
+
+	OpPrintI64  // print regs[A].I
+	OpPrintF64  // print regs[A].F
+	OpPrintChar // print rune regs[A].I
+
+	OpHalt // stop; Args are the program results
+)
+
+var opcodeNames = [...]string{
+	OpNop: "nop", OpConstI: "const.i", OpConstF: "const.f", OpMov: "mov",
+	OpAddI: "add.i", OpSubI: "sub.i", OpMulI: "mul.i", OpDivI: "div.i",
+	OpRemI: "rem.i", OpAndI: "and.i", OpOrI: "or.i", OpXorI: "xor.i",
+	OpShlI: "shl.i", OpShrI: "shr.i",
+	OpAddF: "add.f", OpSubF: "sub.f", OpMulF: "mul.f", OpDivF: "div.f",
+	OpRemF: "rem.f",
+	OpEqI:  "eq.i", OpNeI: "ne.i", OpLtI: "lt.i", OpLeI: "le.i",
+	OpGtI: "gt.i", OpGeI: "ge.i",
+	OpEqF: "eq.f", OpNeF: "ne.f", OpLtF: "lt.f", OpLeF: "le.f",
+	OpGtF: "gt.f", OpGeF: "ge.f",
+	OpSelect: "select",
+	OpCastIF: "cast.if", OpCastFI: "cast.fi", OpCastII: "cast.ii", OpCastFF: "cast.ff",
+	OpJmp: "jmp", OpBr: "br",
+	OpCall: "call", OpTailCall: "tcall",
+	OpCallClosure: "call.c", OpTailCallClosure: "tcall.c", OpRet: "ret",
+	OpClosureNew: "closure", OpArrayNew: "array.new", OpArrayLen: "array.len",
+	OpLea: "lea", OpSlotNew: "slot", OpGlobalPtr: "global",
+	OpPtrLoad: "load", OpPtrStore: "store",
+	OpTupleNew: "tuple", OpTupleGet: "tuple.get", OpTupleSet: "tuple.set",
+	OpPrintI64: "print.i", OpPrintF64: "print.f", OpPrintChar: "print.c",
+	OpHalt: "halt",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opcodeNames) && opcodeNames[o] != "" {
+		return opcodeNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one VM instruction.
+type Instr struct {
+	Op      Opcode
+	A, B, C int
+	Imm     int64
+	F       float64
+	Args    []int
+	Rets    []int
+}
+
+// Value is a VM value: integers and booleans in I, floats in F, and heap
+// entities (closures, arrays, tuples, pointers) in Ref.
+type Value struct {
+	I   int64
+	F   float64
+	Ref any
+}
+
+// Closure pairs a function index with its captured environment.
+type Closure struct {
+	Fn  int
+	Env []Value
+}
+
+// Array is a heap array.
+type Array struct {
+	Elems []Value
+}
+
+// Ptr points either at a single cell or at an array element.
+type Ptr struct {
+	Cell *Value
+	Arr  *Array
+	Idx  int
+}
+
+func (p Ptr) check() error {
+	if p.Cell == nil && (p.Idx < 0 || p.Idx >= len(p.Arr.Elems)) {
+		return fmt.Errorf("index %d out of bounds [0,%d)", p.Idx, len(p.Arr.Elems))
+	}
+	return nil
+}
+
+func (p Ptr) load() Value {
+	if p.Cell != nil {
+		return *p.Cell
+	}
+	return p.Arr.Elems[p.Idx]
+}
+
+func (p Ptr) store(v Value) {
+	if p.Cell != nil {
+		*p.Cell = v
+		return
+	}
+	p.Arr.Elems[p.Idx] = v
+}
+
+// Block is the metadata of one basic block within a function.
+type Block struct {
+	Name      string
+	Start     int   // pc of the first instruction
+	ParamRegs []int // registers that receive jump arguments
+}
+
+// Func is one compiled function.
+type Func struct {
+	Name      string
+	NumRegs   int
+	ParamRegs []int // registers receiving call arguments (env included)
+	Blocks    []Block
+	Code      []Instr
+}
+
+// Program is a complete compiled program.
+type Program struct {
+	Funcs   []*Func
+	Main    int
+	Globals []Value // initial values of global cells
+}
+
+// Counters accumulates deterministic cost metrics during execution.
+type Counters struct {
+	Instructions  int64
+	DirectCalls   int64
+	IndirectCalls int64
+	TailCalls     int64
+	Branches      int64
+	ClosureAllocs int64
+	ArrayAllocs   int64
+	HeapWords     int64
+	TupleAllocs   int64
+	Loads         int64
+	Stores        int64
+	MaxStackDepth int64
+}
+
+// VM executes a Program.
+type VM struct {
+	prog    *Program
+	globals []Value
+	out     io.Writer
+	// MaxSteps bounds execution (0 = no bound).
+	MaxSteps int64
+	Counters Counters
+}
+
+// New creates a VM for prog writing intrinsic output to out (io.Discard if
+// nil).
+func New(prog *Program, out io.Writer) *VM {
+	if out == nil {
+		out = io.Discard
+	}
+	g := make([]Value, len(prog.Globals))
+	copy(g, prog.Globals)
+	return &VM{prog: prog, globals: g, out: out}
+}
+
+type frame struct {
+	fn       *Func
+	regs     []Value
+	pc       int
+	rets     []int // caller registers receiving the return values
+	retBlock int   // caller block to continue at (-1: top level)
+}
+
+// ErrStepLimit is returned when MaxSteps is exceeded.
+var ErrStepLimit = errors.New("vm: step limit exceeded")
+
+// Run executes the program's main function with the given arguments and
+// returns its results.
+func (m *VM) Run(args ...Value) ([]Value, error) {
+	return m.Call(m.prog.Main, args...)
+}
+
+// Call executes function fnIdx with args and returns its results.
+func (m *VM) Call(fnIdx int, args ...Value) ([]Value, error) {
+	fn := m.prog.Funcs[fnIdx]
+	f := &frame{fn: fn, regs: make([]Value, fn.NumRegs), pc: 0, retBlock: -1}
+	if len(args) != len(fn.ParamRegs) {
+		return nil, fmt.Errorf("vm: %s expects %d args, got %d", fn.Name, len(fn.ParamRegs), len(args))
+	}
+	for i, r := range fn.ParamRegs {
+		f.regs[r] = args[i]
+	}
+	stack := []*frame{f}
+	var jmpBuf []Value
+
+	for {
+		if m.MaxSteps > 0 && m.Counters.Instructions >= m.MaxSteps {
+			return nil, ErrStepLimit
+		}
+		fr := stack[len(stack)-1]
+		if fr.pc >= len(fr.fn.Code) {
+			return nil, fmt.Errorf("vm: %s: fell off code end", fr.fn.Name)
+		}
+		in := &fr.fn.Code[fr.pc]
+		m.Counters.Instructions++
+		r := fr.regs
+
+		switch in.Op {
+		case OpNop:
+		case OpConstI:
+			r[in.A] = Value{I: in.Imm}
+		case OpConstF:
+			r[in.A] = Value{F: in.F}
+		case OpMov:
+			r[in.A] = r[in.B]
+
+		case OpAddI:
+			r[in.A] = Value{I: r[in.B].I + r[in.C].I}
+		case OpSubI:
+			r[in.A] = Value{I: r[in.B].I - r[in.C].I}
+		case OpMulI:
+			r[in.A] = Value{I: r[in.B].I * r[in.C].I}
+		case OpDivI:
+			if r[in.C].I == 0 {
+				return nil, fmt.Errorf("vm: %s: division by zero", fr.fn.Name)
+			}
+			r[in.A] = Value{I: r[in.B].I / r[in.C].I}
+		case OpRemI:
+			if r[in.C].I == 0 {
+				return nil, fmt.Errorf("vm: %s: remainder by zero", fr.fn.Name)
+			}
+			r[in.A] = Value{I: r[in.B].I % r[in.C].I}
+		case OpAndI:
+			r[in.A] = Value{I: r[in.B].I & r[in.C].I}
+		case OpOrI:
+			r[in.A] = Value{I: r[in.B].I | r[in.C].I}
+		case OpXorI:
+			r[in.A] = Value{I: r[in.B].I ^ r[in.C].I}
+		case OpShlI:
+			r[in.A] = Value{I: r[in.B].I << (uint64(r[in.C].I) & 63)}
+		case OpShrI:
+			r[in.A] = Value{I: r[in.B].I >> (uint64(r[in.C].I) & 63)}
+
+		case OpAddF:
+			r[in.A] = Value{F: r[in.B].F + r[in.C].F}
+		case OpSubF:
+			r[in.A] = Value{F: r[in.B].F - r[in.C].F}
+		case OpMulF:
+			r[in.A] = Value{F: r[in.B].F * r[in.C].F}
+		case OpDivF:
+			r[in.A] = Value{F: r[in.B].F / r[in.C].F}
+		case OpRemF:
+			r[in.A] = Value{F: math.Mod(r[in.B].F, r[in.C].F)}
+
+		case OpEqI:
+			r[in.A] = boolVal(r[in.B].I == r[in.C].I)
+		case OpNeI:
+			r[in.A] = boolVal(r[in.B].I != r[in.C].I)
+		case OpLtI:
+			r[in.A] = boolVal(r[in.B].I < r[in.C].I)
+		case OpLeI:
+			r[in.A] = boolVal(r[in.B].I <= r[in.C].I)
+		case OpGtI:
+			r[in.A] = boolVal(r[in.B].I > r[in.C].I)
+		case OpGeI:
+			r[in.A] = boolVal(r[in.B].I >= r[in.C].I)
+		case OpEqF:
+			r[in.A] = boolVal(r[in.B].F == r[in.C].F)
+		case OpNeF:
+			r[in.A] = boolVal(r[in.B].F != r[in.C].F)
+		case OpLtF:
+			r[in.A] = boolVal(r[in.B].F < r[in.C].F)
+		case OpLeF:
+			r[in.A] = boolVal(r[in.B].F <= r[in.C].F)
+		case OpGtF:
+			r[in.A] = boolVal(r[in.B].F > r[in.C].F)
+		case OpGeF:
+			r[in.A] = boolVal(r[in.B].F >= r[in.C].F)
+
+		case OpSelect:
+			if r[in.B].I != 0 {
+				r[in.A] = r[in.C]
+			} else {
+				r[in.A] = r[int(in.Imm)]
+			}
+
+		case OpCastIF:
+			r[in.A] = Value{F: float64(r[in.B].I)}
+		case OpCastFI:
+			r[in.A] = Value{I: int64(r[in.B].F)}
+		case OpCastII:
+			r[in.A] = Value{I: truncBits(r[in.B].I, int(in.Imm))}
+		case OpCastFF:
+			v := r[in.B].F
+			if in.Imm == 32 {
+				v = float64(float32(v))
+			}
+			r[in.A] = Value{F: v}
+
+		case OpJmp:
+			m.jump(fr, int(in.Imm), in.Args, &jmpBuf)
+			continue
+
+		case OpBr:
+			m.Counters.Branches++
+			if r[in.A].I != 0 {
+				fr.pc = fr.fn.Blocks[in.B].Start
+			} else {
+				fr.pc = fr.fn.Blocks[in.C].Start
+			}
+			continue
+
+		case OpCall, OpTailCall:
+			callee := m.prog.Funcs[in.Imm]
+			nf := m.newFrame(callee, fr, in, nil)
+			if in.Op == OpTailCall {
+				m.Counters.TailCalls++
+				nf.rets, nf.retBlock = fr.rets, fr.retBlock
+				stack[len(stack)-1] = nf
+			} else {
+				m.Counters.DirectCalls++
+				fr.pc++ // resume after the call once Rets are written
+				stack = append(stack, nf)
+			}
+			m.noteDepth(len(stack))
+			continue
+
+		case OpCallClosure, OpTailCallClosure:
+			clo, ok := r[in.B].Ref.(*Closure)
+			if !ok {
+				return nil, fmt.Errorf("vm: %s: call through non-closure", fr.fn.Name)
+			}
+			callee := m.prog.Funcs[clo.Fn]
+			nf := m.newFrame(callee, fr, in, clo.Env)
+			if in.Op == OpTailCallClosure {
+				m.Counters.TailCalls++
+				m.Counters.IndirectCalls++
+				nf.rets, nf.retBlock = fr.rets, fr.retBlock
+				stack[len(stack)-1] = nf
+			} else {
+				m.Counters.IndirectCalls++
+				fr.pc++
+				stack = append(stack, nf)
+			}
+			m.noteDepth(len(stack))
+			continue
+
+		case OpRet:
+			vals := make([]Value, len(in.Args))
+			for i, a := range in.Args {
+				vals[i] = r[a]
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				return vals, nil
+			}
+			caller := stack[len(stack)-1]
+			if fr.retBlock < 0 {
+				return vals, nil
+			}
+			if len(vals) != len(fr.rets) {
+				return nil, fmt.Errorf("vm: %s returned %d values, caller expects %d",
+					fr.fn.Name, len(vals), len(fr.rets))
+			}
+			for i, reg := range fr.rets {
+				caller.regs[reg] = vals[i]
+			}
+			caller.pc = caller.fn.Blocks[fr.retBlock].Start
+			continue
+
+		case OpClosureNew:
+			env := make([]Value, len(in.Args))
+			for i, a := range in.Args {
+				env[i] = r[a]
+			}
+			m.Counters.ClosureAllocs++
+			m.Counters.HeapWords += int64(len(env)) + 1
+			r[in.A] = Value{Ref: &Closure{Fn: int(in.Imm), Env: env}}
+
+		case OpArrayNew:
+			n := r[in.B].I
+			if n < 0 {
+				return nil, fmt.Errorf("vm: %s: negative array size %d", fr.fn.Name, n)
+			}
+			m.Counters.ArrayAllocs++
+			m.Counters.HeapWords += n
+			r[in.A] = Value{Ref: &Array{Elems: make([]Value, n)}}
+
+		case OpArrayLen:
+			arr, ok := r[in.B].Ref.(*Array)
+			if !ok {
+				if p, pok := r[in.B].Ref.(Ptr); pok && p.Arr != nil {
+					arr = p.Arr
+				} else {
+					return nil, fmt.Errorf("vm: %s: len of non-array", fr.fn.Name)
+				}
+			}
+			r[in.A] = Value{I: int64(len(arr.Elems))}
+
+		case OpLea:
+			// Address computation is speculatable (optimizers may hoist it
+			// above the guarding branch); bounds are checked at the access.
+			arr, ok := r[in.B].Ref.(*Array)
+			if !ok {
+				if p, ok := r[in.B].Ref.(Ptr); ok && p.Arr != nil {
+					arr = p.Arr
+				} else {
+					return nil, fmt.Errorf("vm: %s: lea into non-array", fr.fn.Name)
+				}
+			}
+			r[in.A] = Value{Ref: Ptr{Arr: arr, Idx: int(r[in.C].I)}}
+
+		case OpSlotNew:
+			m.Counters.HeapWords++
+			r[in.A] = Value{Ref: Ptr{Cell: new(Value)}}
+
+		case OpGlobalPtr:
+			r[in.A] = Value{Ref: Ptr{Cell: &m.globals[in.Imm]}}
+
+		case OpPtrLoad:
+			p, ok := r[in.B].Ref.(Ptr)
+			if !ok {
+				return nil, fmt.Errorf("vm: %s: load through non-pointer", fr.fn.Name)
+			}
+			if err := p.check(); err != nil {
+				return nil, fmt.Errorf("vm: %s: load: %w", fr.fn.Name, err)
+			}
+			m.Counters.Loads++
+			r[in.A] = p.load()
+
+		case OpPtrStore:
+			p, ok := r[in.A].Ref.(Ptr)
+			if !ok {
+				return nil, fmt.Errorf("vm: %s: store through non-pointer", fr.fn.Name)
+			}
+			if err := p.check(); err != nil {
+				return nil, fmt.Errorf("vm: %s: store: %w", fr.fn.Name, err)
+			}
+			m.Counters.Stores++
+			p.store(r[in.B])
+
+		case OpTupleNew:
+			vals := make([]Value, len(in.Args))
+			for i, a := range in.Args {
+				vals[i] = r[a]
+			}
+			m.Counters.TupleAllocs++
+			m.Counters.HeapWords += int64(len(vals))
+			r[in.A] = Value{Ref: vals}
+
+		case OpTupleGet:
+			tup, ok := r[in.B].Ref.([]Value)
+			if !ok {
+				return nil, fmt.Errorf("vm: %s: tuple.get on non-tuple", fr.fn.Name)
+			}
+			r[in.A] = tup[in.Imm]
+
+		case OpTupleSet:
+			tup, ok := r[in.B].Ref.([]Value)
+			if !ok {
+				return nil, fmt.Errorf("vm: %s: tuple.set on non-tuple", fr.fn.Name)
+			}
+			nv := make([]Value, len(tup))
+			copy(nv, tup)
+			nv[in.Imm] = r[in.C]
+			m.Counters.TupleAllocs++
+			r[in.A] = Value{Ref: nv}
+
+		case OpPrintI64:
+			fmt.Fprintf(m.out, "%d\n", r[in.A].I)
+		case OpPrintF64:
+			fmt.Fprintf(m.out, "%.9g\n", r[in.A].F)
+		case OpPrintChar:
+			fmt.Fprintf(m.out, "%c", rune(r[in.A].I))
+
+		case OpHalt:
+			vals := make([]Value, len(in.Args))
+			for i, a := range in.Args {
+				vals[i] = r[a]
+			}
+			return vals, nil
+
+		default:
+			return nil, fmt.Errorf("vm: %s: bad opcode %v", fr.fn.Name, in.Op)
+		}
+		fr.pc++
+	}
+}
+
+// jump transfers control within the current frame, performing a parallel
+// copy of Args into the target block's param registers.
+func (m *VM) jump(fr *frame, block int, args []int, buf *[]Value) {
+	b := &fr.fn.Blocks[block]
+	tmp := *buf
+	tmp = tmp[:0]
+	for _, a := range args {
+		tmp = append(tmp, fr.regs[a])
+	}
+	*buf = tmp
+	for i, p := range b.ParamRegs {
+		fr.regs[p] = tmp[i]
+	}
+	fr.pc = b.Start
+}
+
+func (m *VM) newFrame(callee *Func, caller *frame, in *Instr, env []Value) *frame {
+	nf := &frame{
+		fn:       callee,
+		regs:     make([]Value, callee.NumRegs),
+		rets:     in.Rets,
+		retBlock: in.C,
+	}
+	n := 0
+	for _, a := range in.Args {
+		nf.regs[callee.ParamRegs[n]] = caller.regs[a]
+		n++
+	}
+	for _, v := range env {
+		nf.regs[callee.ParamRegs[n]] = v
+		n++
+	}
+	return nf
+}
+
+func (m *VM) noteDepth(d int) {
+	if int64(d) > m.Counters.MaxStackDepth {
+		m.Counters.MaxStackDepth = int64(d)
+	}
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return Value{I: 1}
+	}
+	return Value{}
+}
+
+func truncBits(v int64, bits int) int64 {
+	switch bits {
+	case 1:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	case 8:
+		return int64(int8(v))
+	case 16:
+		return int64(int16(v))
+	case 32:
+		return int64(int32(v))
+	default:
+		return v
+	}
+}

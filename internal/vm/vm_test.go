@@ -1,0 +1,319 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCountdown compiles by hand: f(n) { s := 0; while (n > 0) { s += n;
+// n-- }; return s }.
+func buildCountdown() *Program {
+	f := &Func{
+		Name:      "countdown",
+		NumRegs:   6,
+		ParamRegs: []int{0},
+		Blocks: []Block{
+			{Name: "entry", Start: 0},
+			{Name: "head", Start: 3, ParamRegs: []int{2, 3}}, // n, s
+			{Name: "body", Start: 5},
+			{Name: "done", Start: 9},
+		},
+	}
+	f.Code = []Instr{
+		// entry
+		{Op: OpConstI, A: 1, Imm: 0},           // r1 = 0
+		{Op: OpConstI, A: 5, Imm: 1},           // r5 = 1
+		{Op: OpJmp, Imm: 1, Args: []int{0, 1}}, // head(n, 0)
+		// head(r2=n, r3=s)
+		{Op: OpGtI, A: 4, B: 2, C: 1}, // r4 = n > 0
+		{Op: OpBr, A: 4, B: 2, C: 3},  // br body else done
+		// body
+		{Op: OpAddI, A: 3, B: 3, C: 2}, // s += n
+		{Op: OpSubI, A: 2, B: 2, C: 5}, // n -= 1
+		{Op: OpNop},
+		{Op: OpJmp, Imm: 1, Args: []int{2, 3}}, // head(n, s)
+		// done
+		{Op: OpRet, Args: []int{3}},
+	}
+	return &Program{Funcs: []*Func{f}, Main: 0}
+}
+
+func TestCountdownLoop(t *testing.T) {
+	m := New(buildCountdown(), nil)
+	res, err := m.Run(Value{I: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].I != 55 {
+		t.Fatalf("countdown(10) = %v, want 55", res)
+	}
+	if m.Counters.Branches == 0 || m.Counters.Instructions == 0 {
+		t.Error("counters not incremented")
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	// add1(x) = x + 1; main(x) = add1(x) * 2 via a non-tail call.
+	add1 := &Func{
+		Name: "add1", NumRegs: 3, ParamRegs: []int{0},
+		Blocks: []Block{{Name: "entry", Start: 0}},
+		Code: []Instr{
+			{Op: OpConstI, A: 1, Imm: 1},
+			{Op: OpAddI, A: 2, B: 0, C: 1},
+			{Op: OpRet, Args: []int{2}},
+		},
+	}
+	main := &Func{
+		Name: "main", NumRegs: 4, ParamRegs: []int{0},
+		Blocks: []Block{
+			{Name: "entry", Start: 0},
+			{Name: "k", Start: 1, ParamRegs: []int{1}},
+		},
+		Code: []Instr{
+			{Op: OpCall, Imm: 1, Args: []int{0}, Rets: []int{1}, C: 1},
+			{Op: OpConstI, A: 2, Imm: 2},
+			{Op: OpMulI, A: 3, B: 1, C: 2},
+			{Op: OpRet, Args: []int{3}},
+		},
+	}
+	prog := &Program{Funcs: []*Func{main, add1}, Main: 0}
+	m := New(prog, nil)
+	res, err := m.Run(Value{I: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].I != 42 {
+		t.Fatalf("main(20) = %d, want 42", res[0].I)
+	}
+	if m.Counters.DirectCalls != 1 {
+		t.Errorf("direct calls = %d, want 1", m.Counters.DirectCalls)
+	}
+}
+
+func TestTailCallDoesNotGrowStack(t *testing.T) {
+	// loop(n) = n == 0 ? 0 : loop(n-1), via tail calls.
+	loop := &Func{
+		Name: "loop", NumRegs: 4, ParamRegs: []int{0},
+		Blocks: []Block{
+			{Name: "entry", Start: 0},
+			{Name: "rec", Start: 3},
+			{Name: "done", Start: 5},
+		},
+		Code: []Instr{
+			{Op: OpConstI, A: 1, Imm: 0},
+			{Op: OpEqI, A: 2, B: 0, C: 1},
+			{Op: OpBr, A: 2, B: 2, C: 1},
+			{Op: OpConstI, A: 3, Imm: 1},
+			{Op: OpSubI, A: 3, B: 0, C: 3},
+			{Op: OpNop}, // padding so blocks are distinct
+		},
+	}
+	// Fix layout: rec at 3 does sub then tail call; done at 5... rebuild:
+	loop.Blocks = []Block{
+		{Name: "entry", Start: 0},
+		{Name: "rec", Start: 3},
+		{Name: "done", Start: 6},
+	}
+	loop.Code = []Instr{
+		{Op: OpConstI, A: 1, Imm: 0},
+		{Op: OpEqI, A: 2, B: 0, C: 1},
+		{Op: OpBr, A: 2, B: 2, C: 1},
+		{Op: OpConstI, A: 3, Imm: 1},
+		{Op: OpSubI, A: 3, B: 0, C: 3},
+		{Op: OpTailCall, Imm: 0, Args: []int{3}},
+		{Op: OpRet, Args: []int{1}},
+	}
+	prog := &Program{Funcs: []*Func{loop}, Main: 0}
+	m := New(prog, nil)
+	if _, err := m.Run(Value{I: 200000}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters.MaxStackDepth > 2 {
+		t.Errorf("tail calls must not grow the stack, depth = %d", m.Counters.MaxStackDepth)
+	}
+}
+
+func TestClosureCall(t *testing.T) {
+	// addN = closure(add, [n]); main calls it with 2.
+	add := &Func{
+		Name: "add", NumRegs: 3, ParamRegs: []int{0, 1}, // x, env n
+		Blocks: []Block{{Name: "entry", Start: 0}},
+		Code: []Instr{
+			{Op: OpAddI, A: 2, B: 0, C: 1},
+			{Op: OpRet, Args: []int{2}},
+		},
+	}
+	main := &Func{
+		Name: "main", NumRegs: 4, ParamRegs: []int{0},
+		Blocks: []Block{
+			{Name: "entry", Start: 0},
+			{Name: "k", Start: 3, ParamRegs: []int{3}},
+		},
+		Code: []Instr{
+			{Op: OpClosureNew, A: 1, Imm: 1, Args: []int{0}},
+			{Op: OpConstI, A: 2, Imm: 2},
+			{Op: OpCallClosure, B: 1, Args: []int{2}, Rets: []int{3}, C: 1},
+			{Op: OpRet, Args: []int{3}},
+		},
+	}
+	prog := &Program{Funcs: []*Func{main, add}, Main: 0}
+	m := New(prog, nil)
+	res, err := m.Run(Value{I: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].I != 42 {
+		t.Fatalf("main(40) = %d, want 42", res[0].I)
+	}
+	if m.Counters.ClosureAllocs != 1 || m.Counters.IndirectCalls != 1 {
+		t.Errorf("closure counters wrong: %+v", m.Counters)
+	}
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	f := &Func{
+		Name: "arr", NumRegs: 8, ParamRegs: []int{0},
+		Blocks: []Block{{Name: "entry", Start: 0}},
+		Code: []Instr{
+			{Op: OpArrayNew, A: 1, B: 0},   // a = array(n)
+			{Op: OpConstI, A: 2, Imm: 3},   // idx 3
+			{Op: OpLea, A: 3, B: 1, C: 2},  // &a[3]
+			{Op: OpConstI, A: 4, Imm: 99},  //
+			{Op: OpPtrStore, A: 3, B: 4},   // a[3] = 99
+			{Op: OpPtrLoad, A: 5, B: 3},    // v = a[3]
+			{Op: OpArrayLen, A: 6, B: 1},   // len
+			{Op: OpAddI, A: 7, B: 5, C: 6}, // v + len
+			{Op: OpRet, Args: []int{7}},
+		},
+	}
+	m := New(&Program{Funcs: []*Func{f}, Main: 0}, nil)
+	res, err := m.Run(Value{I: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].I != 109 {
+		t.Fatalf("got %d, want 109", res[0].I)
+	}
+}
+
+func TestArrayBoundsChecked(t *testing.T) {
+	// lea itself is speculatable (optimizers hoist address computations);
+	// the bounds check happens at the access.
+	f := &Func{
+		Name: "oob", NumRegs: 4, ParamRegs: []int{0},
+		Blocks: []Block{{Name: "entry", Start: 0}},
+		Code: []Instr{
+			{Op: OpArrayNew, A: 1, B: 0},
+			{Op: OpLea, A: 2, B: 1, C: 0}, // &a[n] — one past the end: legal
+			{Op: OpPtrLoad, A: 3, B: 2},   // the access must trap
+			{Op: OpRet, Args: []int{0}},
+		},
+	}
+	m := New(&Program{Funcs: []*Func{f}, Main: 0}, nil)
+	if _, err := m.Run(Value{I: 4}); err == nil {
+		t.Fatal("out-of-bounds access must error")
+	}
+}
+
+func TestGlobalsAndPrint(t *testing.T) {
+	f := &Func{
+		Name: "g", NumRegs: 5, ParamRegs: nil,
+		Blocks: []Block{{Name: "entry", Start: 0}},
+		Code: []Instr{
+			{Op: OpGlobalPtr, A: 0, Imm: 0},
+			{Op: OpPtrLoad, A: 1, B: 0},
+			{Op: OpConstI, A: 2, Imm: 5},
+			{Op: OpAddI, A: 3, B: 1, C: 2},
+			{Op: OpPtrStore, A: 0, B: 3},
+			{Op: OpPtrLoad, A: 4, B: 0},
+			{Op: OpPrintI64, A: 4},
+			{Op: OpRet, Args: []int{4}},
+		},
+	}
+	var sb strings.Builder
+	prog := &Program{Funcs: []*Func{f}, Main: 0, Globals: []Value{{I: 37}}}
+	m := New(prog, &sb)
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].I != 42 {
+		t.Fatalf("got %d, want 42", res[0].I)
+	}
+	if sb.String() != "42\n" {
+		t.Fatalf("printed %q", sb.String())
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	f := &Func{
+		Name: "spin", NumRegs: 1, ParamRegs: nil,
+		Blocks: []Block{{Name: "entry", Start: 0}},
+		Code:   []Instr{{Op: OpJmp, Imm: 0}},
+	}
+	m := New(&Program{Funcs: []*Func{f}, Main: 0}, nil)
+	m.MaxSteps = 1000
+	if _, err := m.Run(); err != ErrStepLimit {
+		t.Fatalf("want step limit error, got %v", err)
+	}
+}
+
+func TestTuples(t *testing.T) {
+	f := &Func{
+		Name: "tup", NumRegs: 7, ParamRegs: []int{0, 1},
+		Blocks: []Block{{Name: "entry", Start: 0}},
+		Code: []Instr{
+			{Op: OpTupleNew, A: 2, Args: []int{0, 1}},
+			{Op: OpTupleGet, A: 3, B: 2, Imm: 0},
+			{Op: OpTupleSet, A: 4, B: 2, Imm: 0, C: 1},
+			{Op: OpTupleGet, A: 5, B: 4, Imm: 0},
+			{Op: OpAddI, A: 6, B: 3, C: 5},
+			{Op: OpRet, Args: []int{6}},
+		},
+	}
+	m := New(&Program{Funcs: []*Func{f}, Main: 0}, nil)
+	res, err := m.Run(Value{I: 30}, Value{I: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].I != 42 {
+		t.Fatalf("got %d, want 42", res[0].I)
+	}
+}
+
+func TestJumpParallelCopy(t *testing.T) {
+	// swap loop: jump passes (b, a) into params (a, b); a correct parallel
+	// copy yields the swap, a sequential one would duplicate.
+	f := &Func{
+		Name: "swap", NumRegs: 4, ParamRegs: []int{0, 1},
+		Blocks: []Block{
+			{Name: "entry", Start: 0},
+			{Name: "sw", Start: 1, ParamRegs: []int{0, 1}},
+		},
+		Code: []Instr{
+			{Op: OpJmp, Imm: 1, Args: []int{1, 0}}, // sw(b, a)
+			{Op: OpConstI, A: 2, Imm: 10},
+			{Op: OpMulI, A: 3, B: 0, C: 2},
+			{Op: OpAddI, A: 3, B: 3, C: 1},
+			{Op: OpRet, Args: []int{3}},
+		},
+	}
+	m := New(&Program{Funcs: []*Func{f}, Main: 0}, nil)
+	res, err := m.Run(Value{I: 1}, Value{I: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].I != 21 { // swapped: 2*10 + 1
+		t.Fatalf("got %d, want 21 (parallel copy broken?)", res[0].I)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	var sb strings.Builder
+	Disassemble(&sb, buildCountdown())
+	for _, want := range []string{"countdown", "jmp", "br", "ret"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+}
