@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt ci bench bench-passes tables
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails (and lists the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt vet build race
+
+# bench runs the whole evaluation harness at laptop scale.
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$'
+
+# bench-passes records the per-pass compile-time breakdown only.
+bench-passes:
+	$(GO) test -bench=BenchmarkPassTimings -run='^$$'
+
+tables:
+	$(GO) run ./cmd/thorin-bench -all -fast

@@ -235,6 +235,30 @@ func BenchmarkTable4Compile(b *testing.B) {
 	}
 }
 
+// BenchmarkPassTimings measures the full -O2 pipeline per benchmark and
+// reports a per-pass wall-time breakdown from the pass manager's
+// instrumentation (Table 5). Fix-group iterations are aggregated per pass;
+// the runs metric shows how many times each pass actually fired.
+func BenchmarkPassTimings(b *testing.B) {
+	for i := range bench.Suite {
+		p := &bench.Suite[i]
+		b.Run(p.Name, func(b *testing.B) {
+			var res *driver.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = driver.Compile(p.Functional, transform.OptAll(), analysis.ScheduleSmart)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, t := range res.Report.PassTotals() {
+				b.ReportMetric(float64(t.Time.Microseconds()), t.Name+"-µs/op")
+				b.ReportMetric(float64(t.Runs), t.Name+"-runs")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationConsing reports IR node counts with and without
 // hash-consing (ablation A1).
 func BenchmarkAblationConsing(b *testing.B) {

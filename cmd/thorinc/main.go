@@ -1,0 +1,221 @@
+// Command thorinc is the compiler driver: it compiles an Impala source file
+// through the Thorin graph-IR pipeline (or the classical SSA baseline) and
+// can dump the IR, disassemble the bytecode, or run the program.
+//
+// Usage:
+//
+//	thorinc [flags] file.imp [args...]
+//
+// Examples:
+//
+//	thorinc -run examples/fib.imp 30
+//	thorinc -emit=thorin -O 0 prog.imp     # dump the unoptimized graph IR
+//	thorinc -emit=thorin prog.imp          # dump the optimized graph IR
+//	thorinc -emit=ssa prog.imp             # dump the baseline SSA module
+//	thorinc -emit=bytecode prog.imp        # disassemble the bytecode
+//	thorinc -pipeline=ssa -run prog.imp 10 # execute via the baseline
+//	thorinc -passes="cleanup,pe,fix(cff,contify,mem2reg,inline-once),cleanup,closure" \
+//	    -emit=pass-report prog.imp         # custom pipeline + per-pass table
+//	thorinc -verify-each prog.imp          # ir.Verify after every pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"thorin/internal/analysis"
+	"thorin/internal/codegen"
+	"thorin/internal/driver"
+	"thorin/internal/ir"
+	"thorin/internal/pm"
+	"thorin/internal/transform"
+	"thorin/internal/vm"
+)
+
+func main() {
+	var (
+		emit       = flag.String("emit", "", "dump: thorin | ssa | bytecode | dot | cfg | pass-report | pass-report-json")
+		pipeline   = flag.String("pipeline", "thorin", "pipeline: thorin | ssa")
+		optLevel   = flag.Int("O", 2, "optimization level for the thorin pipeline: 0, 1 (no mangling), 2")
+		passes     = flag.String("passes", "", "explicit pass-pipeline spec, e.g. \"cleanup,pe,fix(cff,contify,mem2reg,inline-once),cleanup,closure\" (overrides -O)")
+		verifyEach = flag.Bool("verify-each", false, "run ir.Verify after every pass and fail naming the offending pass")
+		run        = flag.Bool("run", false, "execute main with the trailing integer arguments")
+		stats      = flag.Bool("stats", false, "print compilation and execution statistics")
+		schedule   = flag.String("schedule", "smart", "primop schedule: early | late | smart")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: thorinc [flags] file.imp [args...]")
+		flag.Usage()
+		os.Exit(2)
+	}
+	srcBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	src := string(srcBytes)
+
+	var args []int64
+	for _, a := range flag.Args()[1:] {
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad argument %q: %w", a, err))
+		}
+		args = append(args, v)
+	}
+
+	mode := analysis.ScheduleSmart
+	switch *schedule {
+	case "early":
+		mode = analysis.ScheduleEarly
+	case "late":
+		mode = analysis.ScheduleLate
+	}
+
+	opts := transform.OptAll()
+	switch *optLevel {
+	case 0:
+		opts = transform.OptNone()
+	case 1:
+		opts = transform.Options{Mem2Reg: true}
+	}
+	spec := transform.SpecFor(opts)
+	if *passes != "" {
+		spec = *passes
+	}
+
+	// Files ending in .thorin contain textual IR (the Print format) and
+	// bypass the frontend.
+	if strings.HasSuffix(flag.Arg(0), ".thorin") {
+		w, err := ir.ParseWorld(src)
+		if err != nil {
+			fatal(err)
+		}
+		pl, err := pm.Parse(spec)
+		if err != nil {
+			fatal(err)
+		}
+		ctx := pm.NewContext(w)
+		ctx.VerifyEach = *verifyEach
+		rep, err := pl.Run(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		emitReport(rep, *emit)
+		if *emit == "thorin" {
+			ir.Print(os.Stdout, w)
+		}
+		prog, err := codegen.Compile(w, "main", codegen.Config{Mode: mode})
+		if err != nil {
+			fatal(err)
+		}
+		runProgram(prog, args, *emit, *run, *stats)
+		return
+	}
+
+	var prog *vm.Program
+	switch *pipeline {
+	case "ssa":
+		p, mod, err := driver.CompileSSA(src)
+		if err != nil {
+			fatal(err)
+		}
+		prog = p
+		if *emit == "ssa" {
+			for _, f := range mod.Funcs {
+				fmt.Print(f.String())
+			}
+		}
+		if *stats {
+			phis, instrs := 0, 0
+			for _, f := range mod.Funcs {
+				phis += f.NumPhis()
+				instrs += f.NumInstrs()
+			}
+			fmt.Fprintf(os.Stderr, "ssa: %d functions, %d instructions, %d φs\n",
+				len(mod.Funcs), instrs, phis)
+		}
+	default:
+		res, err := driver.CompileSpec(src, spec, mode, driver.Config{VerifyEach: *verifyEach})
+		if err != nil {
+			fatal(err)
+		}
+		emitReport(res.Report, *emit)
+		if *emit == "thorin" {
+			ir.Print(os.Stdout, res.World)
+		}
+		if *emit == "dot" || *emit == "cfg" {
+			for _, c := range res.World.Externs() {
+				if c.IsIntrinsic() || !c.HasBody() {
+					continue
+				}
+				s := analysis.NewScope(c)
+				if *emit == "dot" {
+					analysis.WriteScopeDot(os.Stdout, s)
+				} else {
+					analysis.WriteCFGDot(os.Stdout, s)
+				}
+			}
+		}
+		prog = res.Program
+		if *stats {
+			m, st := res.IRStats, res.Stats
+			fmt.Fprintf(os.Stderr,
+				"thorin: %d continuations, %d primops, %d higher-order; cff-spec=%d m2r-slots=%d m2r-φparams=%d closures=%d\n",
+				m.Continuations, m.PrimOps, m.HigherOrder,
+				st.CFF.Specialized, st.Mem2Reg.PromotedSlots, st.Mem2Reg.PhiParams,
+				st.Closure.Closures)
+		}
+	}
+
+	runProgram(prog, args, *emit, *run, *stats)
+}
+
+// emitReport prints the pass-manager instrumentation when requested.
+func emitReport(rep *pm.Report, emit string) {
+	switch emit {
+	case "pass-report":
+		rep.WriteText(os.Stdout)
+	case "pass-report-json":
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runProgram handles the bytecode dump and execution stages shared by the
+// frontend and textual-IR paths.
+func runProgram(prog *vm.Program, args []int64, emit string, run, stats bool) {
+	if emit == "bytecode" {
+		vm.Disassemble(os.Stdout, prog)
+	}
+	if !run {
+		return
+	}
+	m := vm.New(prog, os.Stdout)
+	vals := make([]vm.Value, len(args))
+	for i, a := range args {
+		vals[i] = vm.Value{I: a}
+	}
+	res, err := m.Run(vals...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, v := range res {
+		fmt.Printf("result: %d\n", v.I)
+	}
+	if stats {
+		c := m.Counters
+		fmt.Fprintf(os.Stderr,
+			"vm: %d instructions, %d direct calls, %d indirect calls, %d closures allocated, %d loads, %d stores\n",
+			c.Instructions, c.DirectCalls, c.IndirectCalls, c.ClosureAllocs, c.Loads, c.Stores)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thorinc:", err)
+	os.Exit(1)
+}

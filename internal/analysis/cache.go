@@ -1,0 +1,141 @@
+package analysis
+
+import "thorin/internal/ir"
+
+// CacheStats counts how a Cache was used over its lifetime. Hits and
+// Misses are per lookup (one ScopeOf call is one lookup); Invalidations
+// counts InvalidateAll/Invalidate calls that actually dropped entries.
+type CacheStats struct {
+	Hits          int `json:"hits"`
+	Misses        int `json:"misses"`
+	Invalidations int `json:"invalidations"`
+}
+
+// Cache memoizes per-continuation analysis results — scopes, CFGs and
+// (post-)dominator trees — across the passes of one pipeline run. The
+// analyses are pure functions of the IR, so entries stay valid exactly
+// until the IR mutates; the owner (normally the pass manager) must call
+// InvalidateAll as soon as a pass reports a mutation. Cached values are
+// shared snapshots: callers must treat them as immutable.
+//
+// A nil *Cache is valid and simply computes every request from scratch
+// without storing anything, so transformation code can thread an optional
+// cache unconditionally.
+type Cache struct {
+	scopes map[*ir.Continuation]*Scope
+	cfgs   map[*ir.Continuation]*CFG
+	doms   map[*ir.Continuation]*DomTree
+	pdoms  map[*ir.Continuation]*DomTree
+	stats  CacheStats
+}
+
+// NewCache creates an empty analysis cache.
+func NewCache() *Cache {
+	c := &Cache{}
+	c.reset()
+	return c
+}
+
+func (c *Cache) reset() {
+	c.scopes = make(map[*ir.Continuation]*Scope)
+	c.cfgs = make(map[*ir.Continuation]*CFG)
+	c.doms = make(map[*ir.Continuation]*DomTree)
+	c.pdoms = make(map[*ir.Continuation]*DomTree)
+}
+
+// ScopeOf returns the scope of entry, computing and memoizing it on a miss.
+func (c *Cache) ScopeOf(entry *ir.Continuation) *Scope {
+	if c == nil {
+		return NewScope(entry)
+	}
+	if s, ok := c.scopes[entry]; ok {
+		c.stats.Hits++
+		return s
+	}
+	c.stats.Misses++
+	s := NewScope(entry)
+	c.scopes[entry] = s
+	return s
+}
+
+// CFGOf returns the control-flow graph of entry's scope.
+func (c *Cache) CFGOf(entry *ir.Continuation) *CFG {
+	if c == nil {
+		return NewCFG(NewScope(entry))
+	}
+	if g, ok := c.cfgs[entry]; ok {
+		c.stats.Hits++
+		return g
+	}
+	c.stats.Misses++
+	g := NewCFG(c.ScopeOf(entry))
+	c.cfgs[entry] = g
+	return g
+}
+
+// DomTreeOf returns the dominator tree of entry's CFG.
+func (c *Cache) DomTreeOf(entry *ir.Continuation) *DomTree {
+	if c == nil {
+		return NewDomTree(NewCFG(NewScope(entry)))
+	}
+	if t, ok := c.doms[entry]; ok {
+		c.stats.Hits++
+		return t
+	}
+	c.stats.Misses++
+	t := NewDomTree(c.CFGOf(entry))
+	c.doms[entry] = t
+	return t
+}
+
+// PostDomTreeOf returns the post-dominator tree of entry's CFG.
+func (c *Cache) PostDomTreeOf(entry *ir.Continuation) *DomTree {
+	if c == nil {
+		return NewPostDomTree(NewCFG(NewScope(entry)))
+	}
+	if t, ok := c.pdoms[entry]; ok {
+		c.stats.Hits++
+		return t
+	}
+	c.stats.Misses++
+	t := NewPostDomTree(c.CFGOf(entry))
+	c.pdoms[entry] = t
+	return t
+}
+
+// Invalidate drops every entry keyed by entry. Note that a mutation inside
+// one scope can affect enclosing scopes too; use InvalidateAll unless the
+// caller knows the mutation is contained.
+func (c *Cache) Invalidate(entry *ir.Continuation) {
+	if c == nil {
+		return
+	}
+	if _, ok := c.scopes[entry]; ok {
+		c.stats.Invalidations++
+	}
+	delete(c.scopes, entry)
+	delete(c.cfgs, entry)
+	delete(c.doms, entry)
+	delete(c.pdoms, entry)
+}
+
+// InvalidateAll drops every cached result. This is the rule the pass
+// manager applies after any pass that reports a mutation: analyses are only
+// reusable between mutation-free pass runs.
+func (c *Cache) InvalidateAll() {
+	if c == nil {
+		return
+	}
+	if len(c.scopes)+len(c.cfgs)+len(c.doms)+len(c.pdoms) > 0 {
+		c.stats.Invalidations++
+	}
+	c.reset()
+}
+
+// Stats returns the lifetime counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return c.stats
+}

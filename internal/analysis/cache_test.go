@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"testing"
+
+	"thorin/internal/ir"
+)
+
+// cacheWorld builds a tiny function: main(mem, ret) jumps to ret.
+func cacheWorld() (*ir.World, *ir.Continuation) {
+	w := ir.NewWorld()
+	main := w.Continuation(w.FnType(w.MemType(), w.FnType(w.MemType())), "main")
+	main.SetExtern(true)
+	main.Jump(main.Param(1), main.Param(0))
+	return w, main
+}
+
+func TestCacheScopeMemoization(t *testing.T) {
+	_, main := cacheWorld()
+	c := NewCache()
+	s1 := c.ScopeOf(main)
+	s2 := c.ScopeOf(main)
+	if s1 != s2 {
+		t.Error("second ScopeOf must return the memoized scope")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	c.InvalidateAll()
+	s3 := c.ScopeOf(main)
+	if s3 == s1 {
+		t.Error("ScopeOf after InvalidateAll must recompute")
+	}
+	st = c.Stats()
+	if st.Invalidations != 1 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 1 invalidation / 2 misses", st)
+	}
+}
+
+func TestCacheDerivedAnalyses(t *testing.T) {
+	_, main := cacheWorld()
+	c := NewCache()
+	g1 := c.CFGOf(main)
+	if g2 := c.CFGOf(main); g2 != g1 {
+		t.Error("CFGOf must memoize")
+	}
+	d1 := c.DomTreeOf(main)
+	if d2 := c.DomTreeOf(main); d2 != d1 {
+		t.Error("DomTreeOf must memoize")
+	}
+	p1 := c.PostDomTreeOf(main)
+	if p2 := c.PostDomTreeOf(main); p2 != p1 {
+		t.Error("PostDomTreeOf must memoize")
+	}
+	c.Invalidate(main)
+	if c.CFGOf(main) == g1 {
+		t.Error("CFGOf after Invalidate must recompute")
+	}
+}
+
+func TestNilCacheComputes(t *testing.T) {
+	_, main := cacheWorld()
+	var c *Cache
+	if c.ScopeOf(main) == nil || c.CFGOf(main) == nil ||
+		c.DomTreeOf(main) == nil || c.PostDomTreeOf(main) == nil {
+		t.Fatal("nil cache must still compute analyses")
+	}
+	c.Invalidate(main)
+	c.InvalidateAll() // must not panic
+	if c.Stats() != (CacheStats{}) {
+		t.Error("nil cache has zero stats")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"thorin/internal/analysis"
 	"thorin/internal/driver"
+	"thorin/internal/pm"
 	"thorin/internal/transform"
 	"thorin/internal/vm"
 )
@@ -66,6 +67,9 @@ type RunResult struct {
 	CompileTime time.Duration
 	// IR size after optimization (Thorin pipelines only).
 	IR driver.IRStats
+	// Report is the pass manager's per-pass instrumentation of the
+	// compilation (Thorin pipelines only).
+	Report *pm.Report
 	// Mem2RegPhis counts the continuation parameters introduced by slot
 	// promotion (Thorin pipelines only).
 	Mem2RegPhis int
@@ -98,6 +102,7 @@ func Run(src string, p Pipeline, n int64) (RunResult, error) {
 		}
 		out.CompileTime = time.Since(start)
 		out.IR = res.IRStats
+		out.Report = res.Report
 		out.Mem2RegPhis = res.Stats.Mem2Reg.PhiParams
 		out.Checksum, out.Counters, err = driver.Exec(res.Program, nil, n)
 		return out, err

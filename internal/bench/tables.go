@@ -173,6 +173,37 @@ func Table3(w io.Writer) error {
 	return nil
 }
 
+// TablePasses prints the per-pass compile-time breakdown of the full
+// pipeline (functional variants, -O2), from the pass manager's
+// instrumentation: how often each pass ran (fix iterations included), how
+// long it took in total, and how many rewrites it applied.
+func TablePasses(w io.Writer) error {
+	fmt.Fprintf(w, "Table 5: per-pass compile time (functional variants, θO2)\n")
+	header := false
+	for i := range Suite {
+		p := &Suite[i]
+		res, err := driver.Compile(p.Functional, transform.OptAll(), analysis.ScheduleSmart)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.Name, err)
+		}
+		totals := res.Report.PassTotals()
+		if !header {
+			fmt.Fprintf(w, "%-14s |", "benchmark")
+			for _, t := range totals {
+				fmt.Fprintf(w, " %11s", t.Name)
+			}
+			fmt.Fprintf(w, " | %9s\n", "total")
+			header = true
+		}
+		fmt.Fprintf(w, "%-14s |", p.Name)
+		for _, t := range totals {
+			fmt.Fprintf(w, " %9dµs", t.Time.Microseconds())
+		}
+		fmt.Fprintf(w, " | %7dµs\n", res.Report.Total.Microseconds())
+	}
+	return nil
+}
+
 // Table4 prints compile-time scaling over synthetic higher-order call
 // chains of increasing depth.
 func Table4(w io.Writer) error {

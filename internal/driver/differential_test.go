@@ -1,11 +1,26 @@
 package driver
 
 import (
+	"io"
 	"strings"
 	"testing"
 
+	"thorin/internal/analysis"
 	"thorin/internal/transform"
+	"thorin/internal/vm"
 )
+
+// runVerified is Run with the pass manager's verify-each debug mode on:
+// ir.Verify runs after every pass, so a pass that corrupts the IR fails the
+// differential suite by name instead of as a downstream miscompile.
+func runVerified(src string, opts transform.Options, out io.Writer, args ...int64) (int64, vm.Counters, error) {
+	res, err := CompileSpec(src, transform.SpecFor(opts), analysis.ScheduleSmart,
+		Config{VerifyEach: true})
+	if err != nil {
+		return 0, vm.Counters{}, err
+	}
+	return Exec(res.Program, out, args...)
+}
 
 // differentialPrograms exercise every language feature; all three pipelines
 // (Thorin optimized, Thorin unoptimized, classical SSA baseline) must agree
@@ -142,11 +157,11 @@ func TestDifferentialPipelines(t *testing.T) {
 	for _, tc := range differentialPrograms {
 		t.Run(tc.name, func(t *testing.T) {
 			var outOpt, outNo, outSSA strings.Builder
-			gotOpt, _, err := Run(tc.src, transform.OptAll(), &outOpt, tc.args...)
+			gotOpt, _, err := runVerified(tc.src, transform.OptAll(), &outOpt, tc.args...)
 			if err != nil {
 				t.Fatalf("thorin-opt: %v", err)
 			}
-			gotNo, _, err := Run(tc.src, transform.OptNone(), &outNo, tc.args...)
+			gotNo, _, err := runVerified(tc.src, transform.OptNone(), &outNo, tc.args...)
 			if err != nil {
 				t.Fatalf("thorin-noopt: %v", err)
 			}
@@ -188,7 +203,7 @@ fn main(n: i64) -> i64 {
 	fold(xs, 0, |a: i64, b: i64| a + b)
 }`
 	const n = 10000
-	_, cOpt, err := Run(src, transform.OptAll(), nil, n)
+	_, cOpt, err := runVerified(src, transform.OptAll(), nil, n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,8 +246,8 @@ fn main(n: i64) -> i64 {
 		name string
 		run  func() (int64, error)
 	}{
-		{"thorin-opt", func() (int64, error) { v, _, err := Run(src, transform.OptAll(), nil, 7); return v, err }},
-		{"thorin-noopt", func() (int64, error) { v, _, err := Run(src, transform.OptNone(), nil, 7); return v, err }},
+		{"thorin-opt", func() (int64, error) { v, _, err := runVerified(src, transform.OptAll(), nil, 7); return v, err }},
+		{"thorin-noopt", func() (int64, error) { v, _, err := runVerified(src, transform.OptNone(), nil, 7); return v, err }},
 		{"ssa", func() (int64, error) { v, _, err := RunSSA(src, nil, 7); return v, err }},
 	} {
 		got, err := arm.run()

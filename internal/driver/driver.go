@@ -12,6 +12,7 @@ import (
 	"thorin/internal/codegen"
 	"thorin/internal/impala"
 	"thorin/internal/ir"
+	"thorin/internal/pm"
 	"thorin/internal/ssa"
 	"thorin/internal/transform"
 	"thorin/internal/vm"
@@ -24,6 +25,16 @@ type Result struct {
 	Stats   transform.Stats
 	// IRStats are taken after optimization.
 	IRStats IRStats
+	// Report is the pass manager's per-pass instrumentation of the run.
+	Report *pm.Report
+}
+
+// Config controls the optimizer run beyond the pipeline spec itself.
+type Config struct {
+	// VerifyEach runs ir.Verify after every pass and fails the compile
+	// naming the offending pass (a debug mode; the differential tests
+	// enable it).
+	VerifyEach bool
 }
 
 // IRStats summarizes the IR after a pipeline run.
@@ -33,13 +44,31 @@ type IRStats struct {
 	HigherOrder   int // continuations violating control-flow form
 }
 
-// Compile runs the full pipeline over src.
+// Compile runs the full pipeline over src. Options map to their canonical
+// pass-manager spec (transform.SpecFor), so this is CompileSpec with the
+// default configuration.
 func Compile(src string, opts transform.Options, mode analysis.Mode) (*Result, error) {
+	return CompileSpec(src, transform.SpecFor(opts), mode, Config{})
+}
+
+// CompileSpec runs the frontend, an explicit pass-manager pipeline spec
+// (e.g. "cleanup,pe,fix(cff,contify,mem2reg,inline-once),cleanup,closure")
+// and the backend over src.
+func CompileSpec(src, spec string, mode analysis.Mode, cfg Config) (*Result, error) {
 	w, err := impala.Compile(src)
 	if err != nil {
 		return nil, err
 	}
-	stats := transform.Optimize(w, opts)
+	pl, err := pm.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	ctx := pm.NewContext(w)
+	ctx.VerifyEach = cfg.VerifyEach
+	rep, err := pl.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
 	if err := ir.Verify(w); err != nil {
 		return nil, fmt.Errorf("driver: optimizer produced invalid IR: %w", err)
 	}
@@ -50,8 +79,9 @@ func Compile(src string, opts transform.Options, mode analysis.Mode) (*Result, e
 	return &Result{
 		World:   w,
 		Program: prog,
-		Stats:   stats,
+		Stats:   transform.PipelineStats(ctx),
 		IRStats: MeasureIR(w),
+		Report:  rep,
 	}, nil
 }
 

@@ -71,6 +71,13 @@ func (w *World) Stats() (requested, consHits, conts int) {
 // NumPrimOps returns the number of distinct primop nodes in the world.
 func (w *World) NumPrimOps() int { return len(w.primops) }
 
+// Generation returns a counter that advances whenever a new node of any
+// kind is allocated. Together with the continuation and primop counts it
+// forms a cheap change fingerprint: a pass that created or removed nodes is
+// guaranteed to move at least one of the three (the pass manager uses this
+// as its fixpoint signal).
+func (w *World) Generation() int { return w.nextGID }
+
 func (w *World) newGID() int {
 	w.nextGID++
 	return w.nextGID

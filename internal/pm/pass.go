@@ -1,0 +1,65 @@
+// Package pm is the pass manager: it treats the optimization pipeline as
+// data. Passes are named units registered in a global registry; a Pipeline
+// is parsed from a spec string such as
+//
+//	cleanup,pe,fix(cff,contify,mem2reg,inline-once),cleanup,closure
+//
+// where the fix(...) combinator iterates a pass group until the IR stops
+// changing. The runner memoizes analyses in a shared cache between
+// mutation-free pass runs and records per-pass instrumentation (wall time,
+// rewrites applied, IR size deltas) into a Report.
+package pm
+
+import (
+	"thorin/internal/analysis"
+	"thorin/internal/ir"
+)
+
+// Result is what one pass run reports back to the driver.
+type Result struct {
+	// Rewrites counts the rewrites the pass applied (its native unit:
+	// specializations, promoted slots, inlined calls, ...). A non-zero
+	// count marks the pass as changing for fixpoint purposes.
+	Rewrites int
+	// Changed forces the pass to count as changing even with zero
+	// rewrites. The runner additionally fingerprints the world before and
+	// after each run, so a pass that forgets to set either still triggers
+	// invalidation when it allocates or removes nodes.
+	Changed bool
+}
+
+// Pass is one named unit of IR transformation (or inspection).
+// Implementations must be stateless: the same Pass value is shared by every
+// pipeline that names it, and all per-run state lives in the Context.
+type Pass interface {
+	Name() string
+	Run(ctx *Context) (Result, error)
+}
+
+// Context carries the per-run state a pass may use: the world under
+// transformation, the shared analysis cache, and an open blackboard for
+// pass-family state (e.g. accumulated typed statistics).
+type Context struct {
+	World *ir.World
+	// Cache memoizes ScopeOf/CFG/domtree per continuation. The runner
+	// invalidates it wholesale after every pass that changed the IR; a
+	// pass that mutates mid-run and keeps reading analyses must invalidate
+	// eagerly itself.
+	Cache *analysis.Cache
+	// VerifyEach makes the runner call ir.Verify after every pass and
+	// abort the pipeline naming the offending pass.
+	VerifyEach bool
+
+	data map[string]any
+}
+
+// NewContext creates a run context for w with a fresh analysis cache.
+func NewContext(w *ir.World) *Context {
+	return &Context{World: w, Cache: analysis.NewCache(), data: make(map[string]any)}
+}
+
+// Put stores a blackboard value under key.
+func (c *Context) Put(key string, v any) { c.data[key] = v }
+
+// Get returns the blackboard value under key, or nil.
+func (c *Context) Get(key string) any { return c.data[key] }

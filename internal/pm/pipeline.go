@@ -1,0 +1,143 @@
+package pm
+
+import (
+	"fmt"
+	"time"
+
+	"thorin/internal/ir"
+)
+
+// DefaultMaxFixIters bounds every fix(...) group. A group that has not
+// reached a fixpoint after this many iterations stops and is flagged
+// Saturated in the report instead of looping forever.
+const DefaultMaxFixIters = 32
+
+// Pipeline is a parsed pass sequence ready to run.
+type Pipeline struct {
+	// Spec is the string the pipeline was parsed from.
+	Spec string
+	// MaxFixIters bounds each fix group (DefaultMaxFixIters when parsed).
+	MaxFixIters int
+
+	items []item
+}
+
+// fingerprint is the cheap world-change signal: any node allocation moves
+// gen, any continuation or primop removal moves the counts.
+type fingerprint struct {
+	gen     int
+	conts   int
+	primops int
+}
+
+func snapshot(w *ir.World) fingerprint {
+	return fingerprint{gen: w.Generation(), conts: len(w.Continuations()), primops: w.NumPrimOps()}
+}
+
+// Run executes the pipeline over ctx.World. It always returns the report
+// accumulated so far, even when a pass or a verification fails.
+func (p *Pipeline) Run(ctx *Context) (*Report, error) {
+	rep := &Report{Spec: p.Spec}
+	start := time.Now()
+	_, err := p.runSeq(ctx, p.items, rep, "", 0)
+	rep.Total = time.Since(start)
+	rep.Cache = ctx.Cache.Stats()
+	return rep, err
+}
+
+// runSeq runs one pass sequence, returning whether any pass changed the IR.
+// path labels the enclosing fix nesting ("fix", "fix/fix", ...) and iter is
+// the current iteration of the innermost enclosing group (0 = top level).
+func (p *Pipeline) runSeq(ctx *Context, items []item, rep *Report, path string, iter int) (bool, error) {
+	changed := false
+	for _, it := range items {
+		switch it := it.(type) {
+		case passItem:
+			ch, err := p.runPass(ctx, it.pass, rep, path, iter)
+			changed = changed || ch
+			if err != nil {
+				return changed, err
+			}
+		case fixItem:
+			ch, err := p.runFix(ctx, it, rep, path)
+			changed = changed || ch
+			if err != nil {
+				return changed, err
+			}
+		}
+	}
+	return changed, nil
+}
+
+// runFix iterates a pass group until an iteration reports no change.
+func (p *Pipeline) runFix(ctx *Context, f fixItem, rep *Report, path string) (bool, error) {
+	sub := "fix"
+	if path != "" {
+		sub = path + "/fix"
+	}
+	max := p.MaxFixIters
+	if max <= 0 {
+		max = DefaultMaxFixIters
+	}
+	changed := false
+	for i := 1; ; i++ {
+		ch, err := p.runSeq(ctx, f.items, rep, sub, i)
+		changed = changed || ch
+		if err != nil {
+			return changed, err
+		}
+		if !ch {
+			return changed, nil
+		}
+		if i == max {
+			rep.Saturated = true
+			return changed, nil
+		}
+	}
+}
+
+func (p *Pipeline) runPass(ctx *Context, pass Pass, rep *Report, path string, iter int) (bool, error) {
+	before := snapshot(ctx.World)
+	cacheBefore := ctx.Cache.Stats()
+	start := time.Now()
+	res, err := pass.Run(ctx)
+	dur := time.Since(start)
+	after := snapshot(ctx.World)
+	cacheAfter := ctx.Cache.Stats()
+
+	changed := res.Changed || res.Rewrites > 0 || after != before
+	if changed {
+		// Conservative invalidation rule: any reported or fingerprinted
+		// mutation voids every memoized analysis.
+		ctx.Cache.InvalidateAll()
+	}
+
+	run := PassRun{
+		Name:          pass.Name(),
+		Path:          path,
+		Iter:          iter,
+		Time:          dur,
+		Rewrites:      res.Rewrites,
+		Changed:       changed,
+		ContsBefore:   before.conts,
+		ContsAfter:    after.conts,
+		PrimOpsBefore: before.primops,
+		PrimOpsAfter:  after.primops,
+		CacheHits:     cacheAfter.Hits - cacheBefore.Hits,
+		CacheMisses:   cacheAfter.Misses - cacheBefore.Misses,
+	}
+	if err != nil {
+		run.Err = err.Error()
+		rep.Runs = append(rep.Runs, run)
+		return changed, fmt.Errorf("pm: pass %q failed: %w", pass.Name(), err)
+	}
+	if ctx.VerifyEach {
+		if verr := ir.Verify(ctx.World); verr != nil {
+			run.Err = verr.Error()
+			rep.Runs = append(rep.Runs, run)
+			return changed, fmt.Errorf("pm: pass %q left invalid IR: %w", pass.Name(), verr)
+		}
+	}
+	rep.Runs = append(rep.Runs, run)
+	return changed, nil
+}

@@ -22,7 +22,13 @@ type ClosureStats struct {
 // plain branches and calls. Only uses that survive as data require closure
 // records, so running the optimizer first (LowerToCFF) minimizes this
 // pass's output.
-func ClosureConvert(w *ir.World) ClosureStats {
+func ClosureConvert(w *ir.World) ClosureStats { return ClosureConvertWith(w, nil) }
+
+// ClosureConvertWith is ClosureConvert reading scopes through an optional
+// analysis cache; scopes of continuations that need no conversion stay
+// cached, and the cache is invalidated whenever a conversion mutates the
+// graph.
+func ClosureConvertWith(w *ir.World, ac *analysis.Cache) ClosureStats {
 	var stats ClosureStats
 	for round := 0; round < 32; round++ {
 		changed := false
@@ -30,7 +36,7 @@ func ClosureConvert(w *ir.World) ClosureStats {
 			if k.IsIntrinsic() || !k.HasBody() {
 				continue
 			}
-			s := analysis.NewScope(k)
+			s := ac.ScopeOf(k)
 			capturing := len(s.FreeParams()) != 0
 			var valueUses []ir.Use
 			for _, u := range k.Uses() {
@@ -81,6 +87,7 @@ func ClosureConvert(w *ir.World) ClosureStats {
 					ReplaceUses(w, user, Rebuild(w, user, ops))
 				}
 			}
+			ac.InvalidateAll()
 		}
 		// Converting a nested lambda can introduce its captured values as
 		// closure-environment operands inside an *already lifted* enclosing
@@ -100,7 +107,7 @@ func ClosureConvert(w *ir.World) ClosureStats {
 			if len(cloUses) == 0 {
 				continue
 			}
-			s := analysis.NewScope(k)
+			s := ac.ScopeOf(k)
 			lift := paramDependentFrontier(s)
 			if len(lift) == 0 {
 				continue
@@ -113,13 +120,18 @@ func ClosureConvert(w *ir.World) ClosureStats {
 				env := append(append([]ir.Def(nil), clo.Ops()[1:]...), lift...)
 				ReplaceUses(w, clo, w.Closure(clo.Type().(*ir.FnType), code, env...))
 			}
+			ac.InvalidateAll()
 		}
 		if !changed {
 			break
 		}
 	}
-	etaExpandRetArgs(w)
-	Cleanup(w)
+	if etaExpandRetArgs(w) > 0 {
+		ac.InvalidateAll()
+	}
+	if cs := Cleanup(w); cs != (CleanupStats{}) {
+		ac.InvalidateAll()
+	}
 	return stats
 }
 

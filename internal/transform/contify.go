@@ -13,7 +13,12 @@ import (
 //
 // This is the classical contification optimization; in the mangling
 // framework it is a one-call specialization.
-func Contify(w *ir.World) int {
+func Contify(w *ir.World) int { return ContifyWith(w, nil) }
+
+// ContifyWith is Contify reading scopes through an optional analysis cache.
+// The cache is invalidated as soon as a specialization mutates the graph,
+// so entries are only reused across the mutation-free probing stretches.
+func ContifyWith(w *ir.World, ac *analysis.Cache) int {
 	n := 0
 	for round := 0; round < 8; round++ {
 		changed := false
@@ -29,7 +34,7 @@ func Contify(w *ir.World) int {
 			// k are rewired to the specialized entry by Mangle itself.
 			args := make([]ir.Def, f.NumParams())
 			args[f.NumParams()-1] = k
-			spec := Drop(analysis.NewScope(f), args)
+			spec := Drop(ac.ScopeOf(f), args)
 			spec.SetName(f.Name() + ".cont")
 			for _, u := range f.Uses() {
 				caller, ok := u.Def.(*ir.Continuation)
@@ -39,6 +44,7 @@ func Contify(w *ir.World) int {
 				kept := caller.Args()[:caller.NumArgs()-1]
 				caller.Jump(spec, kept...)
 			}
+			ac.InvalidateAll()
 			n++
 			changed = true
 		}
@@ -46,6 +52,7 @@ func Contify(w *ir.World) int {
 			break
 		}
 		Cleanup(w)
+		ac.InvalidateAll()
 	}
 	return n
 }

@@ -23,13 +23,18 @@ type Mem2RegStats struct {
 // transformation in Thorin: the φ-placement algorithm of Braun et al. runs
 // on the CPS graph, and φ-functions materialize as parameters of join-point
 // continuations.
-func Mem2Reg(w *ir.World) Mem2RegStats {
+func Mem2Reg(w *ir.World) Mem2RegStats { return Mem2RegWith(w, nil) }
+
+// Mem2RegWith is Mem2Reg reading scopes through an optional analysis cache.
+// Scopes of scanned-but-unchanged roots stay cached for later passes; the
+// cache is invalidated whenever a promotion mutates the graph.
+func Mem2RegWith(w *ir.World, ac *analysis.Cache) Mem2RegStats {
 	var stats Mem2RegStats
 	for _, c := range append([]*ir.Continuation(nil), w.Continuations()...) {
 		if !c.HasBody() || c.IsIntrinsic() || !c.IsReturning() {
 			continue
 		}
-		s := analysis.NewScope(c)
+		s := ac.ScopeOf(c)
 		if !s.TopLevel() {
 			continue // nested function: promoted via its enclosing root
 		}
@@ -38,10 +43,15 @@ func Mem2Reg(w *ir.World) Mem2RegStats {
 			continue
 		}
 		slots, phis := promoteScope(w, s)
+		if slots > 0 {
+			ac.InvalidateAll()
+		}
 		stats.PromotedSlots += slots
 		stats.PhiParams += phis
 	}
-	Cleanup(w)
+	if cs := Cleanup(w); cs != (CleanupStats{}) {
+		ac.InvalidateAll()
+	}
 	return stats
 }
 

@@ -1,0 +1,135 @@
+package transform
+
+import (
+	"strings"
+
+	"thorin/internal/ir"
+	"thorin/internal/pm"
+)
+
+// This file adapts the transform passes to the pass manager: every pass is
+// registered under a stable name, so pipelines can be assembled from spec
+// strings (see SpecFor for the canonical ones). The typed Stats aggregate
+// lives on the run context's blackboard and accumulates across fix-group
+// iterations.
+
+// statsKey is the Context blackboard slot holding the accumulated *Stats.
+const statsKey = "transform.stats"
+
+func ctxStats(ctx *pm.Context) *Stats {
+	if st, ok := ctx.Get(statsKey).(*Stats); ok {
+		return st
+	}
+	st := &Stats{}
+	ctx.Put(statsKey, st)
+	return st
+}
+
+// PipelineStats returns the typed statistics the standard passes
+// accumulated over one run context (the zero Stats if none ran).
+func PipelineStats(ctx *pm.Context) Stats {
+	if st, ok := ctx.Get(statsKey).(*Stats); ok {
+		return *st
+	}
+	return Stats{}
+}
+
+// stdPass adapts a stats-accumulating function to pm.Pass.
+type stdPass struct {
+	name string
+	run  func(ctx *pm.Context, st *Stats) pm.Result
+}
+
+func (p stdPass) Name() string { return p.name }
+
+func (p stdPass) Run(ctx *pm.Context) (pm.Result, error) {
+	return p.run(ctx, ctxStats(ctx)), nil
+}
+
+func init() {
+	pm.Register(stdPass{"cleanup", func(ctx *pm.Context, st *Stats) pm.Result {
+		s := Cleanup(ctx.World)
+		st.Cleanup.RemovedConts += s.RemovedConts
+		st.Cleanup.EtaReduced += s.EtaReduced
+		st.Cleanup.DeadParams += s.DeadParams
+		return pm.Result{Rewrites: s.RemovedConts + s.EtaReduced + s.DeadParams}
+	}})
+	pm.Register(stdPass{"pe", func(ctx *pm.Context, st *Stats) pm.Result {
+		s := PartialEval(ctx.World)
+		st.PE.Specialized += s.Specialized
+		st.PE.Inlined += s.Inlined
+		st.PE.Saturated = st.PE.Saturated || s.Saturated
+		return pm.Result{Rewrites: s.Specialized + s.Inlined}
+	}})
+	pm.Register(stdPass{"cff", func(ctx *pm.Context, st *Stats) pm.Result {
+		s := LowerToCFF(ctx.World)
+		st.CFF.Specialized += s.Specialized
+		st.CFF.Saturated = st.CFF.Saturated || s.Saturated
+		return pm.Result{Rewrites: s.Specialized}
+	}})
+	pm.Register(stdPass{"contify", func(ctx *pm.Context, st *Stats) pm.Result {
+		n := ContifyWith(ctx.World, ctx.Cache)
+		st.Contified += n
+		return pm.Result{Rewrites: n}
+	}})
+	pm.Register(stdPass{"mem2reg", func(ctx *pm.Context, st *Stats) pm.Result {
+		s := Mem2RegWith(ctx.World, ctx.Cache)
+		st.Mem2Reg.PromotedSlots += s.PromotedSlots
+		st.Mem2Reg.PhiParams += s.PhiParams
+		st.Mem2Reg.SkippedScopes += s.SkippedScopes
+		return pm.Result{Rewrites: s.PromotedSlots + s.PhiParams}
+	}})
+	pm.Register(stdPass{"inline-once", func(ctx *pm.Context, st *Stats) pm.Result {
+		n := InlineOnce(ctx.World)
+		st.Inlined += n
+		return pm.Result{Rewrites: n}
+	}})
+	pm.Register(stdPass{"closure", func(ctx *pm.Context, st *Stats) pm.Result {
+		s := ClosureConvertWith(ctx.World, ctx.Cache)
+		st.Closure.Closures += s.Closures
+		st.Closure.Lifted += s.Lifted
+		return pm.Result{Rewrites: s.Closures + s.Lifted}
+	}})
+}
+
+// SpecFor maps an Options value to its canonical pipeline spec. The
+// optimization passes form a single fix group iterated to a fixpoint; the
+// post-mangling Cleanup of the original hardcoded pipeline is gone — it was
+// provably redundant (LowerToCFF ends with an internal cleanup), and any
+// residual work is picked up by the next fix iteration.
+func SpecFor(o Options) string {
+	parts := []string{"cleanup"}
+	if o.PartialEval {
+		parts = append(parts, "pe")
+	}
+	var group []string
+	if o.Mangle {
+		group = append(group, "cff")
+	}
+	if o.Contify {
+		group = append(group, "contify")
+	}
+	if o.Mem2Reg {
+		group = append(group, "mem2reg")
+	}
+	if o.InlineOnce {
+		group = append(group, "inline-once")
+	}
+	if len(group) > 0 {
+		parts = append(parts, "fix("+strings.Join(group, ",")+")")
+	}
+	parts = append(parts, "cleanup", "closure")
+	return strings.Join(parts, ",")
+}
+
+// RunPipeline parses spec and runs it over w with a fresh context,
+// returning the accumulated typed stats and the instrumentation report.
+func RunPipeline(w *ir.World, spec string) (Stats, *pm.Report, error) {
+	pl, err := pm.Parse(spec)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	ctx := pm.NewContext(w)
+	rep, err := pl.Run(ctx)
+	return PipelineStats(ctx), rep, err
+}

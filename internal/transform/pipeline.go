@@ -45,12 +45,27 @@ type Stats struct {
 	Closure   ClosureStats
 }
 
-// Optimize runs the configured pipeline over w and lowers the result so a
-// backend can consume it (all residual first-class functions become
-// closures). The pass order follows the Thorin implementation: cleanup,
-// partial evaluation, CFF conversion, slot promotion, single-use inlining,
-// final cleanup, closure conversion.
+// Optimize runs the canonical pipeline for opts over w and lowers the
+// result so a backend can consume it (all residual first-class functions
+// become closures). It is a thin wrapper over the pass manager: the pass
+// order is SpecFor(opts), with the optimization passes iterated to a
+// fixpoint. Callers that need the per-pass instrumentation should use
+// RunPipeline (or the driver's CompileSpec) instead.
 func Optimize(w *ir.World, opts Options) Stats {
+	st, _, err := RunPipeline(w, SpecFor(opts))
+	if err != nil {
+		// Canonical specs parse by construction and the standard passes
+		// never fail, so any error here is a programming error.
+		panic("transform: canonical pipeline failed: " + err.Error())
+	}
+	return st
+}
+
+// OptimizeLegacy is the frozen pre-pass-manager pipeline: every pass runs
+// exactly once in the original hardcoded order (including the redundant
+// post-mangling Cleanup). It is retained as the reference arm of the
+// pipeline-equivalence tests and must not be changed.
+func OptimizeLegacy(w *ir.World, opts Options) Stats {
 	var st Stats
 	st.Cleanup = Cleanup(w)
 	if opts.PartialEval {
