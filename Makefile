@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench bench-passes tables
+.PHONY: all build test race vet fmt ci fuzz-smoke bench bench-passes tables
 
 all: build test
 
@@ -10,8 +10,12 @@ build:
 test:
 	$(GO) test ./...
 
+# race also re-runs the pass-manager and driver packages with four analysis
+# workers forced, so the parallel scope scheduler is exercised under the race
+# detector even on single-core hosts.
 race:
 	$(GO) test -race ./...
+	THORIN_JOBS=4 $(GO) test -race ./internal/pm/... ./internal/driver/...
 
 vet:
 	$(GO) vet ./...
@@ -23,7 +27,12 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt vet build race
+ci: fmt vet build race fuzz-smoke
+
+# fuzz-smoke gives the integer-fold fuzzer (seeded with the signed-overflow
+# and division edge cases) a short budget; it fails fast on any fold panic.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzFoldArith -fuzztime=10s ./internal/ir
 
 # bench runs the whole evaluation harness at laptop scale.
 bench:

@@ -10,6 +10,7 @@
 //	thorin-bench -table 3          # φ vs mem2reg params
 //	thorin-bench -table 4          # compile-time scaling
 //	thorin-bench -table 5          # per-pass compile-time breakdown
+//	thorin-bench -table 6          # compile time vs -jobs workers
 //	thorin-bench -figure runtime   # the headline runtime comparison
 //	thorin-bench -figure sweep     # overhead vs input size
 //	thorin-bench -ablation all     # consing / schedule / mem2reg ablations
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "print table N (1-5)")
+		table    = flag.Int("table", 0, "print table N (1-6)")
 		figure   = flag.String("figure", "", "print figure: runtime | sweep")
 		ablation = flag.String("ablation", "", "print ablation: consing | schedule | mem2reg | all")
 		all      = flag.Bool("all", false, "print every table, figure and ablation")
@@ -74,6 +75,9 @@ func main() {
 	}
 	if *all || *table == 5 {
 		check(bench.TablePasses(out))
+	}
+	if *all || *table == 6 {
+		check(bench.TableJobs(out))
 	}
 	if *all || *ablation == "consing" || *ablation == "all" {
 		check(bench.AblationConsing(out))

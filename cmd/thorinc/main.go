@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -42,6 +43,7 @@ func main() {
 		optLevel   = flag.Int("O", 2, "optimization level for the thorin pipeline: 0, 1 (no mangling), 2")
 		passes     = flag.String("passes", "", "explicit pass-pipeline spec, e.g. \"cleanup,pe,fix(cff,contify,mem2reg,inline-once),cleanup,closure\" (overrides -O)")
 		verifyEach = flag.Bool("verify-each", false, "run ir.Verify after every pass and fail naming the offending pass")
+		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "worker count for the parallel analysis phase of scope-level passes (output is identical at every value)")
 		run        = flag.Bool("run", false, "execute main with the trailing integer arguments")
 		stats      = flag.Bool("stats", false, "print compilation and execution statistics")
 		schedule   = flag.String("schedule", "smart", "primop schedule: early | late | smart")
@@ -100,6 +102,9 @@ func main() {
 		}
 		ctx := pm.NewContext(w)
 		ctx.VerifyEach = *verifyEach
+		if *jobs > 0 {
+			ctx.Jobs = *jobs
+		}
 		rep, err := pl.Run(ctx)
 		if err != nil {
 			fatal(err)
@@ -139,7 +144,7 @@ func main() {
 				len(mod.Funcs), instrs, phis)
 		}
 	default:
-		res, err := driver.CompileSpec(src, spec, mode, driver.Config{VerifyEach: *verifyEach})
+		res, err := driver.CompileSpec(src, spec, mode, driver.Config{VerifyEach: *verifyEach, Jobs: *jobs})
 		if err != nil {
 			fatal(err)
 		}

@@ -1,6 +1,11 @@
 package analysis
 
-import "thorin/internal/ir"
+import (
+	"sync"
+	"sync/atomic"
+
+	"thorin/internal/ir"
+)
 
 // CacheStats counts how a Cache was used over its lifetime. Hits and
 // Misses are per lookup (one ScopeOf call is one lookup); Invalidations
@@ -11,6 +16,23 @@ type CacheStats struct {
 	Invalidations int `json:"invalidations"`
 }
 
+// contEntry holds every memoized analysis of one continuation. All fields
+// are guarded by mu; holding one entry's lock never requires another
+// entry's lock, so parallel workers analyzing different scopes proceed
+// independently while workers asking for the same scope serialize and share
+// one computation.
+type contEntry struct {
+	mu    sync.Mutex
+	scope *Scope
+	cfg   *CFG
+	dom   *DomTree
+	pdom  *DomTree
+}
+
+func (e *contEntry) empty() bool {
+	return e.scope == nil && e.cfg == nil && e.dom == nil && e.pdom == nil
+}
+
 // Cache memoizes per-continuation analysis results — scopes, CFGs and
 // (post-)dominator trees — across the passes of one pipeline run. The
 // analyses are pure functions of the IR, so entries stay valid exactly
@@ -18,29 +40,61 @@ type CacheStats struct {
 // InvalidateAll as soon as a pass reports a mutation. Cached values are
 // shared snapshots: callers must treat them as immutable.
 //
+// A Cache is safe for concurrent lookups: the entry map is guarded by a
+// cache-wide mutex and each continuation's analyses by a per-continuation
+// lock, so parallel scope workers share memoized results without computing
+// them twice. Invalidation must not race with lookups — the pass manager
+// only invalidates between (not during) parallel phases.
+//
 // A nil *Cache is valid and simply computes every request from scratch
 // without storing anything, so transformation code can thread an optional
 // cache unconditionally.
 type Cache struct {
-	scopes map[*ir.Continuation]*Scope
-	cfgs   map[*ir.Continuation]*CFG
-	doms   map[*ir.Continuation]*DomTree
-	pdoms  map[*ir.Continuation]*DomTree
-	stats  CacheStats
+	mu      sync.Mutex
+	entries map[*ir.Continuation]*contEntry
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
 }
 
 // NewCache creates an empty analysis cache.
 func NewCache() *Cache {
-	c := &Cache{}
-	c.reset()
-	return c
+	return &Cache{entries: make(map[*ir.Continuation]*contEntry)}
 }
 
-func (c *Cache) reset() {
-	c.scopes = make(map[*ir.Continuation]*Scope)
-	c.cfgs = make(map[*ir.Continuation]*CFG)
-	c.doms = make(map[*ir.Continuation]*DomTree)
-	c.pdoms = make(map[*ir.Continuation]*DomTree)
+// entryFor returns (creating on demand) the entry of a continuation.
+func (c *Cache) entryFor(entry *ir.Continuation) *contEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[entry]
+	if !ok {
+		e = &contEntry{}
+		c.entries[entry] = e
+	}
+	return e
+}
+
+// scopeLocked returns e's scope, computing it on a miss. e.mu must be held.
+func (c *Cache) scopeLocked(e *contEntry, entry *ir.Continuation) *Scope {
+	if e.scope != nil {
+		c.hits.Add(1)
+		return e.scope
+	}
+	c.misses.Add(1)
+	e.scope = NewScope(entry)
+	return e.scope
+}
+
+// cfgLocked returns e's CFG, computing it on a miss. e.mu must be held.
+func (c *Cache) cfgLocked(e *contEntry, entry *ir.Continuation) *CFG {
+	if e.cfg != nil {
+		c.hits.Add(1)
+		return e.cfg
+	}
+	c.misses.Add(1)
+	e.cfg = NewCFG(c.scopeLocked(e, entry))
+	return e.cfg
 }
 
 // ScopeOf returns the scope of entry, computing and memoizing it on a miss.
@@ -48,14 +102,10 @@ func (c *Cache) ScopeOf(entry *ir.Continuation) *Scope {
 	if c == nil {
 		return NewScope(entry)
 	}
-	if s, ok := c.scopes[entry]; ok {
-		c.stats.Hits++
-		return s
-	}
-	c.stats.Misses++
-	s := NewScope(entry)
-	c.scopes[entry] = s
-	return s
+	e := c.entryFor(entry)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return c.scopeLocked(e, entry)
 }
 
 // CFGOf returns the control-flow graph of entry's scope.
@@ -63,14 +113,10 @@ func (c *Cache) CFGOf(entry *ir.Continuation) *CFG {
 	if c == nil {
 		return NewCFG(NewScope(entry))
 	}
-	if g, ok := c.cfgs[entry]; ok {
-		c.stats.Hits++
-		return g
-	}
-	c.stats.Misses++
-	g := NewCFG(c.ScopeOf(entry))
-	c.cfgs[entry] = g
-	return g
+	e := c.entryFor(entry)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return c.cfgLocked(e, entry)
 }
 
 // DomTreeOf returns the dominator tree of entry's CFG.
@@ -78,14 +124,16 @@ func (c *Cache) DomTreeOf(entry *ir.Continuation) *DomTree {
 	if c == nil {
 		return NewDomTree(NewCFG(NewScope(entry)))
 	}
-	if t, ok := c.doms[entry]; ok {
-		c.stats.Hits++
-		return t
+	e := c.entryFor(entry)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dom != nil {
+		c.hits.Add(1)
+		return e.dom
 	}
-	c.stats.Misses++
-	t := NewDomTree(c.CFGOf(entry))
-	c.doms[entry] = t
-	return t
+	c.misses.Add(1)
+	e.dom = NewDomTree(c.cfgLocked(e, entry))
+	return e.dom
 }
 
 // PostDomTreeOf returns the post-dominator tree of entry's CFG.
@@ -93,14 +141,16 @@ func (c *Cache) PostDomTreeOf(entry *ir.Continuation) *DomTree {
 	if c == nil {
 		return NewPostDomTree(NewCFG(NewScope(entry)))
 	}
-	if t, ok := c.pdoms[entry]; ok {
-		c.stats.Hits++
-		return t
+	e := c.entryFor(entry)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pdom != nil {
+		c.hits.Add(1)
+		return e.pdom
 	}
-	c.stats.Misses++
-	t := NewPostDomTree(c.CFGOf(entry))
-	c.pdoms[entry] = t
-	return t
+	c.misses.Add(1)
+	e.pdom = NewPostDomTree(c.cfgLocked(e, entry))
+	return e.pdom
 }
 
 // Invalidate drops every entry keyed by entry. Note that a mutation inside
@@ -110,13 +160,17 @@ func (c *Cache) Invalidate(entry *ir.Continuation) {
 	if c == nil {
 		return
 	}
-	if _, ok := c.scopes[entry]; ok {
-		c.stats.Invalidations++
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[entry]; ok {
+		e.mu.Lock()
+		populated := !e.empty()
+		e.mu.Unlock()
+		if populated {
+			c.invalidations.Add(1)
+		}
+		delete(c.entries, entry)
 	}
-	delete(c.scopes, entry)
-	delete(c.cfgs, entry)
-	delete(c.doms, entry)
-	delete(c.pdoms, entry)
 }
 
 // InvalidateAll drops every cached result. This is the rule the pass
@@ -126,10 +180,23 @@ func (c *Cache) InvalidateAll() {
 	if c == nil {
 		return
 	}
-	if len(c.scopes)+len(c.cfgs)+len(c.doms)+len(c.pdoms) > 0 {
-		c.stats.Invalidations++
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	populated := false
+	for _, e := range c.entries {
+		e.mu.Lock()
+		if !e.empty() {
+			populated = true
+		}
+		e.mu.Unlock()
+		if populated {
+			break
+		}
 	}
-	c.reset()
+	if populated {
+		c.invalidations.Add(1)
+	}
+	c.entries = make(map[*ir.Continuation]*contEntry)
 }
 
 // Stats returns the lifetime counters.
@@ -137,5 +204,9 @@ func (c *Cache) Stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	return c.stats
+	return CacheStats{
+		Hits:          int(c.hits.Load()),
+		Misses:        int(c.misses.Load()),
+		Invalidations: int(c.invalidations.Load()),
+	}
 }

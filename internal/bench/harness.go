@@ -149,6 +149,40 @@ func LinesOfCode(src string) int {
 	return n
 }
 
+// GenManyFns builds a synthetic program of count independent top-level
+// functions, each with slot-heavy imperative control flow, plus a main that
+// sums them all. Every function is its own top-level scope, so this is the
+// workload where the pass manager's parallel analysis phase has maximal
+// independent work (the -jobs speedup table, TableJobs).
+func GenManyFns(count int) string {
+	var sb strings.Builder
+	for i := 0; i < count; i++ {
+		fmt.Fprintf(&sb, `fn f%d(n: i64) -> i64 {
+	let mut acc = %d;
+	let mut i = 0;
+	while i < n {
+		let mut t = i * %d + 1;
+		if t %% 3 == 0 { t = t / 2; } else { t = t * 2 + 1; }
+		let mut j = 0;
+		while j < 4 {
+			acc = acc + t %% (j + 2);
+			j = j + 1;
+		}
+		acc = acc + t;
+		i = i + 1;
+	}
+	acc
+}
+`, i, i, i+2)
+	}
+	sb.WriteString("fn main(n: i64) -> i64 {\n\tlet mut sum = 0;\n")
+	for i := 0; i < count; i++ {
+		fmt.Fprintf(&sb, "\tsum = sum + f%d(n);\n", i)
+	}
+	sb.WriteString("\tsum\n}\n")
+	return sb.String()
+}
+
 // GenChain builds a synthetic program of depth higher-order wrappers for the
 // compile-time scaling experiment (Table 4): each wrapper passes the
 // function value one level down, so conversion to control-flow form must

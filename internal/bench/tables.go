@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"thorin/internal/analysis"
@@ -228,6 +229,72 @@ func Table4(w io.Writer) error {
 			sTime.Round(time.Microsecond))
 	}
 	return nil
+}
+
+// TableJobs prints compile-time scaling of the parallel scope scheduler: a
+// synthetic module of many independent top-level functions is compiled with
+// 1, 2, 4, and 8 analysis workers. The output IR is identical at every jobs
+// level (see TestParallelJobsIdentical); only wall-clock time may change.
+// Each cell is the minimum over a few repetitions, which filters scheduler
+// and GC noise better than the mean.
+func TableJobs(w io.Writer) error {
+	procs := runtime.GOMAXPROCS(0)
+	fmt.Fprintf(w, "Table 6: compile time vs analysis workers (-jobs), %d independent functions, GOMAXPROCS=%d\n",
+		jobsTableFns, procs)
+	fmt.Fprintf(w, "%8s | %12s %12s | %8s %8s\n",
+		"jobs", "compile", "par-phase", "speedup", "par-spd")
+	src := GenManyFns(jobsTableFns)
+	spec := transform.SpecFor(transform.Options{Mem2Reg: true})
+	var baseTotal, basePar time.Duration
+	for _, jobs := range []int{1, 2, 4, 8} {
+		total, par, err := compileJobs(src, spec, jobs)
+		if err != nil {
+			return fmt.Errorf("jobs=%d: %w", jobs, err)
+		}
+		if jobs == 1 {
+			baseTotal, basePar = total, par
+		}
+		fmt.Fprintf(w, "%8d | %12s %12s | %7.2fx %7.2fx\n",
+			jobs, total.Round(time.Microsecond), par.Round(time.Microsecond),
+			float64(baseTotal)/float64(total), float64(basePar)/float64(par))
+	}
+	if procs < 4 {
+		fmt.Fprintf(w, "(host has GOMAXPROCS=%d: workers time-slice, so no wall-clock speedup is possible here)\n", procs)
+	}
+	return nil
+}
+
+// jobsTableFns sizes the TableJobs workload: enough independent top-level
+// scopes that an 8-worker analysis phase stays saturated.
+const jobsTableFns = 64
+
+// compileJobs compiles src with the given worker count and returns the best
+// total compile time and the best parallel-phase time (the summed wall clock
+// of the scope-level passes that actually ran with workers) over a few reps.
+func compileJobs(src, spec string, jobs int) (total, par time.Duration, err error) {
+	const reps = 5
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		res, cerr := driver.CompileSpec(src, spec, analysis.ScheduleSmart,
+			driver.Config{Jobs: jobs})
+		if cerr != nil {
+			return 0, 0, cerr
+		}
+		d := time.Since(start)
+		var p time.Duration
+		for _, run := range res.Report.Runs {
+			if run.Parallelism > 0 {
+				p += run.Time
+			}
+		}
+		if r == 0 || d < total {
+			total = d
+		}
+		if r == 0 || p < par {
+			par = p
+		}
+	}
+	return total, par, nil
 }
 
 // AblationConsing prints IR node counts with and without hash-consing

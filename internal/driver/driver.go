@@ -35,6 +35,10 @@ type Config struct {
 	// naming the offending pass (a debug mode; the differential tests
 	// enable it).
 	VerifyEach bool
+	// Jobs sets the worker count for the parallel analysis phase of
+	// scope-level passes. 0 keeps the context default (1, or THORIN_JOBS).
+	// The produced IR and program are identical at every jobs level.
+	Jobs int
 }
 
 // IRStats summarizes the IR after a pipeline run.
@@ -65,6 +69,9 @@ func CompileSpec(src, spec string, mode analysis.Mode, cfg Config) (*Result, err
 	}
 	ctx := pm.NewContext(w)
 	ctx.VerifyEach = cfg.VerifyEach
+	if cfg.Jobs > 0 {
+		ctx.Jobs = cfg.Jobs
+	}
 	rep, err := pl.Run(ctx)
 	if err != nil {
 		return nil, err

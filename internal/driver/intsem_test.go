@@ -1,0 +1,79 @@
+package driver
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"thorin/internal/transform"
+)
+
+// TestFolderVMIntegerAgreement pins the folder and the VM to the same
+// two's-complement integer semantics: each case is compiled twice — once
+// with the operands as runtime arguments (the VM executes the op) and once
+// with them inlined as literals (the folder evaluates it at compile time) —
+// and both must produce the same value.
+func TestFolderVMIntegerAgreement(t *testing.T) {
+	tests := []struct {
+		op   string
+		a, b int64
+		want int64
+	}{
+		{"/", math.MinInt64, -1, math.MinInt64},
+		{"/", math.MinInt64, 1, math.MinInt64},
+		{"/", 7, -2, -3},
+		{"/", -7, 2, -3},
+		{"%", math.MinInt64, -1, 0},
+		{"%", 7, -1, 0},
+		{"%", -7, 3, -1},
+		{"%", 7, 7, 0},
+		{"<<", 1, 64, 1},
+		{"<<", 1, 65, 2},
+		{"<<", 3, 63, math.MinInt64},
+		{">>", 8, 64, 8},
+		{">>", -8, 1, -4},
+		{"*", math.MaxInt64, 2, -2},
+		{"+", math.MaxInt64, 1, math.MinInt64},
+	}
+	for _, tc := range tests {
+		t.Run(fmt.Sprintf("%d%s%d", tc.a, tc.op, tc.b), func(t *testing.T) {
+			// MinInt64 cannot be written as a single literal (the frontend
+			// sees unary minus applied to an overflowing magnitude).
+			lit := func(v int64) string {
+				if v == math.MinInt64 {
+					return fmt.Sprintf("(%d - 1)", math.MinInt64+1)
+				}
+				return fmt.Sprintf("(%d)", v)
+			}
+			runtimeSrc := fmt.Sprintf("fn main(x: i64, y: i64) -> i64 { x %s y }", tc.op)
+			foldedSrc := fmt.Sprintf("fn main() -> i64 { %s %s %s }", lit(tc.a), tc.op, lit(tc.b))
+			for _, opts := range []transform.Options{transform.OptNone(), transform.OptAll()} {
+				got, _, err := Run(runtimeSrc, opts, nil, tc.a, tc.b)
+				if err != nil {
+					t.Fatalf("vm arm: %v", err)
+				}
+				if got != tc.want {
+					t.Errorf("vm arm: got %d, want %d", got, tc.want)
+				}
+				got, _, err = Run(foldedSrc, opts, nil)
+				if err != nil {
+					t.Fatalf("folded arm: %v", err)
+				}
+				if got != tc.want {
+					t.Errorf("folded arm: got %d, want %d", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestDivisionByZeroErrors pins that runtime division/remainder by zero is a
+// reported VM error, never a Go panic.
+func TestDivisionByZeroErrors(t *testing.T) {
+	for _, op := range []string{"/", "%"} {
+		src := fmt.Sprintf("fn main(x: i64, y: i64) -> i64 { x %s y }", op)
+		if _, _, err := Run(src, transform.OptNone(), nil, 1, 0); err == nil {
+			t.Errorf("x %s 0 must fail at runtime", op)
+		}
+	}
+}

@@ -62,14 +62,21 @@ func (d *defBase) NumOps() int      { return len(d.ops) }
 func (d *defBase) Name() string     { return d.name }
 func (d *defBase) SetName(n string) { d.name = n }
 func (d *defBase) World() *World    { return d.world }
-func (d *defBase) NumUses() int     { return len(d.uses) }
 func (d *defBase) base() *defBase   { return d }
 
+func (d *defBase) NumUses() int {
+	d.world.useMu.RLock()
+	defer d.world.useMu.RUnlock()
+	return len(d.uses)
+}
+
 func (d *defBase) Uses() []Use {
+	d.world.useMu.RLock()
 	uses := make([]Use, 0, len(d.uses))
 	for u := range d.uses {
 		uses = append(uses, u)
 	}
+	d.world.useMu.RUnlock()
 	sort.Slice(uses, func(i, j int) bool {
 		if uses[i].Def.GID() != uses[j].Def.GID() {
 			return uses[i].Def.GID() < uses[j].Def.GID()
@@ -79,8 +86,13 @@ func (d *defBase) Uses() []Use {
 	return uses
 }
 
-// registerUses records user as a use of each of its operands.
+// registerUses records user as a use of each of its operands. Use lists are
+// shared mutable state (concurrent workers interning nodes may touch the
+// same operand), so registration is guarded by the world's use lock.
 func registerUses(user Def) {
+	w := user.base().world
+	w.useMu.Lock()
+	defer w.useMu.Unlock()
 	for i, op := range user.Ops() {
 		if op == nil {
 			continue
@@ -95,6 +107,9 @@ func registerUses(user Def) {
 
 // unregisterUses removes user from the use lists of its operands.
 func unregisterUses(user Def) {
+	w := user.base().world
+	w.useMu.Lock()
+	defer w.useMu.Unlock()
 	for i, op := range user.Ops() {
 		if op == nil {
 			continue

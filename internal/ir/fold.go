@@ -93,7 +93,14 @@ func foldArith(w *World, kind OpKind, tag PrimTypeTag, a, b Def) Def {
 		case OpAnd, OpOr:
 			return a
 		case OpRem:
-			// x % x == 0 only if x != 0; not safe to fold in general.
+			// x % x is 0 for every non-zero x and undefined for zero; a
+			// non-literal x may be zero at runtime, so only literals fold.
+			if v, ok := LitValue(a); ok {
+				if v == 0 {
+					return w.Bottom(w.PrimType(tag))
+				}
+				return w.Zero(tag)
+			}
 		}
 	}
 	return nil
@@ -112,12 +119,25 @@ func foldArithInt(w *World, kind OpKind, tag PrimTypeTag, a, b int64) Def {
 		if b == 0 {
 			return w.Bottom(w.PrimType(tag))
 		}
-		r = a / b
+		if a == math.MinInt64 && b == -1 {
+			// -MinInt64 is unrepresentable; two's-complement division wraps
+			// back to MinInt64 (Go's native / panics on this pair). Narrower
+			// widths wrap via LitInt's truncation.
+			r = a
+		} else {
+			r = a / b
+		}
 	case OpRem:
 		if b == 0 {
 			return w.Bottom(w.PrimType(tag))
 		}
-		r = a % b
+		if b == -1 {
+			// a % -1 is 0 for every a; computing it natively panics on
+			// MinInt64 % -1.
+			r = 0
+		} else {
+			r = a % b
+		}
 	case OpAnd:
 		r = a & b
 	case OpOr:

@@ -1,0 +1,130 @@
+package ir
+
+import (
+	"math"
+	"testing"
+)
+
+// litOrBottom folds kind over two integer literals of tag and classifies the
+// result: (value, false) for a folded literal, (0, true) for Bottom.
+func litOrBottom(t *testing.T, w *World, kind OpKind, tag PrimTypeTag, a, b int64) (int64, bool) {
+	t.Helper()
+	d := w.Arith(kind, w.LitInt(tag, a), w.LitInt(tag, b))
+	l, ok := d.(*Literal)
+	if !ok {
+		t.Fatalf("Arith(%v, %d, %d) did not fold: %v", kind, a, b, d)
+	}
+	if l.Bottom {
+		return 0, true
+	}
+	return l.I, false
+}
+
+func TestFoldIntEdgeCases(t *testing.T) {
+	tests := []struct {
+		name       string
+		kind       OpKind
+		tag        PrimTypeTag
+		a, b       int64
+		want       int64
+		wantBottom bool
+	}{
+		// Division overflow: -MinInt is unrepresentable and wraps.
+		{"min64/-1", OpDiv, PrimI64, math.MinInt64, -1, math.MinInt64, false},
+		{"min32/-1", OpDiv, PrimI32, math.MinInt32, -1, math.MinInt32, false},
+		{"min8/-1", OpDiv, PrimI8, math.MinInt8, -1, math.MinInt8, false},
+		{"min64/1", OpDiv, PrimI64, math.MinInt64, 1, math.MinInt64, false},
+		{"plain-div", OpDiv, PrimI64, 7, -2, -3, false},
+		// Remainder: a % -1 is 0 for every a, including MinInt64.
+		{"min64%-1", OpRem, PrimI64, math.MinInt64, -1, 0, false},
+		{"min32%-1", OpRem, PrimI32, math.MinInt32, -1, 0, false},
+		{"7%-1", OpRem, PrimI64, 7, -1, 0, false},
+		{"plain-rem", OpRem, PrimI64, 7, 3, 1, false},
+		{"neg-rem", OpRem, PrimI64, -7, 3, -1, false},
+		// Division/remainder by zero is undefined (⊥), not a crash.
+		{"div0", OpDiv, PrimI64, 42, 0, 0, true},
+		{"rem0", OpRem, PrimI64, 42, 0, 0, true},
+		{"0rem0", OpRem, PrimI64, 0, 0, 0, true},
+		// Shifts mask the count to the 64-bit width.
+		{"shl64", OpShl, PrimI64, 1, 64, 1, false},
+		{"shl65", OpShl, PrimI64, 1, 65, 2, false},
+		{"shr64", OpShr, PrimI64, 8, 64, 8, false},
+		{"shl-big", OpShl, PrimI64, 3, 63, math.MinInt64, false},
+		// Mul overflow wraps.
+		{"mul-wrap", OpMul, PrimI64, math.MaxInt64, 2, -2, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWorld()
+			got, bottom := litOrBottom(t, w, tc.kind, tc.tag, tc.a, tc.b)
+			if bottom != tc.wantBottom {
+				t.Fatalf("bottom = %v, want %v", bottom, tc.wantBottom)
+			}
+			if !bottom && got != tc.want {
+				t.Fatalf("got %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFoldRemSelf(t *testing.T) {
+	w := NewWorld()
+	// Non-zero literal: x % x = 0.
+	if v, bottom := litOrBottom(t, w, OpRem, PrimI64, 7, 7); bottom || v != 0 {
+		t.Fatalf("7 %% 7 = (%d, bottom=%v), want 0", v, bottom)
+	}
+	// Zero literal: 0 % 0 is undefined.
+	if _, bottom := litOrBottom(t, w, OpRem, PrimI64, 0, 0); !bottom {
+		t.Fatal("0 % 0 must fold to bottom")
+	}
+	// Non-literal x: x may be zero at runtime, so x % x must NOT fold.
+	c := w.Continuation(w.FnType(w.PrimType(PrimI64)), "f")
+	x := c.Param(0)
+	d := w.Arith(OpRem, x, x)
+	if _, ok := d.(*PrimOp); !ok {
+		t.Fatalf("param %% param folded to %v; must stay a primop", d)
+	}
+	// But x - x and x ^ x are 0 for every x.
+	if v, ok := LitValue(w.Arith(OpSub, x, x)); !ok || v != 0 {
+		t.Fatal("param - param must fold to 0")
+	}
+}
+
+// FuzzFoldArith checks that integer folding never panics and respects
+// two's-complement wrapping for the division family.
+func FuzzFoldArith(f *testing.F) {
+	kinds := []OpKind{OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr}
+	f.Add(int64(math.MinInt64), int64(-1), uint8(3)) // div overflow
+	f.Add(int64(math.MinInt64), int64(-1), uint8(4)) // rem overflow
+	f.Add(int64(42), int64(0), uint8(3))             // div by zero
+	f.Add(int64(42), int64(0), uint8(4))             // rem by zero
+	f.Add(int64(1), int64(200), uint8(8))            // oversized shift
+	f.Add(int64(math.MaxInt64), int64(math.MaxInt64), uint8(2))
+	f.Fuzz(func(t *testing.T, a, b int64, k uint8) {
+		kind := kinds[int(k)%len(kinds)]
+		for _, tag := range []PrimTypeTag{PrimI8, PrimI16, PrimI32, PrimI64} {
+			w := NewWorld()
+			d := w.Arith(kind, w.LitInt(tag, a), w.LitInt(tag, b))
+			l, ok := d.(*Literal)
+			if !ok {
+				t.Fatalf("%v over literals did not fold", kind)
+			}
+			if l.Bottom {
+				if (kind == OpDiv || kind == OpRem) && w.LitInt(tag, b).I == 0 {
+					continue // ⊥ is the defined result of x/0 and x%0
+				}
+				t.Fatalf("%v(%d, %d) folded to unexpected bottom", kind, a, b)
+			}
+			switch kind {
+			case OpDiv:
+				if a == math.MinInt64 && b == -1 && tag == PrimI64 && l.I != math.MinInt64 {
+					t.Fatalf("MinInt64 / -1 = %d, want MinInt64", l.I)
+				}
+			case OpRem:
+				if b == -1 && l.I != 0 {
+					t.Fatalf("%d %% -1 = %d, want 0", a, l.I)
+				}
+			}
+		}
+	})
+}

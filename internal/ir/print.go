@@ -36,7 +36,7 @@ func newPrinter(out io.Writer, conts []*Continuation) *printer {
 // are printed as let-bindings in dependency order. The format is parseable
 // by ParseWorld.
 func Print(out io.Writer, w *World) {
-	conts := append([]*Continuation(nil), w.conts...)
+	conts := w.Continuations()
 	sort.Slice(conts, func(i, j int) bool { return conts[i].gid < conts[j].gid })
 	p := newPrinter(out, conts)
 	for _, c := range conts {
@@ -50,7 +50,7 @@ func Print(out io.Writer, w *World) {
 // PrintContinuation writes one continuation (header, let-bound primops, and
 // the terminating jump) to out.
 func PrintContinuation(out io.Writer, c *Continuation) {
-	newPrinter(out, c.world.conts).printContinuation(c)
+	newPrinter(out, c.world.Continuations()).printContinuation(c)
 }
 
 func (p *printer) printContinuation(c *Continuation) {

@@ -17,6 +17,7 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // TypeKind discriminates the concrete type of a Type.
@@ -274,8 +275,10 @@ func typeKey(kind TypeKind, tag PrimTypeTag, n int64, elems []Type) string {
 	return sb.String()
 }
 
-// typeTable interns types.
+// typeTable interns types. A single mutex suffices: type construction is
+// rare (the table stays small) compared to primop interning.
 type typeTable struct {
+	mu    sync.Mutex
 	types map[string]Type
 	all   []Type
 }
@@ -285,6 +288,8 @@ func newTypeTable() *typeTable {
 }
 
 func (tt *typeTable) intern(key string, mk func() Type) Type {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
 	if t, ok := tt.types[key]; ok {
 		return t
 	}

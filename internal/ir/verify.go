@@ -16,7 +16,7 @@ import (
 // It returns a joined error describing every violation found.
 func Verify(w *World) error {
 	var errs []error
-	for _, c := range w.conts {
+	for _, c := range w.Continuations() {
 		if err := verifyCont(c); err != nil {
 			errs = append(errs, err)
 		}

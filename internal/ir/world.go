@@ -4,25 +4,73 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
+
+// numShards is the number of interning shards for primops and literals.
+// Sharding by key hash lets concurrent workers construct nodes without
+// funnelling every hash-cons lookup through one lock.
+const numShards = 64
+
+// shardOf hashes an interning key (FNV-1a) onto a shard index.
+func shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h % numShards
+}
+
+// primopShard is one lock-striped slice of the primop interning table.
+type primopShard struct {
+	mu sync.Mutex
+	m  map[string]*PrimOp
+}
+
+// literalShard is one lock-striped slice of the literal interning table.
+type literalShard struct {
+	mu sync.Mutex
+	m  map[string]*Literal
+}
 
 // World owns all types and defs of one program. It provides the only way to
 // construct IR nodes and guarantees hash-consing: structurally identical
 // primops (same kind, type and operands) are represented by a single node,
 // which makes global value numbering a side effect of IR construction.
+//
+// A World is safe for concurrent node construction: the interning tables are
+// sharded with per-shard mutexes, the id/salt/statistics counters are
+// atomic, and the use lists are guarded by a world-wide reader/writer lock.
+// Note that hash-consing makes concurrent interning order-independent for
+// node identity (both racers get the same node), but gid assignment still
+// depends on arrival order — parallel phases that must stay deterministic
+// (the pass manager's scope scheduler) therefore keep node *creation* on a
+// single goroutine and parallelize only the read-only analysis.
+// Continuations remain single-writer: Jump/Unset on one continuation must
+// not race with other mutations of the same continuation.
 type World struct {
 	types    *typeTable
-	primops  map[string]*PrimOp
-	literals map[string]*Literal
-	nextGID  int
-	salt     int // uniquifier for non-consed primops (slot/alloc/global)
+	primops  [numShards]primopShard
+	literals [numShards]literalShard
+	nextGID  atomic.Int64
+	salt     atomic.Int64 // uniquifier for non-consed primops (slot/alloc/global)
 
-	conts      []*Continuation
+	contsMu sync.RWMutex
+	conts   []*Continuation
+
+	intrMu     sync.Mutex
 	intrinsics map[Intrinsic]*Continuation
 
+	// useMu guards every def's use list (they are mutated whenever a node
+	// with operands is created or a continuation re-jumps).
+	useMu sync.RWMutex
+
 	// Stats
-	primopCount int // number of primop constructions requested
-	consHits    int // number served from the hash-cons table
+	primopCount atomic.Int64 // number of primop constructions requested
+	consHits    atomic.Int64 // number served from the hash-cons table
+	primopNodes atomic.Int64 // number of distinct primop nodes interned
 
 	// NoCons disables hash-consing (for the ablation experiment A1).
 	NoCons bool
@@ -30,19 +78,31 @@ type World struct {
 
 // NewWorld creates an empty world.
 func NewWorld() *World {
-	return &World{
+	w := &World{
 		types:      newTypeTable(),
-		primops:    make(map[string]*PrimOp),
-		literals:   make(map[string]*Literal),
 		intrinsics: make(map[Intrinsic]*Continuation),
 	}
+	for i := range w.primops {
+		w.primops[i].m = make(map[string]*PrimOp)
+	}
+	for i := range w.literals {
+		w.literals[i].m = make(map[string]*Literal)
+	}
+	return w
 }
 
-// Continuations returns all live continuations, in creation order.
-func (w *World) Continuations() []*Continuation { return w.conts }
+// Continuations returns all live continuations, in creation order. The
+// returned slice is a snapshot: it stays valid while the world mutates.
+func (w *World) Continuations() []*Continuation {
+	w.contsMu.RLock()
+	defer w.contsMu.RUnlock()
+	return append([]*Continuation(nil), w.conts...)
+}
 
 // Externs returns all externally visible continuations.
 func (w *World) Externs() []*Continuation {
+	w.contsMu.RLock()
+	defer w.contsMu.RUnlock()
 	var out []*Continuation
 	for _, c := range w.conts {
 		if c.extern {
@@ -54,6 +114,8 @@ func (w *World) Externs() []*Continuation {
 
 // Find returns the continuation with the given name, or nil.
 func (w *World) Find(name string) *Continuation {
+	w.contsMu.RLock()
+	defer w.contsMu.RUnlock()
 	for _, c := range w.conts {
 		if c.name == name {
 			return c
@@ -65,22 +127,31 @@ func (w *World) Find(name string) *Continuation {
 // Stats returns (primop constructions requested, hash-cons hits, live
 // continuation count).
 func (w *World) Stats() (requested, consHits, conts int) {
-	return w.primopCount, w.consHits, len(w.conts)
+	w.contsMu.RLock()
+	n := len(w.conts)
+	w.contsMu.RUnlock()
+	return int(w.primopCount.Load()), int(w.consHits.Load()), n
 }
 
 // NumPrimOps returns the number of distinct primop nodes in the world.
-func (w *World) NumPrimOps() int { return len(w.primops) }
+func (w *World) NumPrimOps() int { return int(w.primopNodes.Load()) }
+
+// NumContinuations returns the number of live continuations.
+func (w *World) NumContinuations() int {
+	w.contsMu.RLock()
+	defer w.contsMu.RUnlock()
+	return len(w.conts)
+}
 
 // Generation returns a counter that advances whenever a new node of any
 // kind is allocated. Together with the continuation and primop counts it
 // forms a cheap change fingerprint: a pass that created or removed nodes is
 // guaranteed to move at least one of the three (the pass manager uses this
 // as its fixpoint signal).
-func (w *World) Generation() int { return w.nextGID }
+func (w *World) Generation() int { return int(w.nextGID.Load()) }
 
 func (w *World) newGID() int {
-	w.nextGID++
-	return w.nextGID
+	return int(w.nextGID.Add(1))
 }
 
 // Continuation creates a new continuation of the given type. Its params are
@@ -95,7 +166,9 @@ func (w *World) Continuation(t *FnType, name string) *Continuation {
 			index:   i,
 		}
 	}
+	w.contsMu.Lock()
 	w.conts = append(w.conts, c)
+	w.contsMu.Unlock()
 	return c
 }
 
@@ -108,6 +181,8 @@ func (w *World) BasicBlock(name string) *Continuation {
 // RemoveContinuation unlinks c from the world (used by cleanup). The
 // caller must have unset c's body first so use lists stay consistent.
 func (w *World) RemoveContinuation(c *Continuation) {
+	w.contsMu.Lock()
+	defer w.contsMu.Unlock()
 	for i, x := range w.conts {
 		if x == c {
 			w.conts = append(w.conts[:i], w.conts[i+1:]...)
@@ -146,6 +221,8 @@ func (w *World) PrintChar() *Continuation {
 }
 
 func (w *World) intrinsic(tag Intrinsic, t *FnType) *Continuation {
+	w.intrMu.Lock()
+	defer w.intrMu.Unlock()
 	if c, ok := w.intrinsics[tag]; ok {
 		return c
 	}
@@ -162,11 +239,14 @@ func (w *World) intrinsic(tag Intrinsic, t *FnType) *Continuation {
 
 func (w *World) literal(t Type, i int64, f float64, bottom bool) *Literal {
 	key := fmt.Sprintf("%d:%d:%d:%t", t.ID(), i, math.Float64bits(f), bottom)
-	if l, ok := w.literals[key]; ok {
+	sh := &w.literals[shardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if l, ok := sh.m[key]; ok {
 		return l
 	}
 	l := &Literal{defBase: defBase{world: w, gid: w.newGID(), typ: t}, I: i, F: f, Bottom: bottom}
-	w.literals[key] = l
+	sh.m[key] = l
 	return l
 }
 
@@ -263,14 +343,16 @@ func (w *World) cseSalted(kind OpKind, t Type, salt int, ops ...Def) *PrimOp {
 			panic(fmt.Sprintf("ir: %s: nil operand %d", kind, i))
 		}
 	}
-	w.primopCount++
+	w.primopCount.Add(1)
 	if w.NoCons {
-		w.salt++
-		salt = w.salt
+		salt = int(w.salt.Add(1))
 	}
 	key := primopKey(kind, t, ops, salt)
-	if p, ok := w.primops[key]; ok {
-		w.consHits++
+	sh := &w.primops[shardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if p, ok := sh.m[key]; ok {
+		w.consHits.Add(1)
 		return p
 	}
 	p := &PrimOp{
@@ -278,15 +360,15 @@ func (w *World) cseSalted(kind OpKind, t Type, salt int, ops ...Def) *PrimOp {
 		kind:    kind,
 	}
 	registerUses(p)
-	w.primops[key] = p
+	sh.m[key] = p
+	w.primopNodes.Add(1)
 	return p
 }
 
 // uniqueSalt returns a fresh salt so the next cseSalted call creates a node
 // that is never shared (slots, allocs, globals).
 func (w *World) uniqueSalt() int {
-	w.salt++
-	return w.salt
+	return int(w.salt.Add(1))
 }
 
 // Arith constructs an arithmetic primop, folding and normalizing where

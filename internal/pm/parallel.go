@@ -1,0 +1,86 @@
+package pm
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WorkerStat records one worker's share of a parallel analysis phase.
+type WorkerStat struct {
+	Worker  int           `json:"worker"`
+	Targets int           `json:"targets"`
+	Time    time.Duration `json:"time_ns"`
+}
+
+// runScoped drives one ScopeRewriter pass: enumerate targets, analyze them
+// (in parallel when ctx.Jobs > 1), then commit sequentially in target order
+// and finish. Analysis errors are surfaced in deterministic target order so
+// a failing pipeline reports the same error at every jobs level.
+func runScoped(ctx *Context, sr ScopeRewriter) (Result, int, []WorkerStat, error) {
+	targets := sr.Targets(ctx)
+	jobs := ctx.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	if jobs > len(targets) {
+		jobs = len(targets)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+
+	plans := make([]any, len(targets))
+	errs := make([]error, len(targets))
+	stats := make([]WorkerStat, jobs)
+
+	if jobs == 1 {
+		start := time.Now()
+		for i, c := range targets {
+			plans[i], errs[i] = sr.Analyze(ctx, c)
+		}
+		stats[0] = WorkerStat{Worker: 0, Targets: len(targets), Time: time.Since(start)}
+	} else {
+		// Dynamic work stealing over a shared index: scopes vary wildly in
+		// size, so static partitioning would leave workers idle.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for wi := 0; wi < jobs; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				start := time.Now()
+				n := 0
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(targets) {
+						break
+					}
+					plans[i], errs[i] = sr.Analyze(ctx, targets[i])
+					n++
+				}
+				stats[wi] = WorkerStat{Worker: wi, Targets: n, Time: time.Since(start)}
+			}(wi)
+		}
+		wg.Wait()
+	}
+
+	var total Result
+	for i := range targets {
+		if errs[i] != nil {
+			return total, jobs, stats, errs[i]
+		}
+	}
+	for i, c := range targets {
+		res, err := sr.Commit(ctx, c, plans[i])
+		total.Rewrites += res.Rewrites
+		total.Changed = total.Changed || res.Changed
+		if err != nil {
+			return total, jobs, stats, err
+		}
+	}
+	res, err := sr.Finish(ctx)
+	total.Rewrites += res.Rewrites
+	total.Changed = total.Changed || res.Changed
+	return total, jobs, stats, err
+}

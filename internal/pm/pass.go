@@ -11,6 +11,9 @@
 package pm
 
 import (
+	"os"
+	"strconv"
+
 	"thorin/internal/analysis"
 	"thorin/internal/ir"
 )
@@ -36,6 +39,37 @@ type Pass interface {
 	Run(ctx *Context) (Result, error)
 }
 
+// ScopeRewriter is the optional interface of passes whose work decomposes
+// into independent per-scope units, which is what the paper's implicit-scope
+// design makes possible: each top-level continuation's scope is computable
+// from the dependency graph alone, so its analysis needs no global ordering.
+//
+// The runner executes such passes in three phases:
+//
+//  1. Targets once, to enumerate the rewrite roots in deterministic order;
+//  2. Analyze per target, in parallel across ctx.Jobs workers — Analyze
+//     MUST be read-only on the world (planning only; creating IR nodes here
+//     would make gid assignment, and hence printed IR, depend on worker
+//     scheduling);
+//  3. Commit per target, sequentially in Targets order, applying the plan.
+//     Finish runs once after all commits (trailing cleanup).
+//
+// Because hash-consing makes node identity order-independent and all
+// mutation is confined to the sequential phases, a ScopeRewriter produces
+// byte-identical IR at every jobs level.
+type ScopeRewriter interface {
+	Pass
+	// Targets returns the rewrite roots. Order defines commit order.
+	Targets(ctx *Context) []*ir.Continuation
+	// Analyze plans the rewrite of one target without mutating the world.
+	// The plan may be nil (nothing to do for this target).
+	Analyze(ctx *Context, c *ir.Continuation) (any, error)
+	// Commit applies a plan produced by Analyze.
+	Commit(ctx *Context, c *ir.Continuation, plan any) (Result, error)
+	// Finish runs after the last commit (e.g. a trailing cleanup sweep).
+	Finish(ctx *Context) (Result, error)
+}
+
 // Context carries the per-run state a pass may use: the world under
 // transformation, the shared analysis cache, and an open blackboard for
 // pass-family state (e.g. accumulated typed statistics).
@@ -49,13 +83,26 @@ type Context struct {
 	// VerifyEach makes the runner call ir.Verify after every pass and
 	// abort the pipeline naming the offending pass.
 	VerifyEach bool
+	// Jobs is the number of workers used for the parallel analysis phase of
+	// ScopeRewriter passes. Values below 2 run sequentially. The result is
+	// identical at every jobs level; only wall-clock time changes.
+	Jobs int
 
 	data map[string]any
 }
 
-// NewContext creates a run context for w with a fresh analysis cache.
+// NewContext creates a run context for w with a fresh analysis cache. The
+// default parallelism is 1 (fully sequential); the THORIN_JOBS environment
+// variable overrides it, which is how the race-detector CI target forces
+// the parallel scheduler through every existing test path.
 func NewContext(w *ir.World) *Context {
-	return &Context{World: w, Cache: analysis.NewCache(), data: make(map[string]any)}
+	jobs := 1
+	if s := os.Getenv("THORIN_JOBS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			jobs = n
+		}
+	}
+	return &Context{World: w, Cache: analysis.NewCache(), Jobs: jobs, data: make(map[string]any)}
 }
 
 // Put stores a blackboard value under key.

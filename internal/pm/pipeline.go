@@ -31,7 +31,7 @@ type fingerprint struct {
 }
 
 func snapshot(w *ir.World) fingerprint {
-	return fingerprint{gen: w.Generation(), conts: len(w.Continuations()), primops: w.NumPrimOps()}
+	return fingerprint{gen: w.Generation(), conts: w.NumContinuations(), primops: w.NumPrimOps()}
 }
 
 // Run executes the pipeline over ctx.World. It always returns the report
@@ -100,7 +100,15 @@ func (p *Pipeline) runPass(ctx *Context, pass Pass, rep *Report, path string, it
 	before := snapshot(ctx.World)
 	cacheBefore := ctx.Cache.Stats()
 	start := time.Now()
-	res, err := pass.Run(ctx)
+	var res Result
+	var err error
+	var parallelism int
+	var workers []WorkerStat
+	if sr, ok := pass.(ScopeRewriter); ok {
+		res, parallelism, workers, err = runScoped(ctx, sr)
+	} else {
+		res, err = pass.Run(ctx)
+	}
 	dur := time.Since(start)
 	after := snapshot(ctx.World)
 	cacheAfter := ctx.Cache.Stats()
@@ -125,6 +133,8 @@ func (p *Pipeline) runPass(ctx *Context, pass Pass, rep *Report, path string, it
 		PrimOpsAfter:  after.primops,
 		CacheHits:     cacheAfter.Hits - cacheBefore.Hits,
 		CacheMisses:   cacheAfter.Misses - cacheBefore.Misses,
+		Parallelism:   parallelism,
+		Workers:       workers,
 	}
 	if err != nil {
 		run.Err = err.Error()

@@ -28,7 +28,13 @@ type PassRun struct {
 	PrimOpsAfter  int           `json:"primops_after"`
 	CacheHits     int           `json:"cache_hits,omitempty"`
 	CacheMisses   int           `json:"cache_misses,omitempty"`
-	Err           string        `json:"error,omitempty"`
+	// Parallelism is the number of workers the analysis phase of a
+	// ScopeRewriter pass ran with (0 for ordinary passes), and Workers holds
+	// one record per worker. The IR a pass produces is independent of this
+	// number; only the timing varies.
+	Parallelism int          `json:"parallelism,omitempty"`
+	Workers     []WorkerStat `json:"workers,omitempty"`
+	Err         string       `json:"error,omitempty"`
 }
 
 // Label renders the run's position in the pipeline, e.g. "cleanup" or

@@ -26,7 +26,8 @@ const maxCFFSpecializations = 4096
 // After a successful run every residual continuation is either a basic block
 // (first-order params only) or a global function (first-order params plus a
 // return continuation) — the forms a classical SSA backend can consume.
-func LowerToCFF(w *ir.World) CFFStats {
+// A mangling failure aborts the conversion with the stats so far.
+func LowerToCFF(w *ir.World) (CFFStats, error) {
 	var stats CFFStats
 	cache := map[string]*ir.Continuation{}
 
@@ -67,7 +68,11 @@ func LowerToCFF(w *ir.World) CFFStats {
 		key := specKey(callee, args)
 		spec, ok := cache[key]
 		if !ok {
-			spec = Drop(analysis.NewScope(callee), args)
+			var err error
+			spec, err = Drop(analysis.NewScope(callee), args)
+			if err != nil {
+				return stats, err
+			}
 			spec.SetName(callee.Name() + ".cff")
 			cache[key] = spec
 			// The copy may itself contain higher-order calls.
@@ -86,7 +91,7 @@ func LowerToCFF(w *ir.World) CFFStats {
 		push(caller) // the rewritten jump may be specializable again
 	}
 	Cleanup(w)
-	return stats
+	return stats, nil
 }
 
 // droppableArgs returns a specialization vector for a call to callee, or nil

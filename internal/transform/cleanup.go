@@ -186,7 +186,10 @@ func eliminateDeadParams(w *ir.World) int {
 			caller.Jump(c, newArgs...)
 		}
 
-		slim := Drop(analysis.NewScope(c), args)
+		slim, err := Drop(analysis.NewScope(c), args)
+		if err != nil {
+			continue // args is sized to c by construction; be safe anyway
+		}
 		slim.SetName(c.Name())
 		for _, u := range c.Uses() {
 			caller := u.Def.(*ir.Continuation)

@@ -22,13 +22,13 @@ type ClosureStats struct {
 // plain branches and calls. Only uses that survive as data require closure
 // records, so running the optimizer first (LowerToCFF) minimizes this
 // pass's output.
-func ClosureConvert(w *ir.World) ClosureStats { return ClosureConvertWith(w, nil) }
+func ClosureConvert(w *ir.World) (ClosureStats, error) { return ClosureConvertWith(w, nil) }
 
 // ClosureConvertWith is ClosureConvert reading scopes through an optional
 // analysis cache; scopes of continuations that need no conversion stay
 // cached, and the cache is invalidated whenever a conversion mutates the
-// graph.
-func ClosureConvertWith(w *ir.World, ac *analysis.Cache) ClosureStats {
+// graph. A mangling failure aborts the pass with the stats so far.
+func ClosureConvertWith(w *ir.World, ac *analysis.Cache) (ClosureStats, error) {
 	var stats ClosureStats
 	for round := 0; round < 32; round++ {
 		changed := false
@@ -64,7 +64,11 @@ func ClosureConvertWith(w *ir.World, ac *analysis.Cache) ClosureStats {
 			code := k
 			lift := paramDependentFrontier(s)
 			if len(lift) > 0 {
-				code = Mangle(s, make([]ir.Def, k.NumParams()), lift)
+				var err error
+				code, err = Mangle(s, make([]ir.Def, k.NumParams()), lift)
+				if err != nil {
+					return stats, err
+				}
 				code.SetName(k.Name() + ".lifted")
 				stats.Lifted++
 			}
@@ -112,7 +116,10 @@ func ClosureConvertWith(w *ir.World, ac *analysis.Cache) ClosureStats {
 			if len(lift) == 0 {
 				continue
 			}
-			code := Mangle(s, make([]ir.Def, k.NumParams()), lift)
+			code, err := Mangle(s, make([]ir.Def, k.NumParams()), lift)
+			if err != nil {
+				return stats, err
+			}
 			code.SetName(k.Name() + ".relift")
 			stats.Lifted++
 			changed = true
@@ -132,7 +139,7 @@ func ClosureConvertWith(w *ir.World, ac *analysis.Cache) ClosureStats {
 	if cs := Cleanup(w); cs != (CleanupStats{}) {
 		ac.InvalidateAll()
 	}
-	return stats
+	return stats, nil
 }
 
 // etaExpandRetArgs normalizes calls whose return-continuation argument is

@@ -13,12 +13,13 @@ import (
 //
 // This is the classical contification optimization; in the mangling
 // framework it is a one-call specialization.
-func Contify(w *ir.World) int { return ContifyWith(w, nil) }
+func Contify(w *ir.World) (int, error) { return ContifyWith(w, nil) }
 
 // ContifyWith is Contify reading scopes through an optional analysis cache.
 // The cache is invalidated as soon as a specialization mutates the graph,
 // so entries are only reused across the mutation-free probing stretches.
-func ContifyWith(w *ir.World, ac *analysis.Cache) int {
+// A mangling failure aborts the pass with the count so far.
+func ContifyWith(w *ir.World, ac *analysis.Cache) (int, error) {
 	n := 0
 	for round := 0; round < 8; round++ {
 		changed := false
@@ -34,7 +35,10 @@ func ContifyWith(w *ir.World, ac *analysis.Cache) int {
 			// k are rewired to the specialized entry by Mangle itself.
 			args := make([]ir.Def, f.NumParams())
 			args[f.NumParams()-1] = k
-			spec := Drop(ac.ScopeOf(f), args)
+			spec, err := Drop(ac.ScopeOf(f), args)
+			if err != nil {
+				return n, err
+			}
 			spec.SetName(f.Name() + ".cont")
 			for _, u := range f.Uses() {
 				caller, ok := u.Def.(*ir.Continuation)
@@ -54,7 +58,7 @@ func ContifyWith(w *ir.World, ac *analysis.Cache) int {
 		Cleanup(w)
 		ac.InvalidateAll()
 	}
-	return n
+	return n, nil
 }
 
 // commonRetArg returns the single continuation passed as f's return argument

@@ -1,6 +1,8 @@
 package transform
 
 import (
+	"fmt"
+
 	"thorin/internal/ir"
 
 	"thorin/internal/analysis"
@@ -46,11 +48,14 @@ type slot struct {
 
 // Mangle rebuilds scope s, substituting args[i] for parameter i where
 // args[i] != nil and appending one parameter per lift def. It returns the
-// new entry continuation.
-func Mangle(s *analysis.Scope, args []ir.Def, lift []ir.Def) *ir.Continuation {
+// new entry continuation, or an error when args does not match the entry's
+// parameter list — a malformed pass invocation that must fail the pipeline
+// by name rather than crash the process.
+func Mangle(s *analysis.Scope, args []ir.Def, lift []ir.Def) (*ir.Continuation, error) {
 	entry := s.Entry
 	if len(args) != entry.NumParams() {
-		panic("transform: Mangle: args length must equal the entry's param count")
+		return nil, fmt.Errorf("transform: mangle %s: got %d args for %d params",
+			entry.Name(), len(args), entry.NumParams())
 	}
 	m := &Mangler{
 		w:       entry.World(),
@@ -61,17 +66,17 @@ func Mangle(s *analysis.Scope, args []ir.Def, lift []ir.Def) *ir.Continuation {
 		old2new: make(map[ir.Def]ir.Def),
 		srcBody: make(map[*ir.Continuation]*ir.Continuation),
 	}
-	return m.run()
+	return m.run(), nil
 }
 
 // Drop specializes the entry of s: args[i] != nil fixes parameter i.
-func Drop(s *analysis.Scope, args []ir.Def) *ir.Continuation {
+func Drop(s *analysis.Scope, args []ir.Def) (*ir.Continuation, error) {
 	return Mangle(s, args, nil)
 }
 
 // Lift abstracts the given free defs of s into parameters, yielding an
 // entry whose scope no longer references them directly (lambda lifting).
-func Lift(s *analysis.Scope, lift []ir.Def) *ir.Continuation {
+func Lift(s *analysis.Scope, lift []ir.Def) (*ir.Continuation, error) {
 	return Mangle(s, make([]ir.Def, s.Entry.NumParams()), lift)
 }
 
@@ -240,7 +245,10 @@ func InlineCall(caller *ir.Continuation) bool {
 	if len(args) != callee.NumParams() {
 		return false
 	}
-	dropped := Drop(analysis.NewScope(callee), args)
+	dropped, err := Drop(analysis.NewScope(callee), args)
+	if err != nil {
+		return false // unreachable given the arity check above
+	}
 	caller.Jump(dropped)
 	return true
 }

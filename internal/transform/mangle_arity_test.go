@@ -1,0 +1,77 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"thorin/internal/analysis"
+	"thorin/internal/ir"
+	"thorin/internal/pm"
+)
+
+func TestMangleArityMismatchIsError(t *testing.T) {
+	w := ir.NewWorld()
+	d := buildDouble(w) // double(mem, x, ret)
+	s := analysis.NewScope(d)
+
+	if _, err := Mangle(s, []ir.Def{nil, nil}, nil); err == nil {
+		t.Fatal("Mangle with 2 args for 3 params must error")
+	} else if !strings.Contains(err.Error(), "double") {
+		t.Fatalf("error must name the entry, got: %v", err)
+	}
+	if _, err := Drop(s, nil); err == nil {
+		t.Fatal("Drop with nil args must error")
+	}
+	// A well-formed call still succeeds.
+	if _, err := Mangle(s, []ir.Def{nil, w.LitI64(1), nil}, nil); err != nil {
+		t.Fatalf("well-formed Mangle failed: %v", err)
+	}
+}
+
+// badManglePass deliberately calls Mangle with a wrong-arity vector, modeling
+// a buggy pass. The pipeline must fail attributing the error to the pass by
+// name instead of crashing the process.
+type badManglePass struct{}
+
+func (badManglePass) Name() string { return "bad-mangle" }
+
+func (badManglePass) Run(ctx *pm.Context) (pm.Result, error) {
+	for _, c := range ctx.World.Continuations() {
+		if !c.HasBody() || c.IsIntrinsic() {
+			continue
+		}
+		if _, err := Drop(analysis.NewScope(c), make([]ir.Def, c.NumParams()+1)); err != nil {
+			return pm.Result{}, err
+		}
+	}
+	return pm.Result{}, nil
+}
+
+func TestMalformedPassFailsPipelineByName(t *testing.T) {
+	pm.Register(badManglePass{})
+	w := ir.NewWorld()
+	buildDouble(w).SetExtern(true)
+
+	pl, err := pm.Parse("cleanup,bad-mangle,cleanup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := pm.NewContext(w)
+	ctx.VerifyEach = true
+	rep, err := pl.Run(ctx)
+	if err == nil {
+		t.Fatal("pipeline with bad-mangle must fail")
+	}
+	if !strings.Contains(err.Error(), `pass "bad-mangle" failed`) {
+		t.Fatalf("error must name the failing pass, got: %v", err)
+	}
+	// The report records the failed run with its error.
+	last := rep.Runs[len(rep.Runs)-1]
+	if last.Name != "bad-mangle" || last.Err == "" {
+		t.Fatalf("report must record the failing run, got %+v", last)
+	}
+	// The world was not corrupted by the aborted pass.
+	if verr := ir.Verify(w); verr != nil {
+		t.Fatalf("world invalid after failed pipeline: %v", verr)
+	}
+}

@@ -28,31 +28,83 @@ func Mem2Reg(w *ir.World) Mem2RegStats { return Mem2RegWith(w, nil) }
 // Mem2RegWith is Mem2Reg reading scopes through an optional analysis cache.
 // Scopes of scanned-but-unchanged roots stay cached for later passes; the
 // cache is invalidated whenever a promotion mutates the graph.
+//
+// The pass is structured as plan-all-then-commit: every root is analyzed
+// against the unmutated world first, then all plans are applied in root
+// order. Top-level scopes are pairwise disjoint (a def of one scope that
+// referenced another scope's parameter would make that parameter free,
+// contradicting top-levelness), so the split is equivalent to the old
+// interleaved loop — and it is what lets the pass manager run the analysis
+// phase on parallel workers.
 func Mem2RegWith(w *ir.World, ac *analysis.Cache) Mem2RegStats {
-	var stats Mem2RegStats
-	for _, c := range append([]*ir.Continuation(nil), w.Continuations()...) {
-		if !c.HasBody() || c.IsIntrinsic() || !c.IsReturning() {
-			continue
-		}
-		s := ac.ScopeOf(c)
-		if !s.TopLevel() {
-			continue // nested function: promoted via its enclosing root
-		}
-		if !blockFormScope(s) {
-			stats.SkippedScopes++
-			continue
-		}
-		slots, phis := promoteScope(w, s)
-		if slots > 0 {
-			ac.InvalidateAll()
-		}
-		stats.PromotedSlots += slots
-		stats.PhiParams += phis
+	targets := m2rTargets(w)
+	plans := make([]*m2rPlan, len(targets))
+	for i, c := range targets {
+		plans[i] = m2rAnalyze(w, ac, c)
 	}
+	var stats Mem2RegStats
+	for _, plan := range plans {
+		st := m2rCommit(w, ac, plan)
+		stats.PromotedSlots += st.PromotedSlots
+		stats.PhiParams += st.PhiParams
+		stats.SkippedScopes += st.SkippedScopes
+	}
+	m2rFinish(w, ac)
+	return stats
+}
+
+// m2rTargets enumerates the candidate promotion roots in creation order.
+func m2rTargets(w *ir.World) []*ir.Continuation {
+	var out []*ir.Continuation
+	for _, c := range w.Continuations() {
+		if c.HasBody() && !c.IsIntrinsic() && c.IsReturning() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// m2rPlan is the outcome of analyzing one root: a skip (non-block-form
+// scope), nothing to promote, or a filled promoter ready to commit.
+type m2rPlan struct {
+	skipped bool      // scope not in block form; counted as SkippedScopes
+	p       *promoter // nil when there is nothing to promote
+}
+
+// m2rAnalyze plans the promotion of one root without mutating the world.
+// It is safe to call concurrently for distinct roots.
+func m2rAnalyze(w *ir.World, ac *analysis.Cache, c *ir.Continuation) *m2rPlan {
+	s := ac.ScopeOf(c)
+	if !s.TopLevel() {
+		return &m2rPlan{} // nested function: promoted via its enclosing root
+	}
+	if !blockFormScope(s) {
+		return &m2rPlan{skipped: true}
+	}
+	return &m2rPlan{p: planPromotion(w, s)}
+}
+
+// m2rCommit applies one plan, invalidating the cache when it mutates.
+func m2rCommit(w *ir.World, ac *analysis.Cache, plan *m2rPlan) Mem2RegStats {
+	var st Mem2RegStats
+	if plan.skipped {
+		st.SkippedScopes++
+		return st
+	}
+	if plan.p == nil {
+		return st
+	}
+	st.PhiParams = plan.p.rewrite()
+	st.PromotedSlots = len(plan.p.slots)
+	ac.InvalidateAll()
+	return st
+}
+
+// m2rFinish sweeps the husks the committed promotions left behind.
+func m2rFinish(w *ir.World, ac *analysis.Cache) {
 	if cs := Cleanup(w); cs != (CleanupStats{}) {
 		ac.InvalidateAll()
 	}
-	return stats
 }
 
 // blockFormScope reports whether every non-entry continuation of the scope
@@ -118,6 +170,23 @@ func slotType(slot *ir.PrimOp) ir.Type {
 	return slot.Type().(*ir.TupleType).ElemTypes[1].(*ir.PtrType).Pointee
 }
 
+// m2rBottom is the comparable stand-in for an undefined (⊥) value of type t
+// in the symbolic domain. The analysis phase must not allocate IR nodes (it
+// may run on a parallel worker, and node creation there would make gid
+// assignment scheduling-dependent), so ⊥ only materializes as a real Bottom
+// literal at commit time, in valDef.
+type m2rBottom struct{ t ir.Type }
+
+// m2rValue lifts a def into the symbolic domain. Bottom literals already in
+// the graph are canonicalized into the placeholder so they unify with the
+// analysis' own undefined values under plain == comparison.
+func m2rValue(d ir.Def) any {
+	if l, ok := d.(*ir.Literal); ok && l.Bottom {
+		return m2rBottom{l.Type()}
+	}
+	return d
+}
+
 // m2rPhi is a pending φ for (block, slot) during Braun-style value
 // numbering; surviving φs become fresh parameters of their block.
 type m2rPhi struct {
@@ -140,11 +209,14 @@ type promoter struct {
 	inProg  map[*analysis.Node]map[*ir.PrimOp]bool
 }
 
-// promoteScope rewrites s in place, returning (#slots promoted, #φ params).
-func promoteScope(w *ir.World, s *analysis.Scope) (int, int) {
+// planPromotion runs the read-only analysis of one scope: it finds the
+// promotable slots and symbolically evaluates every load and block-end
+// value. It returns nil when the scope has nothing to promote; otherwise the
+// returned promoter is ready for rewrite().
+func planPromotion(w *ir.World, s *analysis.Scope) *promoter {
 	slots := PromotableSlots(s)
 	if len(slots) == 0 {
-		return 0, 0
+		return nil
 	}
 	p := &promoter{
 		w:       w,
@@ -167,15 +239,13 @@ func promoteScope(w *ir.World, s *analysis.Scope) (int, int) {
 		}
 	}
 
-	// Phase 1: symbolic evaluation of all loads & block end values.
+	// Symbolic evaluation of all loads & block end values.
 	for _, b := range p.sched.Blocks {
 		for _, sl := range slots {
 			p.blockEnd(b.Node, sl)
 		}
 	}
-	// Resolve all load values now, then rewrite.
-	phiParams := p.rewrite()
-	return len(slots), phiParams
+	return p
 }
 
 // addressedSlot returns the promoted slot a load/store pointer refers to.
@@ -204,7 +274,7 @@ func (p *promoter) blockEnd(n *analysis.Node, sl *ir.PrimOp) any {
 		v := any(p.getPhi(n, sl))
 		for _, op := range p.sched.Block(n).PrimOps {
 			if op.OpKind() == ir.OpStore && p.addressedSlot(op.Op(1)) == sl {
-				v = op.Op(2)
+				v = m2rValue(op.Op(2))
 			}
 		}
 		return v
@@ -221,7 +291,7 @@ func (p *promoter) blockEnd(n *analysis.Node, sl *ir.PrimOp) any {
 			}
 		case ir.OpStore:
 			if p.addressedSlot(op.Op(1)) == sl {
-				v = op.Op(2)
+				v = m2rValue(op.Op(2))
 			}
 		}
 	}
@@ -235,7 +305,7 @@ func (p *promoter) blockEnd(n *analysis.Node, sl *ir.PrimOp) any {
 // blockStart computes the symbolic value of sl on entry to block n.
 func (p *promoter) blockStart(n *analysis.Node, sl *ir.PrimOp) any {
 	if n == p.sched.CFG.Entry() || len(n.Preds) == 0 {
-		return p.w.Bottom(slotType(sl))
+		return m2rBottom{slotType(sl)}
 	}
 	if len(n.Preds) == 1 {
 		return p.blockEnd(n.Preds[0], sl)
@@ -297,7 +367,7 @@ func (p *promoter) tryRemoveTrivial(phi *m2rPhi) any {
 		same = a
 	}
 	if same == nil {
-		same = p.w.Bottom(slotType(phi.slot))
+		same = m2rBottom{slotType(phi.slot)}
 	}
 	phi.repl = same
 	for _, u := range phi.users {
@@ -382,8 +452,11 @@ func (p *promoter) rewrite() int {
 	}
 	valDef = func(v any) ir.Def {
 		v = resolve(v)
-		if phi, ok := v.(*m2rPhi); ok {
-			return phiDef(phi)
+		switch v := v.(type) {
+		case *m2rPhi:
+			return phiDef(v)
+		case m2rBottom:
+			return w.Bottom(v.t)
 		}
 		return rw(v.(ir.Def))
 	}

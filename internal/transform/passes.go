@@ -34,61 +34,97 @@ func PipelineStats(ctx *pm.Context) Stats {
 	return Stats{}
 }
 
-// stdPass adapts a stats-accumulating function to pm.Pass.
+// stdPass adapts a stats-accumulating function to pm.Pass. A returned error
+// fails the enclosing pipeline, attributed to the pass by name.
 type stdPass struct {
 	name string
-	run  func(ctx *pm.Context, st *Stats) pm.Result
+	run  func(ctx *pm.Context, st *Stats) (pm.Result, error)
 }
 
 func (p stdPass) Name() string { return p.name }
 
 func (p stdPass) Run(ctx *pm.Context) (pm.Result, error) {
-	return p.run(ctx, ctxStats(ctx)), nil
+	return p.run(ctx, ctxStats(ctx))
+}
+
+// mem2regPass exposes slot promotion to the pass manager through the
+// ScopeRewriter protocol: targets are enumerated once, analyzed (read-only)
+// on parallel workers, and committed sequentially in target order, so the
+// resulting IR is identical at every jobs level.
+type mem2regPass struct{}
+
+func (mem2regPass) Name() string { return "mem2reg" }
+
+// Run is the sequential fallback for callers that drive the pass directly;
+// the pipeline runner uses the three-phase protocol instead.
+func (p mem2regPass) Run(ctx *pm.Context) (pm.Result, error) {
+	s := Mem2RegWith(ctx.World, ctx.Cache)
+	st := ctxStats(ctx)
+	st.Mem2Reg.PromotedSlots += s.PromotedSlots
+	st.Mem2Reg.PhiParams += s.PhiParams
+	st.Mem2Reg.SkippedScopes += s.SkippedScopes
+	return pm.Result{Rewrites: s.PromotedSlots + s.PhiParams}, nil
+}
+
+func (mem2regPass) Targets(ctx *pm.Context) []*ir.Continuation {
+	return m2rTargets(ctx.World)
+}
+
+func (mem2regPass) Analyze(ctx *pm.Context, c *ir.Continuation) (any, error) {
+	return m2rAnalyze(ctx.World, ctx.Cache, c), nil
+}
+
+func (mem2regPass) Commit(ctx *pm.Context, c *ir.Continuation, plan any) (pm.Result, error) {
+	s := m2rCommit(ctx.World, ctx.Cache, plan.(*m2rPlan))
+	st := ctxStats(ctx)
+	st.Mem2Reg.PromotedSlots += s.PromotedSlots
+	st.Mem2Reg.PhiParams += s.PhiParams
+	st.Mem2Reg.SkippedScopes += s.SkippedScopes
+	return pm.Result{Rewrites: s.PromotedSlots + s.PhiParams}, nil
+}
+
+func (mem2regPass) Finish(ctx *pm.Context) (pm.Result, error) {
+	m2rFinish(ctx.World, ctx.Cache)
+	return pm.Result{}, nil
 }
 
 func init() {
-	pm.Register(stdPass{"cleanup", func(ctx *pm.Context, st *Stats) pm.Result {
+	pm.Register(stdPass{"cleanup", func(ctx *pm.Context, st *Stats) (pm.Result, error) {
 		s := Cleanup(ctx.World)
 		st.Cleanup.RemovedConts += s.RemovedConts
 		st.Cleanup.EtaReduced += s.EtaReduced
 		st.Cleanup.DeadParams += s.DeadParams
-		return pm.Result{Rewrites: s.RemovedConts + s.EtaReduced + s.DeadParams}
+		return pm.Result{Rewrites: s.RemovedConts + s.EtaReduced + s.DeadParams}, nil
 	}})
-	pm.Register(stdPass{"pe", func(ctx *pm.Context, st *Stats) pm.Result {
-		s := PartialEval(ctx.World)
+	pm.Register(stdPass{"pe", func(ctx *pm.Context, st *Stats) (pm.Result, error) {
+		s, err := PartialEval(ctx.World)
 		st.PE.Specialized += s.Specialized
 		st.PE.Inlined += s.Inlined
 		st.PE.Saturated = st.PE.Saturated || s.Saturated
-		return pm.Result{Rewrites: s.Specialized + s.Inlined}
+		return pm.Result{Rewrites: s.Specialized + s.Inlined}, err
 	}})
-	pm.Register(stdPass{"cff", func(ctx *pm.Context, st *Stats) pm.Result {
-		s := LowerToCFF(ctx.World)
+	pm.Register(stdPass{"cff", func(ctx *pm.Context, st *Stats) (pm.Result, error) {
+		s, err := LowerToCFF(ctx.World)
 		st.CFF.Specialized += s.Specialized
 		st.CFF.Saturated = st.CFF.Saturated || s.Saturated
-		return pm.Result{Rewrites: s.Specialized}
+		return pm.Result{Rewrites: s.Specialized}, err
 	}})
-	pm.Register(stdPass{"contify", func(ctx *pm.Context, st *Stats) pm.Result {
-		n := ContifyWith(ctx.World, ctx.Cache)
+	pm.Register(stdPass{"contify", func(ctx *pm.Context, st *Stats) (pm.Result, error) {
+		n, err := ContifyWith(ctx.World, ctx.Cache)
 		st.Contified += n
-		return pm.Result{Rewrites: n}
+		return pm.Result{Rewrites: n}, err
 	}})
-	pm.Register(stdPass{"mem2reg", func(ctx *pm.Context, st *Stats) pm.Result {
-		s := Mem2RegWith(ctx.World, ctx.Cache)
-		st.Mem2Reg.PromotedSlots += s.PromotedSlots
-		st.Mem2Reg.PhiParams += s.PhiParams
-		st.Mem2Reg.SkippedScopes += s.SkippedScopes
-		return pm.Result{Rewrites: s.PromotedSlots + s.PhiParams}
-	}})
-	pm.Register(stdPass{"inline-once", func(ctx *pm.Context, st *Stats) pm.Result {
+	pm.Register(mem2regPass{})
+	pm.Register(stdPass{"inline-once", func(ctx *pm.Context, st *Stats) (pm.Result, error) {
 		n := InlineOnce(ctx.World)
 		st.Inlined += n
-		return pm.Result{Rewrites: n}
+		return pm.Result{Rewrites: n}, nil
 	}})
-	pm.Register(stdPass{"closure", func(ctx *pm.Context, st *Stats) pm.Result {
-		s := ClosureConvertWith(ctx.World, ctx.Cache)
+	pm.Register(stdPass{"closure", func(ctx *pm.Context, st *Stats) (pm.Result, error) {
+		s, err := ClosureConvertWith(ctx.World, ctx.Cache)
 		st.Closure.Closures += s.Closures
 		st.Closure.Lifted += s.Lifted
-		return pm.Result{Rewrites: s.Closures + s.Lifted}
+		return pm.Result{Rewrites: s.Closures + s.Lifted}, err
 	}})
 }
 

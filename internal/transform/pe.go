@@ -25,7 +25,8 @@ const maxPESpecializations = 2048
 // AlwaysInline-marked) callee is replaced by a call to a copy of the callee
 // specialized to those values. Because specialization uses lambda mangling,
 // constant folding inside the world simplifies the copy while it is built.
-func PartialEval(w *ir.World) PEStats {
+// A mangling failure aborts the evaluator with the stats so far.
+func PartialEval(w *ir.World) (PEStats, error) {
 	var stats PEStats
 	cache := map[string]*ir.Continuation{}
 
@@ -75,7 +76,11 @@ func PartialEval(w *ir.World) PEStats {
 		key := specKey(callee, args)
 		spec, ok := cache[key]
 		if !ok {
-			spec = Drop(analysis.NewScope(callee), args)
+			var err error
+			spec, err = Drop(analysis.NewScope(callee), args)
+			if err != nil {
+				return stats, err
+			}
 			spec.SetName(callee.Name() + ".pe")
 			cache[key] = spec
 			for _, c := range analysis.NewScope(spec).Conts {
@@ -93,7 +98,7 @@ func PartialEval(w *ir.World) PEStats {
 		push(caller)
 	}
 	Cleanup(w)
-	return stats
+	return stats, nil
 }
 
 // literalArgs returns a specialization vector binding literal-valued

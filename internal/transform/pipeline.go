@@ -61,6 +61,15 @@ func Optimize(w *ir.World, opts Options) Stats {
 	return st
 }
 
+// must unwraps a (value, error) pair for the legacy pipeline, where every
+// pass invocation is well-formed by construction.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic("transform: legacy pipeline failed: " + err.Error())
+	}
+	return v
+}
+
 // OptimizeLegacy is the frozen pre-pass-manager pipeline: every pass runs
 // exactly once in the original hardcoded order (including the redundant
 // post-mangling Cleanup). It is retained as the reference arm of the
@@ -69,14 +78,14 @@ func OptimizeLegacy(w *ir.World, opts Options) Stats {
 	var st Stats
 	st.Cleanup = Cleanup(w)
 	if opts.PartialEval {
-		st.PE = PartialEval(w)
+		st.PE = must(PartialEval(w))
 	}
 	if opts.Mangle {
-		st.CFF = LowerToCFF(w)
+		st.CFF = must(LowerToCFF(w))
 		Cleanup(w)
 	}
 	if opts.Contify {
-		st.Contified = Contify(w)
+		st.Contified = must(Contify(w))
 	}
 	if opts.Mem2Reg {
 		st.Mem2Reg = Mem2Reg(w)
@@ -85,6 +94,6 @@ func OptimizeLegacy(w *ir.World, opts Options) Stats {
 		st.Inlined = InlineOnce(w)
 	}
 	Cleanup(w)
-	st.Closure = ClosureConvert(w)
+	st.Closure = must(ClosureConvert(w))
 	return st
 }

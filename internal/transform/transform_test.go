@@ -32,7 +32,10 @@ func TestDropSpecializesParam(t *testing.T) {
 	w := ir.NewWorld()
 	d := buildDouble(w)
 	// Specialize x := 21: the body folds to ret(mem, 42).
-	spec := Drop(analysis.NewScope(d), []ir.Def{nil, w.LitI64(21), nil})
+	spec, err := Drop(analysis.NewScope(d), []ir.Def{nil, w.LitI64(21), nil})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if spec.NumParams() != 2 {
 		t.Fatalf("specialized cont has %d params, want 2", spec.NumParams())
 	}
@@ -68,7 +71,10 @@ func TestMangleRewiresTailRecursion(t *testing.T) {
 	exit := w.Continuation(retT, "exit")
 	exit.Jump(exit.Param(0).World().PrintI64(), exit.Param(0), exit.Param(1), w.Continuation(w.FnType(mem), "end"))
 
-	spec := Drop(analysis.NewScope(sum), []ir.Def{nil, nil, nil, exit})
+	spec, err := Drop(analysis.NewScope(sum), []ir.Def{nil, nil, nil, exit})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if spec.NumParams() != 3 {
 		t.Fatalf("spec params = %d, want 3", spec.NumParams())
 	}
@@ -143,7 +149,10 @@ func TestLowerToCFF(t *testing.T) {
 	if ir.IsCFFType(a.FnType()) {
 		t.Fatal("apply must violate CFF before lowering")
 	}
-	stats := LowerToCFF(w)
+	stats, err := LowerToCFF(w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.Specialized == 0 {
 		t.Fatal("no call was specialized")
 	}
@@ -183,7 +192,10 @@ func TestPartialEvalUnrollsPower(t *testing.T) {
 	main.Jump(pow, main.Param(0), w.LitI64(3), w.LitI64(4), k)
 	k.Jump(main.Param(1), k.Param(0), k.Param(1))
 
-	stats := PartialEval(w)
+	stats, err := PartialEval(w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.Specialized == 0 {
 		t.Fatal("partial evaluation did nothing")
 	}
@@ -445,7 +457,10 @@ func TestClosureConvert(t *testing.T) {
 		w.Arith(ir.OpAdd, adder.Param(1), main.Param(1))) // captures main's param
 	main.Jump(hof, main.Param(0), adder, main.Param(2))
 
-	stats := ClosureConvert(w)
+	stats, err := ClosureConvert(w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.Closures != 1 {
 		t.Fatalf("closures = %d, want 1", stats.Closures)
 	}
@@ -484,7 +499,10 @@ func TestClosureConvertLeavesRetConts(t *testing.T) {
 	main.Jump(d, main.Param(0), w.LitI64(7), k)
 	k.Jump(main.Param(1), k.Param(0), k.Param(1))
 
-	stats := ClosureConvert(w)
+	stats, err := ClosureConvert(w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.Closures != 0 {
 		t.Fatalf("return continuations must not become closures, got %d", stats.Closures)
 	}
@@ -566,7 +584,10 @@ func TestContify(t *testing.T) {
 	elseB.Jump(helper, elseB.Param(0), w.LitI64(2), join)
 	join.Jump(main.Param(2), join.Param(0), join.Param(1))
 
-	n := Contify(w)
+	n, err := Contify(w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if n != 1 {
 		t.Fatalf("contified %d, want 1", n)
 	}
@@ -611,7 +632,7 @@ func TestContifySkipsDisagreeingSites(t *testing.T) {
 	k1.Jump(helper, k1.Param(0), k1.Param(1), k2)
 	k2.Jump(main.Param(2), k2.Param(0), k2.Param(1))
 
-	if n := Contify(w); n != 0 {
+	if n, _ := Contify(w); n != 0 {
 		t.Fatalf("contified %d, want 0 (sites disagree)", n)
 	}
 }

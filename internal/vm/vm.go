@@ -312,12 +312,22 @@ func (m *VM) Call(fnIdx int, args ...Value) ([]Value, error) {
 			if r[in.C].I == 0 {
 				return nil, fmt.Errorf("vm: %s: division by zero", fr.fn.Name)
 			}
-			r[in.A] = Value{I: r[in.B].I / r[in.C].I}
+			if r[in.B].I == math.MinInt64 && r[in.C].I == -1 {
+				// Two's-complement wrap, matching the constant folder; the
+				// native operation panics on this pair.
+				r[in.A] = Value{I: math.MinInt64}
+			} else {
+				r[in.A] = Value{I: r[in.B].I / r[in.C].I}
+			}
 		case OpRemI:
 			if r[in.C].I == 0 {
 				return nil, fmt.Errorf("vm: %s: remainder by zero", fr.fn.Name)
 			}
-			r[in.A] = Value{I: r[in.B].I % r[in.C].I}
+			if r[in.C].I == -1 {
+				r[in.A] = Value{I: 0}
+			} else {
+				r[in.A] = Value{I: r[in.B].I % r[in.C].I}
+			}
 		case OpAndI:
 			r[in.A] = Value{I: r[in.B].I & r[in.C].I}
 		case OpOrI:
