@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci fuzz-smoke bench bench-passes tables
+.PHONY: all build test race vet fmt ci fuzz-smoke fuzz crashers bench bench-passes tables
 
 all: build test
 
@@ -27,12 +27,25 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt vet build race fuzz-smoke
+ci: fmt vet build race fuzz-smoke fuzz crashers
 
 # fuzz-smoke gives the integer-fold fuzzer (seeded with the signed-overflow
 # and division edge cases) a short budget; it fails fast on any fold panic.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFoldArith -fuzztime=10s ./internal/ir
+
+# fuzz runs the differential pipeline fuzzer: random well-typed programs,
+# reference interpreter as oracle, compiled arms at -O0/-O2 × jobs 1/4.
+# Failures are auto-minimized; save the reproducer under
+# internal/driver/testdata/crashers/ to turn it into a regression.
+FUZZTIME ?= 60s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzCompile -fuzztime=$(FUZZTIME) ./internal/driver
+
+# crashers replays the minimized crasher corpus under the race detector
+# with four analysis workers forced.
+crashers:
+	THORIN_JOBS=4 $(GO) test -race -run TestCrashers ./internal/driver
 
 # bench runs the whole evaluation harness at laptop scale.
 bench:

@@ -17,6 +17,9 @@
 //	thorinc -passes="cleanup,pe,fix(cff,contify,mem2reg,inline-once),cleanup,closure" \
 //	    -emit=pass-report prog.imp         # custom pipeline + per-pass table
 //	thorinc -verify-each prog.imp          # ir.Verify after every pass
+//	thorinc -budget "time=30s,nodes=500000" prog.imp   # bounded compile
+//	thorinc -on-failure=degrade -run prog.imp 10       # survive a buggy pass
+//	thorinc -replay .thorin-crash/crash-ab12cd34ef56   # re-run a crash bundle
 package main
 
 import (
@@ -47,8 +50,34 @@ func main() {
 		run        = flag.Bool("run", false, "execute main with the trailing integer arguments")
 		stats      = flag.Bool("stats", false, "print compilation and execution statistics")
 		schedule   = flag.String("schedule", "smart", "primop schedule: early | late | smart")
+		budgetSpec = flag.String("budget", "", "compilation budget, e.g. \"iters=8,nodes=200000,time=30s\" (any subset of keys)")
+		onFailure  = flag.String("on-failure", "fail", "pass-failure policy: fail (abort with a crash bundle) | degrade (strip the faulting pass and finish unoptimized)")
+		crashDir   = flag.String("crash-dir", ".thorin-crash", "directory for crash reproduction bundles (empty disables)")
+		replay     = flag.String("replay", "", "re-run the compilation recorded in a crash bundle directory and exit")
 	)
 	flag.Parse()
+
+	budget := pm.Budget{}
+	if *budgetSpec != "" {
+		b, err := pm.ParseBudget(*budgetSpec)
+		if err != nil {
+			fatal(err)
+		}
+		budget = b
+	}
+
+	if *replay != "" {
+		res, err := driver.Replay(*replay)
+		if err != nil {
+			fatal(fmt.Errorf("replay: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "thorinc: replay of %s succeeded — the recorded failure no longer reproduces\n", *replay)
+		if *run {
+			runProgram(res.Program, replayArgs(), *emit, true, *stats)
+		}
+		return
+	}
+
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: thorinc [flags] file.imp [args...]")
 		flag.Usage()
@@ -102,6 +131,7 @@ func main() {
 		}
 		ctx := pm.NewContext(w)
 		ctx.VerifyEach = *verifyEach
+		ctx.Budget = budget
 		if *jobs > 0 {
 			ctx.Jobs = *jobs
 		}
@@ -144,9 +174,30 @@ func main() {
 				len(mod.Funcs), instrs, phis)
 		}
 	default:
-		res, err := driver.CompileSpec(src, spec, mode, driver.Config{VerifyEach: *verifyEach, Jobs: *jobs})
+		policy := driver.FailFast
+		switch *onFailure {
+		case "fail":
+		case "degrade":
+			policy = driver.Degrade
+		default:
+			fatal(fmt.Errorf("bad -on-failure %q (want fail or degrade)", *onFailure))
+		}
+		res, err := driver.CompileSpec(src, spec, mode, driver.Config{
+			VerifyEach:    *verifyEach,
+			Jobs:          *jobs,
+			OnPassFailure: policy,
+			Budget:        budget,
+			CrashDir:      *crashDir,
+		})
 		if err != nil {
 			fatal(err)
+		}
+		if res.Degraded {
+			fmt.Fprintf(os.Stderr, "thorinc: warning: pass failure in %v; finished with degraded pipeline %q", res.FailedPasses, res.Spec)
+			if res.CrashBundle != "" {
+				fmt.Fprintf(os.Stderr, " (crash bundle: %s)", res.CrashBundle)
+			}
+			fmt.Fprintln(os.Stderr)
 		}
 		emitReport(res.Report, *emit)
 		if *emit == "thorin" {
@@ -218,6 +269,20 @@ func runProgram(prog *vm.Program, args []int64, emit string, run, stats bool) {
 			"vm: %d instructions, %d direct calls, %d indirect calls, %d closures allocated, %d loads, %d stores\n",
 			c.Instructions, c.DirectCalls, c.IndirectCalls, c.ClosureAllocs, c.Loads, c.Stores)
 	}
+}
+
+// replayArgs parses every positional argument as an i64; replay mode has
+// no source-file positional, the bundle supplies the input.
+func replayArgs() []int64 {
+	var args []int64
+	for _, a := range flag.Args() {
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad argument %q: %w", a, err))
+		}
+		args = append(args, v)
+	}
+	return args
 }
 
 func fatal(err error) {

@@ -1,0 +1,105 @@
+package driver
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"thorin/internal/analysis"
+	"thorin/internal/impala"
+	"thorin/internal/ir"
+	"thorin/internal/pm"
+)
+
+// A crash bundle is a self-contained reproduction of one pass failure:
+//
+//	<dir>/crash-<hash>/
+//	  repro.json    pipeline spec, jobs level, budget, failing pass, error
+//	  input.imp     the Impala source that was being compiled
+//	  input.thorin  frontend IR before the pipeline ran (best effort)
+//
+// The hash covers source and spec, so recompiling the same broken input
+// overwrites its bundle instead of accumulating duplicates.
+
+// crashManifest is the serialized form of repro.json.
+type crashManifest struct {
+	Spec             string `json:"spec"`
+	Jobs             int    `json:"jobs"`
+	VerifyEach       bool   `json:"verify_each,omitempty"`
+	MaxFixpointIters int    `json:"max_fixpoint_iters,omitempty"`
+	MaxNodes         int    `json:"max_nodes,omitempty"`
+	Pass             string `json:"pass"`
+	Error            string `json:"error"`
+}
+
+// WriteCrashBundle writes a reproduction bundle for a pass failure and
+// returns the bundle directory.
+func WriteCrashBundle(dir, src, spec string, cfg Config, pass string, failure error) (string, error) {
+	sum := sha256.Sum256([]byte(src + "\x00" + spec))
+	bundle := filepath.Join(dir, fmt.Sprintf("crash-%x", sum[:6]))
+	if err := os.MkdirAll(bundle, 0o755); err != nil {
+		return "", err
+	}
+	man := crashManifest{
+		Spec:             spec,
+		Jobs:             cfg.Jobs,
+		VerifyEach:       cfg.VerifyEach,
+		MaxFixpointIters: cfg.Budget.MaxFixpointIters,
+		MaxNodes:         cfg.Budget.MaxNodes,
+		Pass:             pass,
+		Error:            failure.Error(),
+	}
+	js, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(bundle, "repro.json"), append(js, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(bundle, "input.imp"), []byte(src), 0o644); err != nil {
+		return "", err
+	}
+	// The pre-pipeline IR dump is diagnostic sugar, not replay input; skip
+	// it silently if the frontend itself misbehaves here.
+	if w, err := impala.Compile(src); err == nil {
+		var buf bytes.Buffer
+		ir.Print(&buf, w)
+		if err := os.WriteFile(filepath.Join(bundle, "input.thorin"), buf.Bytes(), 0o644); err != nil {
+			return "", err
+		}
+	}
+	return bundle, nil
+}
+
+// Replay re-runs the compilation recorded in a crash bundle with the same
+// spec, jobs level and budget, failing fast. The expected outcome is the
+// original error; a nil error means the bug no longer reproduces.
+func Replay(bundle string) (*Result, error) {
+	js, err := os.ReadFile(filepath.Join(bundle, "repro.json"))
+	if err != nil {
+		return nil, fmt.Errorf("driver: replay: %w", err)
+	}
+	var man crashManifest
+	if err := json.Unmarshal(js, &man); err != nil {
+		return nil, fmt.Errorf("driver: replay: bad repro.json: %w", err)
+	}
+	src, err := os.ReadFile(filepath.Join(bundle, "input.imp"))
+	if err != nil {
+		return nil, fmt.Errorf("driver: replay: %w", err)
+	}
+	cfg := Config{
+		VerifyEach: man.VerifyEach,
+		Jobs:       man.Jobs,
+		Budget: pm.Budget{
+			MaxFixpointIters: man.MaxFixpointIters,
+			MaxNodes:         man.MaxNodes,
+		},
+		// Replay diagnoses the recorded failure: fail fast, and do not
+		// write a second bundle for the same crash.
+		OnPassFailure: FailFast,
+	}
+	return CompileSpec(string(src), man.Spec, analysis.ScheduleSmart, cfg)
+}

@@ -7,6 +7,8 @@ package driver
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
+	"time"
 
 	"thorin/internal/analysis"
 	"thorin/internal/codegen"
@@ -27,7 +29,41 @@ type Result struct {
 	IRStats IRStats
 	// Report is the pass manager's per-pass instrumentation of the run.
 	Report *pm.Report
+	// Spec is the pipeline spec the result was actually compiled with. It
+	// differs from the requested spec when graceful degradation stripped a
+	// faulting pass.
+	Spec string
+	// Degraded is set when the requested pipeline failed and the result
+	// comes from a reduced pipeline instead (see Config.OnPassFailure).
+	Degraded bool
+	// FailedPasses names the passes stripped during degradation, in the
+	// order they failed.
+	FailedPasses []string
+	// CrashBundle is the path of the reproduction bundle written for the
+	// first failure, if Config.CrashDir was set.
+	CrashBundle string
 }
+
+// FailurePolicy selects how CompileSpec reacts when an optimizer pass
+// fails (panics, returns an error, or leaves invalid IR).
+type FailurePolicy int
+
+const (
+	// FailFast aborts the compile on the first pass failure. The returned
+	// error names the pass and, when Config.CrashDir is set, the
+	// reproduction bundle.
+	FailFast FailurePolicy = iota
+	// Degrade strips the faulting pass from the pipeline and recompiles
+	// from source on a fresh world (the half-rewritten world cannot be
+	// trusted), falling back to the minimal pipeline if passes keep
+	// failing. The result is less optimized but verified correct.
+	Degrade
+)
+
+// fallbackSpec is the last-resort pipeline for graceful degradation:
+// cleanup is needed to drop dead IR and closure is needed because codegen
+// requires closure-converted input.
+const fallbackSpec = "cleanup,closure"
 
 // Config controls the optimizer run beyond the pipeline spec itself.
 type Config struct {
@@ -39,6 +75,15 @@ type Config struct {
 	// scope-level passes. 0 keeps the context default (1, or THORIN_JOBS).
 	// The produced IR and program are identical at every jobs level.
 	Jobs int
+	// OnPassFailure picks between aborting (FailFast, the default) and
+	// graceful degradation when a pass fails.
+	OnPassFailure FailurePolicy
+	// Budget bounds the optimizer run (fixpoint iterations, IR size,
+	// wall-clock deadline). The zero value means unlimited.
+	Budget pm.Budget
+	// CrashDir, when non-empty, is the directory where a reproduction
+	// bundle is written on pass failure (see WriteCrashBundle).
+	CrashDir string
 }
 
 // IRStats summarizes the IR after a pipeline run.
@@ -57,9 +102,72 @@ func Compile(src string, opts transform.Options, mode analysis.Mode) (*Result, e
 
 // CompileSpec runs the frontend, an explicit pass-manager pipeline spec
 // (e.g. "cleanup,pe,fix(cff,contify,mem2reg,inline-once),cleanup,closure")
-// and the backend over src.
+// and the backend over src. Pass failures (panics included) are handled
+// per cfg.OnPassFailure; with Config.CrashDir set, the first failure also
+// leaves a reproduction bundle on disk.
 func CompileSpec(src, spec string, mode analysis.Mode, cfg Config) (*Result, error) {
-	w, err := impala.Compile(src)
+	res, err := compileOnce(src, spec, mode, cfg)
+	if err == nil {
+		return res, nil
+	}
+	pass, isPassFailure := pm.FailedPass(err)
+	if !isPassFailure {
+		return nil, err
+	}
+	var bundle string
+	if cfg.CrashDir != "" {
+		if p, werr := WriteCrashBundle(cfg.CrashDir, src, spec, cfg, pass, err); werr == nil {
+			bundle = p
+		}
+	}
+	if cfg.OnPassFailure != Degrade {
+		if bundle != "" {
+			return nil, fmt.Errorf("%w (crash bundle: %s)", err, bundle)
+		}
+		return nil, err
+	}
+	// Graceful degradation: recompile from source with the faulting pass
+	// stripped. A blown deadline must not turn a recoverable pass fault
+	// into a hard failure, so retries keep the node budget but not the
+	// deadline.
+	degCfg := cfg
+	degCfg.Budget.Deadline = time.Time{}
+	tried := make(map[string]bool)
+	var failed []string
+	cur := spec
+	for attempt := 0; attempt < 8; attempt++ {
+		if p, ok := pm.FailedPass(err); ok && !tried[p] {
+			tried[p] = true
+			failed = append(failed, p)
+			next, found, serr := pm.StripPass(cur, p)
+			if serr != nil || !found || next == "" {
+				next = fallbackSpec
+			}
+			cur = next
+		} else if cur != fallbackSpec {
+			// The failure is unattributable (frontend, codegen, budget) or
+			// an already-stripped pass resurfaced; go straight to the
+			// minimal pipeline.
+			cur = fallbackSpec
+		} else {
+			break
+		}
+		res, rerr := compileOnce(src, cur, mode, degCfg)
+		if rerr == nil {
+			res.Degraded = true
+			res.FailedPasses = failed
+			res.CrashBundle = bundle
+			return res, nil
+		}
+		err = rerr
+	}
+	return nil, fmt.Errorf("driver: graceful degradation failed: %w", err)
+}
+
+// compileOnce is one frontend → pipeline → verify → backend run with no
+// failure handling.
+func compileOnce(src, spec string, mode analysis.Mode, cfg Config) (*Result, error) {
+	w, err := compileFrontend(src)
 	if err != nil {
 		return nil, err
 	}
@@ -69,6 +177,7 @@ func CompileSpec(src, spec string, mode analysis.Mode, cfg Config) (*Result, err
 	}
 	ctx := pm.NewContext(w)
 	ctx.VerifyEach = cfg.VerifyEach
+	ctx.Budget = cfg.Budget
 	if cfg.Jobs > 0 {
 		ctx.Jobs = cfg.Jobs
 	}
@@ -79,7 +188,7 @@ func CompileSpec(src, spec string, mode analysis.Mode, cfg Config) (*Result, err
 	if err := ir.Verify(w); err != nil {
 		return nil, fmt.Errorf("driver: optimizer produced invalid IR: %w", err)
 	}
-	prog, err := codegen.Compile(w, "main", codegen.Config{Mode: mode})
+	prog, err := compileBackend(w, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -89,7 +198,31 @@ func CompileSpec(src, spec string, mode analysis.Mode, cfg Config) (*Result, err
 		Stats:   transform.PipelineStats(ctx),
 		IRStats: MeasureIR(w),
 		Report:  rep,
+		Spec:    spec,
 	}, nil
+}
+
+// compileFrontend runs the Impala frontend under panic containment:
+// emitter invariant violations on a checked program are bugs, but they
+// must surface as errors, not take the process down.
+func compileFrontend(src string) (w *ir.World, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("driver: frontend panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return impala.Compile(src)
+}
+
+// compileBackend runs codegen under the same panic containment as the
+// optimizer passes: a backend panic becomes an error, not a crash.
+func compileBackend(w *ir.World, mode analysis.Mode) (prog *vm.Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("driver: codegen panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return codegen.Compile(w, "main", codegen.Config{Mode: mode})
 }
 
 // MeasureIR counts continuations, primop nodes and CFF violations.
@@ -136,10 +269,22 @@ func RunSSA(src string, out io.Writer, args ...int64) (int64, vm.Counters, error
 	return Exec(prog, out, args...)
 }
 
-// Exec runs a compiled program's main with i64 arguments.
+// Exec runs a compiled program's main with i64 arguments under the
+// default step budget.
 func Exec(prog *vm.Program, out io.Writer, args ...int64) (int64, vm.Counters, error) {
+	return ExecSteps(prog, out, 0, args...)
+}
+
+// ExecSteps runs a compiled program's main with an explicit VM step budget
+// (0 selects the default). The differential tests use it to give the VM a
+// budget matching the reference interpreter's fuel, so a diverging
+// compilation shows up as vm.ErrStepLimit instead of hanging the suite.
+func ExecSteps(prog *vm.Program, out io.Writer, maxSteps int64, args ...int64) (int64, vm.Counters, error) {
 	m := vm.New(prog, out)
-	m.MaxSteps = 4_000_000_000
+	if maxSteps <= 0 {
+		maxSteps = 4_000_000_000
+	}
+	m.MaxSteps = maxSteps
 	vals := make([]vm.Value, len(args))
 	for i, a := range args {
 		vals[i] = vm.Value{I: a}

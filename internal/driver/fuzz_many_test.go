@@ -3,6 +3,7 @@ package driver
 import (
 	"testing"
 
+	"thorin/internal/fuzzgen"
 	"thorin/internal/impala"
 	"thorin/internal/transform"
 )
@@ -14,7 +15,7 @@ func TestFuzzExtended(t *testing.T) {
 		t.Skip("extended fuzzing skipped in -short mode")
 	}
 	for seed := 1000; seed < 2500; seed++ {
-		src := genProgram(int64(seed))
+		src := fuzzgen.Program(int64(seed))
 		prog, err := impala.Parse(src)
 		if err != nil {
 			t.Fatalf("seed %d: %v\n%s", seed, err, src)
@@ -23,7 +24,11 @@ func TestFuzzExtended(t *testing.T) {
 			t.Fatalf("seed %d: %v\n%s", seed, err, src)
 		}
 		arg := int64(seed%17 - 8)
-		ref, err := impala.NewInterp(prog, nil, 0).Run(arg)
+		in, err := impala.NewInterp(prog, nil, 0)
+		if err != nil {
+			t.Fatalf("seed %d interp: %v\n%s", seed, err, src)
+		}
+		ref, err := in.Run(arg)
 		if err != nil {
 			t.Fatalf("seed %d interp: %v\n%s", seed, err, src)
 		}

@@ -67,22 +67,40 @@ type Interp struct {
 	fuel    int64
 }
 
+// DefaultFuel is the step budget NewInterp applies when the caller passes 0.
+const DefaultFuel = 200_000_000
+
 // NewInterp prepares an interpreter for a checked program. out receives
-// print output (io.Discard if nil); fuel bounds evaluation steps (0 means a
-// large default).
-func NewInterp(prog *Program, out io.Writer, fuel int64) *Interp {
+// print output (io.Discard if nil); fuel bounds evaluation steps — 0 means
+// DefaultFuel, and a negative value is an explicit error (it used to be
+// silently replaced with the default, which made it impossible for the
+// differential fuzzer to budget-match interpreter and VM runs).
+func NewInterp(prog *Program, out io.Writer, fuel int64) (*Interp, error) {
+	if fuel < 0 {
+		return nil, fmt.Errorf("impala: negative interpreter fuel %d", fuel)
+	}
 	if out == nil {
 		out = io.Discard
 	}
-	if fuel <= 0 {
-		fuel = 200_000_000
+	if fuel == 0 {
+		fuel = DefaultFuel
 	}
 	in := &Interp{prog: prog, out: out, statics: map[string]*IValue{}, fuel: fuel}
 	for _, sd := range prog.Statics {
 		v := in.staticValue(sd.Init)
 		in.statics[sd.Name] = &v
 	}
-	return in
+	return in, nil
+}
+
+// Remaining returns the unspent step budget, 0 once the interpreter has run
+// out of fuel. The fuzzer uses it to derive a matching VM step budget so a
+// miscompiled infinite loop fails fast instead of hanging a fuzz worker.
+func (in *Interp) Remaining() int64 {
+	if in.fuel < 0 {
+		return 0
+	}
+	return in.fuel
 }
 
 func (in *Interp) staticValue(x Expr) IValue {

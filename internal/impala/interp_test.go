@@ -15,7 +15,11 @@ func interpRun(t *testing.T, src string, args ...int64) (IValue, string) {
 		t.Fatalf("check: %v", err)
 	}
 	var out strings.Builder
-	v, err := NewInterp(prog, &out, 0).Run(args...)
+	in, err := NewInterp(prog, &out, 0)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	v, err := in.Run(args...)
 	if err != nil {
 		t.Fatalf("interp: %v", err)
 	}
@@ -133,7 +137,11 @@ func TestInterpErrors(t *testing.T) {
 			t.Fatal(err)
 		}
 		args := make([]int64, len(prog.Funcs[0].Params))
-		if _, err := NewInterp(prog, nil, 0).Run(args...); err == nil {
+		in, err := NewInterp(prog, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.Run(args...); err == nil {
 			t.Errorf("interp must fail on %q", src)
 		}
 	}
@@ -147,8 +155,18 @@ func TestInterpFuelLimit(t *testing.T) {
 	if err := Check(prog); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewInterp(prog, nil, 10_000).Run(); err != ErrFuel {
+	in, err := NewInterp(prog, nil, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Run(); err != ErrFuel {
 		t.Fatalf("want fuel error, got %v", err)
+	}
+	if in.Remaining() != 0 {
+		t.Errorf("Remaining after fuel exhaustion = %d, want 0", in.Remaining())
+	}
+	if _, err := NewInterp(prog, nil, -1); err == nil {
+		t.Error("negative fuel must be an explicit error")
 	}
 }
 

@@ -19,10 +19,23 @@ func ParseWorld(src string) (*World, error) {
 		defs:  map[string]Def{},
 		conts: map[string]*Continuation{},
 	}
-	if err := p.run(src); err != nil {
+	if err := p.runGuarded(src); err != nil {
 		return nil, err
 	}
 	return p.w, nil
+}
+
+// runGuarded runs the parser under recover: the node constructors enforce
+// their invariants (operand arity, type agreement) with panics, which is
+// right for compiler-internal callers but not for user-supplied textual IR —
+// a malformed .thorin file must come back as an error, not a crash.
+func (p *worldParser) runGuarded(src string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("ir: parse line %d: invalid IR: %v", p.line, r)
+		}
+	}()
+	return p.run(src)
 }
 
 type worldParser struct {

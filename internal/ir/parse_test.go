@@ -189,3 +189,27 @@ func TestPrintDisambiguatesDuplicateNames(t *testing.T) {
 		t.Fatalf("disambiguated dump must parse: %v\n%s", err, dump)
 	}
 }
+
+// TestParseWorldMalformedIsError feeds textual IR that satisfies the grammar
+// but violates node-constructor invariants (an i64/bool operand mix). The
+// constructors panic on such input; ParseWorld must convert that into an
+// error — a hand-written .thorin file is user input, not a compiler bug.
+func TestParseWorldMalformedIsError(t *testing.T) {
+	src := `
+extern main(m: mem, n: i64, ret: fn(mem, i64)) = {
+    b = bool lt(n, 1:i64)
+    v = i64 add(b, n)
+    ret(m, v)
+}
+`
+	w, err := ParseWorld(src)
+	if err == nil {
+		t.Fatal("type-mismatched arith must fail to parse")
+	}
+	if w != nil {
+		t.Error("failed parse must not return a world")
+	}
+	if !strings.Contains(err.Error(), "invalid IR") && !strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("unexpected error %v", err)
+	}
+}

@@ -33,6 +33,9 @@ func verifyCont(c *Continuation) error {
 	if !c.HasBody() {
 		return nil
 	}
+	if c.IsIntrinsic() {
+		return fmt.Errorf("ir: %s: intrinsic continuation must not have a body", c.name)
+	}
 	callee := c.Callee()
 	if callee == nil {
 		return fmt.Errorf("ir: %s: nil callee", c.name)
@@ -54,7 +57,33 @@ func verifyCont(c *Continuation) error {
 				c.name, i, a.Type(), debugName(callee), ft.Params[i])
 		}
 	}
+	if cc, ok := callee.(*Continuation); ok && cc.Intrinsic() == IntrinsicBranch {
+		if err := verifyBranch(c); err != nil {
+			return err
+		}
+	}
 	return verifyOps(c)
+}
+
+// verifyBranch checks the parts of a branch call the generic type check
+// cannot see: ⊥ literals type-check against any parameter, but a branch
+// whose condition or targets are ⊥ (or the branch intrinsic itself) has no
+// executable meaning and would crash the code generator.
+func verifyBranch(c *Continuation) error {
+	if l, ok := c.Arg(1).(*Literal); ok && l.Bottom {
+		return fmt.Errorf("ir: %s: branch condition is ⊥", c.name)
+	}
+	for _, i := range []int{2, 3} {
+		switch t := c.Arg(i).(type) {
+		case *Literal:
+			return fmt.Errorf("ir: %s: branch target %d is the literal %s", c.name, i, t)
+		case *Continuation:
+			if t.IsIntrinsic() {
+				return fmt.Errorf("ir: %s: branch target %d is the intrinsic %s", c.name, i, t.Name())
+			}
+		}
+	}
+	return nil
 }
 
 func verifyOps(c *Continuation) error {

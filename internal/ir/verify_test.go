@@ -1,0 +1,161 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildValid constructs a minimal well-formed world: an extern identity
+// function f(mem, i64, ret) that immediately returns its argument. Each
+// corruption case mutates a fresh copy of this world through the package
+// internals (the public constructors refuse to build most of these shapes).
+func buildValid() (*World, *Continuation) {
+	w := NewWorld()
+	ret := w.FnType(w.MemType(), w.PrimType(PrimI64))
+	f := w.Continuation(w.FnType(w.MemType(), w.PrimType(PrimI64), ret), "f")
+	f.SetExtern(true)
+	f.Jump(f.Param(2), f.Param(0), f.Param(1))
+	return w, f
+}
+
+func TestVerifyAcceptsValidWorld(t *testing.T) {
+	w, _ := buildValid()
+	if err := Verify(w); err != nil {
+		t.Fatalf("valid world rejected: %v", err)
+	}
+}
+
+// TestVerifyCorruptions drives every verifier branch with a deliberately
+// corrupted world and asserts the check fires, naming the continuation it
+// fired on. These checks are the safety net the pass manager re-arms after
+// every pass failure, so each one needs a pinned error message.
+func TestVerifyCorruptions(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(w *World, f *Continuation)
+		want    string // substring of the expected error
+	}{
+		{
+			name: "param index back-link",
+			corrupt: func(w *World, f *Continuation) {
+				f.params[1].index = 0
+			},
+			want: "ir: f: param 1 broken back-link",
+		},
+		{
+			name: "param continuation back-link",
+			corrupt: func(w *World, f *Continuation) {
+				g := w.Continuation(f.FnType(), "g")
+				f.params[0].cont = g
+			},
+			want: "ir: f: param 0 broken back-link",
+		},
+		{
+			name: "nil callee",
+			corrupt: func(w *World, f *Continuation) {
+				f.ops[0] = nil
+			},
+			want: "ir: f: nil callee",
+		},
+		{
+			name: "non-function callee",
+			corrupt: func(w *World, f *Continuation) {
+				f.ops[0] = w.LitI64(42)
+			},
+			want: "ir: f: callee 42:i64 has non-function type i64",
+		},
+		{
+			name: "arity mismatch",
+			corrupt: func(w *World, f *Continuation) {
+				f.ops = f.ops[:2] // drop the second argument
+			},
+			want: "expects 2 args, got 1",
+		},
+		{
+			name: "nil argument",
+			corrupt: func(w *World, f *Continuation) {
+				f.ops[2] = nil
+			},
+			want: "ir: f: nil argument 1",
+		},
+		{
+			name: "ill-typed argument",
+			corrupt: func(w *World, f *Continuation) {
+				f.ops[2] = w.LitBool(true)
+			},
+			want: "ir: f: argument 1 has type bool",
+		},
+		{
+			name: "ill-typed callee arity via retyped jump",
+			corrupt: func(w *World, f *Continuation) {
+				// Jump to a continuation whose type demands a bool it
+				// cannot receive.
+				g := w.Continuation(w.FnType(w.MemType(), w.BoolType()), "g")
+				g.SetExtern(true)
+				g.Jump(f.Param(2), g.Param(0), w.LitI64(7))
+				// g's jump itself is fine; corrupt f to call g with an i64.
+				f.Unset()
+				f.Jump(g, f.Param(0), f.Param(1))
+			},
+			want: "ir: f: argument 1 has type i64, callee g expects bool",
+		},
+		{
+			name: "intrinsic with a body",
+			corrupt: func(w *World, f *Continuation) {
+				br := w.Branch()
+				br.ops = []Def{f, f.Param(0), f.Param(1)}
+			},
+			want: "ir: branch: intrinsic continuation must not have a body",
+		},
+		{
+			name: "nil primop operand",
+			corrupt: func(w *World, f *Continuation) {
+				sum := w.Arith(OpAdd, f.Param(1), w.LitI64(1))
+				f.Unset()
+				f.Jump(f.Param(2), f.Param(0), sum)
+				sum.(*PrimOp).ops[0] = nil
+			},
+			want: "nil operand 0",
+		},
+		{
+			name: "branch condition is bottom",
+			corrupt: func(w *World, f *Continuation) {
+				g := w.Continuation(w.FnType(w.MemType(), w.BoolType()), "g")
+				g.SetExtern(true)
+				thn, els := w.BasicBlock("thn"), w.BasicBlock("els")
+				ext := w.FnType(w.MemType())
+				exit := w.Continuation(ext, "exit")
+				exit.SetExtern(true)
+				thn.Jump(exit, thn.Param(0))
+				els.Jump(exit, els.Param(0))
+				g.Jump(w.Branch(), g.Param(0), w.Bottom(w.BoolType()), thn, els)
+			},
+			want: "ir: g: branch condition is ⊥",
+		},
+		{
+			name: "branch target is a literal",
+			corrupt: func(w *World, f *Continuation) {
+				g := w.Continuation(w.FnType(w.MemType(), w.BoolType()), "g")
+				g.SetExtern(true)
+				els := w.BasicBlock("els")
+				els.Jump(w.Bottom(w.FnType(w.MemType())), els.Param(0))
+				g.Jump(w.Branch(), g.Param(0), g.Param(1),
+					w.Bottom(w.FnType(w.MemType())), els)
+			},
+			want: "ir: g: branch target 2 is the literal",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w, f := buildValid()
+			tc.corrupt(w, f)
+			err := Verify(w)
+			if err == nil {
+				t.Fatalf("corruption %q not caught by Verify", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Verify = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+package pm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Budget bounds the resources one pipeline run may consume. The zero value
+// imposes no limits beyond the pipeline's default fixpoint bound. Budgets
+// make the optimizer total: a diverging rewrite combination stops with
+// Saturated, a code-size explosion from partial evaluation/inlining stops
+// with ErrNodeBudget, and a wall-clock overrun stops with ErrDeadline —
+// in every case with valid IR and a structured error instead of a hung or
+// OOM-killed compile.
+type Budget struct {
+	// MaxFixpointIters overrides the pipeline's fix(...) iteration bound
+	// (0 keeps the pipeline default). A group that hits the bound stops and
+	// flags Saturated in the report instead of diverging.
+	MaxFixpointIters int
+	// MaxNodes bounds the world's node allocation count (its Generation).
+	// Checked between passes; 0 means unlimited.
+	MaxNodes int
+	// Deadline is the wall-clock instant after which no further pass may
+	// start. The zero time means no deadline.
+	Deadline time.Time
+}
+
+// ErrNodeBudget is returned (wrapped) when the world outgrows Budget.MaxNodes.
+var ErrNodeBudget = errors.New("pm: node budget exceeded")
+
+// ErrDeadline is returned (wrapped) when Budget.Deadline passes mid-pipeline.
+var ErrDeadline = errors.New("pm: compilation deadline exceeded")
+
+// check validates the world against the budget between passes. label names
+// the pipeline position being charged ("start", or the pass that just ran).
+func (b Budget) check(ctx *Context, label string) error {
+	if !b.Deadline.IsZero() && time.Now().After(b.Deadline) {
+		return fmt.Errorf("%w at %s", ErrDeadline, label)
+	}
+	if b.MaxNodes > 0 && ctx.World.Generation() > b.MaxNodes {
+		return fmt.Errorf("%w at %s: %d nodes over limit %d",
+			ErrNodeBudget, label, ctx.World.Generation(), b.MaxNodes)
+	}
+	return nil
+}
+
+// ParseBudget parses the -budget flag syntax: comma-separated key=value
+// pairs among iters=N (fixpoint iterations), nodes=N (IR node allocations)
+// and time=DURATION (wall clock, Go duration syntax). The empty string is
+// the zero Budget.
+func ParseBudget(s string) (Budget, error) {
+	var b Budget
+	if strings.TrimSpace(s) == "" {
+		return b, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Budget{}, fmt.Errorf("pm: bad budget element %q (want key=value)", part)
+		}
+		switch key {
+		case "iters":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return Budget{}, fmt.Errorf("pm: bad budget iters %q", val)
+			}
+			b.MaxFixpointIters = n
+		case "nodes":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return Budget{}, fmt.Errorf("pm: bad budget nodes %q", val)
+			}
+			b.MaxNodes = n
+		case "time":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return Budget{}, fmt.Errorf("pm: bad budget time %q", val)
+			}
+			b.Deadline = time.Now().Add(d)
+		default:
+			return Budget{}, fmt.Errorf("pm: unknown budget key %q (want iters, nodes or time)", key)
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,79 @@
+package pm
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// PassPanicError is a pass panic converted into a value: the pass manager
+// runs every pass invocation (and every parallel analysis worker) under
+// recover, so an invariant slip inside one pass aborts that pipeline with a
+// structured error instead of taking down the whole process (and, under
+// -jobs, a whole worker pool). The original panic value and stack are
+// preserved for the crash artifact.
+type PassPanicError struct {
+	// Pass is the registered name of the panicking pass.
+	Pass string
+	// Target names the continuation whose Analyze/Commit panicked, "" when
+	// the panic happened outside a per-target phase.
+	Target string
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the goroutine stack captured at the recovery point.
+	Stack []byte
+}
+
+func (e *PassPanicError) Error() string {
+	if e.Target != "" {
+		return fmt.Sprintf("pm: pass %q panicked on %s: %v", e.Pass, e.Target, e.Value)
+	}
+	return fmt.Sprintf("pm: pass %q panicked: %v", e.Pass, e.Value)
+}
+
+// PassError attributes an ordinary (non-panic) pass failure to the pass by
+// name, so policies like the driver's graceful degradation can strip the
+// faulting pass and retry.
+type PassError struct {
+	Pass string
+	// Verify marks a per-pass ir.Verify failure (the pass ran but left
+	// invalid IR) as opposed to the pass itself returning an error.
+	Verify bool
+	Err    error
+}
+
+func (e *PassError) Error() string {
+	if e.Verify {
+		return fmt.Sprintf("pm: pass %q left invalid IR: %v", e.Pass, e.Err)
+	}
+	return fmt.Sprintf("pm: pass %q failed: %v", e.Pass, e.Err)
+}
+func (e *PassError) Unwrap() error { return e.Err }
+
+// FailedPass extracts the offending pass name from a pipeline error. It
+// recognizes both panic conversions and ordinary pass failures (including
+// per-pass verification failures).
+func FailedPass(err error) (string, bool) {
+	var pp *PassPanicError
+	if errors.As(err, &pp) {
+		return pp.Pass, true
+	}
+	var pe *PassError
+	if errors.As(err, &pe) {
+		return pe.Pass, true
+	}
+	return "", false
+}
+
+// guard runs f, converting a panic into a *PassPanicError attributed to
+// (pass, target). It is the containment boundary for every pass phase: the
+// worker that recovers keeps draining its queue, so the scheduler never
+// leaks goroutines on a fault.
+func guard(pass, target string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PassPanicError{Pass: pass, Target: target, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f()
+}

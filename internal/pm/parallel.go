@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"thorin/internal/ir"
 )
 
 // WorkerStat records one worker's share of a parallel analysis phase.
@@ -13,12 +15,32 @@ type WorkerStat struct {
 	Time    time.Duration `json:"time_ns"`
 }
 
+// analyzeOne runs one Analyze under the panic containment boundary: a
+// panicking target produces a *PassPanicError in its error slot while the
+// worker that recovered keeps draining the queue, so a fault never leaks
+// goroutines or deadlocks the scheduler.
+func analyzeOne(ctx *Context, sr ScopeRewriter, c *ir.Continuation) (plan any, err error) {
+	err = guard(sr.Name(), c.Name(), func() error {
+		var aerr error
+		plan, aerr = sr.Analyze(ctx, c)
+		return aerr
+	})
+	return plan, err
+}
+
 // runScoped drives one ScopeRewriter pass: enumerate targets, analyze them
 // (in parallel when ctx.Jobs > 1), then commit sequentially in target order
-// and finish. Analysis errors are surfaced in deterministic target order so
-// a failing pipeline reports the same error at every jobs level.
-func runScoped(ctx *Context, sr ScopeRewriter) (Result, int, []WorkerStat, error) {
-	targets := sr.Targets(ctx)
+// and finish. Analysis errors — including recovered panics — are surfaced
+// in deterministic target order so a failing pipeline reports the same
+// error at every jobs level.
+func runScoped(ctx *Context, sr ScopeRewriter) (res Result, parallelism int, stats []WorkerStat, err error) {
+	var targets []*ir.Continuation
+	if err := guard(sr.Name(), "", func() error {
+		targets = sr.Targets(ctx)
+		return nil
+	}); err != nil {
+		return Result{}, 0, nil, err
+	}
 	jobs := ctx.Jobs
 	if jobs < 1 {
 		jobs = 1
@@ -32,12 +54,12 @@ func runScoped(ctx *Context, sr ScopeRewriter) (Result, int, []WorkerStat, error
 
 	plans := make([]any, len(targets))
 	errs := make([]error, len(targets))
-	stats := make([]WorkerStat, jobs)
+	stats = make([]WorkerStat, jobs)
 
 	if jobs == 1 {
 		start := time.Now()
 		for i, c := range targets {
-			plans[i], errs[i] = sr.Analyze(ctx, c)
+			plans[i], errs[i] = analyzeOne(ctx, sr, c)
 		}
 		stats[0] = WorkerStat{Worker: 0, Targets: len(targets), Time: time.Since(start)}
 	} else {
@@ -56,7 +78,7 @@ func runScoped(ctx *Context, sr ScopeRewriter) (Result, int, []WorkerStat, error
 					if i >= len(targets) {
 						break
 					}
-					plans[i], errs[i] = sr.Analyze(ctx, targets[i])
+					plans[i], errs[i] = analyzeOne(ctx, sr, targets[i])
 					n++
 				}
 				stats[wi] = WorkerStat{Worker: wi, Targets: n, Time: time.Since(start)}
@@ -72,15 +94,26 @@ func runScoped(ctx *Context, sr ScopeRewriter) (Result, int, []WorkerStat, error
 		}
 	}
 	for i, c := range targets {
-		res, err := sr.Commit(ctx, c, plans[i])
-		total.Rewrites += res.Rewrites
-		total.Changed = total.Changed || res.Changed
+		c := c
+		var cres Result
+		err := guard(sr.Name(), c.Name(), func() error {
+			var cerr error
+			cres, cerr = sr.Commit(ctx, c, plans[i])
+			return cerr
+		})
+		total.Rewrites += cres.Rewrites
+		total.Changed = total.Changed || cres.Changed
 		if err != nil {
 			return total, jobs, stats, err
 		}
 	}
-	res, err := sr.Finish(ctx)
-	total.Rewrites += res.Rewrites
-	total.Changed = total.Changed || res.Changed
+	var fres Result
+	err = guard(sr.Name(), "", func() error {
+		var ferr error
+		fres, ferr = sr.Finish(ctx)
+		return ferr
+	})
+	total.Rewrites += fres.Rewrites
+	total.Changed = total.Changed || fres.Changed
 	return total, jobs, stats, err
 }

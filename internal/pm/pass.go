@@ -87,6 +87,9 @@ type Context struct {
 	// ScopeRewriter passes. Values below 2 run sequentially. The result is
 	// identical at every jobs level; only wall-clock time changes.
 	Jobs int
+	// Budget bounds the run's fixpoint iterations, IR size and wall-clock
+	// time. The zero value imposes no extra limits.
+	Budget Budget
 
 	data map[string]any
 }

@@ -1,7 +1,7 @@
 package pm
 
 import (
-	"fmt"
+	"errors"
 	"time"
 
 	"thorin/internal/ir"
@@ -76,6 +76,9 @@ func (p *Pipeline) runFix(ctx *Context, f fixItem, rep *Report, path string) (bo
 		sub = path + "/fix"
 	}
 	max := p.MaxFixIters
+	if ctx.Budget.MaxFixpointIters > 0 {
+		max = ctx.Budget.MaxFixpointIters
+	}
 	if max <= 0 {
 		max = DefaultMaxFixIters
 	}
@@ -97,6 +100,9 @@ func (p *Pipeline) runFix(ctx *Context, f fixItem, rep *Report, path string) (bo
 }
 
 func (p *Pipeline) runPass(ctx *Context, pass Pass, rep *Report, path string, iter int) (bool, error) {
+	if berr := ctx.Budget.check(ctx, "before pass "+pass.Name()); berr != nil {
+		return false, berr
+	}
 	before := snapshot(ctx.World)
 	cacheBefore := ctx.Cache.Stats()
 	start := time.Now()
@@ -107,7 +113,15 @@ func (p *Pipeline) runPass(ctx *Context, pass Pass, rep *Report, path string, it
 	if sr, ok := pass.(ScopeRewriter); ok {
 		res, parallelism, workers, err = runScoped(ctx, sr)
 	} else {
-		res, err = pass.Run(ctx)
+		// Panic containment boundary for ordinary passes: a panicking pass
+		// fails its pipeline with a structured *PassPanicError instead of
+		// crashing the process. ScopeRewriter phases are guarded per target
+		// inside runScoped.
+		err = guard(pass.Name(), "", func() error {
+			var rerr error
+			res, rerr = pass.Run(ctx)
+			return rerr
+		})
 	}
 	dur := time.Since(start)
 	after := snapshot(ctx.World)
@@ -139,15 +153,24 @@ func (p *Pipeline) runPass(ctx *Context, pass Pass, rep *Report, path string, it
 	if err != nil {
 		run.Err = err.Error()
 		rep.Runs = append(rep.Runs, run)
-		return changed, fmt.Errorf("pm: pass %q failed: %w", pass.Name(), err)
+		var pp *PassPanicError
+		if errors.As(err, &pp) {
+			// Panics are already attributed to the pass; keep them typed so
+			// the driver's failure policy and crash artifacts see the stack.
+			return changed, err
+		}
+		return changed, &PassError{Pass: pass.Name(), Err: err}
 	}
 	if ctx.VerifyEach {
 		if verr := ir.Verify(ctx.World); verr != nil {
 			run.Err = verr.Error()
 			rep.Runs = append(rep.Runs, run)
-			return changed, fmt.Errorf("pm: pass %q left invalid IR: %w", pass.Name(), verr)
+			return changed, &PassError{Pass: pass.Name(), Verify: true, Err: verr}
 		}
 	}
 	rep.Runs = append(rep.Runs, run)
+	if berr := ctx.Budget.check(ctx, "after pass "+pass.Name()); berr != nil {
+		return changed, berr
+	}
 	return changed, nil
 }

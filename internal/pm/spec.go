@@ -150,6 +150,45 @@ func Parse(spec string) (*Pipeline, error) {
 	return &Pipeline{Spec: spec, items: items, MaxFixIters: DefaultMaxFixIters}, nil
 }
 
+// StripPass returns spec with every occurrence of the named pass removed
+// (fix groups that become empty disappear with their contents). The boolean
+// reports whether anything was removed. This is how the driver's graceful
+// degradation policy retries a pipeline without its faulting pass.
+func StripPass(spec, name string) (string, bool, error) {
+	pl, err := Parse(spec)
+	if err != nil {
+		return "", false, err
+	}
+	stripped, removed := stripItems(pl.items, name)
+	parts := make([]string, len(stripped))
+	for i, it := range stripped {
+		parts[i] = it.spec()
+	}
+	return strings.Join(parts, ","), removed, nil
+}
+
+func stripItems(items []item, name string) ([]item, bool) {
+	var out []item
+	removed := false
+	for _, it := range items {
+		switch it := it.(type) {
+		case passItem:
+			if it.pass.Name() == name {
+				removed = true
+				continue
+			}
+			out = append(out, it)
+		case fixItem:
+			sub, rm := stripItems(it.items, name)
+			removed = removed || rm
+			if len(sub) > 0 {
+				out = append(out, fixItem{items: sub})
+			}
+		}
+	}
+	return out, removed
+}
+
 // MustParse is Parse for known-good specs (the canonical ones the driver
 // builds); it panics on error.
 func MustParse(spec string) *Pipeline {

@@ -1,0 +1,104 @@
+// Package reduce shrinks failing fuzzer programs with a ddmin-style line
+// reducer. The differential fuzzer hands it a program on which two
+// evaluators disagree plus a predicate that re-checks the disagreement; the
+// reducer returns the smallest variant it can find that still fails. Only
+// minimized programs land in the testdata/crashers/ regression corpus, so
+// a crasher reads as a bug report, not as 80 lines of random noise.
+package reduce
+
+import "strings"
+
+// Interesting reports whether a candidate program still reproduces the
+// failure under investigation. It must return false for programs that fail
+// for unrelated reasons (in particular, programs that no longer parse or
+// type-check), otherwise the reducer will happily shrink to garbage.
+type Interesting func(src string) bool
+
+// Minimize returns the smallest variant of src for which keep stays true.
+// It runs delta debugging (ddmin) over the program's lines — removing
+// halves, then quarters, down to single lines — iterating to a fixpoint,
+// and finishes with a whitespace cleanup. keep(src) must be true on entry;
+// if it is not, src is returned unchanged.
+//
+// The predicate is invoked O(n log n) times for well-behaved inputs and
+// O(n²) in the worst case, so keep should bound whatever it runs (the
+// fuzzer's predicate compiles under a node budget and executes under a
+// step budget).
+func Minimize(src string, keep Interesting) string {
+	if !keep(src) {
+		return src
+	}
+	lines := splitLines(src)
+	lines = ddmin(lines, func(cand []string) bool { return keep(join(cand)) })
+	// Single-line sweep to a fixpoint: ddmin's complement passes can leave
+	// removable lines behind when removals only become possible after other
+	// removals.
+	for {
+		removed := false
+		for i := 0; i < len(lines); i++ {
+			cand := append(append([]string(nil), lines[:i]...), lines[i+1:]...)
+			if keep(join(cand)) {
+				lines = cand
+				removed = true
+				i--
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	out := join(lines)
+	if trimmed := strings.TrimRight(out, "\n") + "\n"; keep(trimmed) {
+		out = trimmed
+	}
+	return out
+}
+
+// ddmin is the classic Zeller/Hildebrandt delta-debugging loop over line
+// chunks: try dropping each chunk's complement at increasing granularity
+// until no chunk of any size can be removed.
+func ddmin(lines []string, keep func([]string) bool) []string {
+	n := 2
+	for len(lines) >= 1 {
+		chunk := (len(lines) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(lines); start += chunk {
+			end := start + chunk
+			if end > len(lines) {
+				end = len(lines)
+			}
+			cand := append(append([]string(nil), lines[:start]...), lines[end:]...)
+			if len(cand) > 0 && keep(cand) {
+				lines = cand
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(lines) {
+			return lines
+		}
+		n = min(n*2, len(lines))
+	}
+	return lines
+}
+
+func splitLines(src string) []string {
+	lines := strings.Split(src, "\n")
+	// A trailing newline yields one empty tail element; fold it away so
+	// join round-trips.
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+func join(lines []string) string {
+	if len(lines) == 0 {
+		return ""
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,99 @@
+package reduce
+
+import (
+	"strings"
+	"testing"
+
+	"thorin/internal/fuzzgen"
+	"thorin/internal/impala"
+)
+
+// TestMinimizeSynthetic checks the reducer on a synthetic predicate: the
+// failure only needs two marker lines out of many. The minimized result
+// must contain exactly those.
+func TestMinimizeSynthetic(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 60; i++ {
+		switch i {
+		case 17:
+			sb.WriteString("NEEDLE-A\n")
+		case 41:
+			sb.WriteString("NEEDLE-B\n")
+		default:
+			sb.WriteString("filler line\n")
+		}
+	}
+	calls := 0
+	keep := func(src string) bool {
+		calls++
+		return strings.Contains(src, "NEEDLE-A") && strings.Contains(src, "NEEDLE-B")
+	}
+	got := Minimize(sb.String(), keep)
+	if got != "NEEDLE-A\nNEEDLE-B\n" {
+		t.Fatalf("minimized to %q", got)
+	}
+	if calls > 600 {
+		t.Errorf("predicate called %d times; reducer is degenerating", calls)
+	}
+}
+
+func TestMinimizeUninterestingInputUnchanged(t *testing.T) {
+	src := "a\nb\n"
+	if got := Minimize(src, func(string) bool { return false }); got != src {
+		t.Errorf("uninteresting input must come back unchanged, got %q", got)
+	}
+}
+
+func TestMinimizeSingleLine(t *testing.T) {
+	got := Minimize("only\n", func(src string) bool {
+		return strings.Contains(src, "only")
+	})
+	if got != "only\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+// TestMinimizeImpalaProgram reduces a real generated program under a
+// semantic predicate ("still type-checks and its main mentions gcount"),
+// mimicking how the fuzzer shrinks a crasher while keeping it compilable.
+func TestMinimizeImpalaProgram(t *testing.T) {
+	var src string
+	// Find a seed whose program mentions bump_gcount in main, so the
+	// predicate has something to preserve.
+	for seed := int64(0); ; seed++ {
+		if seed > 500 {
+			t.Fatal("no seed with a bump_gcount call found")
+		}
+		s := fuzzgen.Program(seed)
+		if strings.Contains(s[strings.Index(s, "fn main"):], "bump_gcount") {
+			src = s
+			break
+		}
+	}
+	valid := func(s string) bool {
+		prog, err := impala.Parse(s)
+		if err != nil {
+			return false
+		}
+		return impala.Check(prog) == nil
+	}
+	keep := func(s string) bool {
+		i := strings.Index(s, "fn main")
+		return i >= 0 && strings.Contains(s[i:], "bump_gcount") && valid(s)
+	}
+	if !keep(src) {
+		t.Fatal("seed program does not satisfy its own predicate")
+	}
+	got := Minimize(src, keep)
+	if !keep(got) {
+		t.Fatal("minimized program lost the property")
+	}
+	if len(got) >= len(src) {
+		t.Errorf("no reduction achieved: %d -> %d bytes", len(src), len(got))
+	}
+	// The prelude helpers the program no longer calls must be gone or the
+	// program must at least have lost a substantial fraction of its bulk.
+	if len(got)*2 > len(src) {
+		t.Logf("weak reduction: %d -> %d bytes\n%s", len(src), len(got), got)
+	}
+}
