@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci fuzz-smoke fuzz crashers bench bench-passes tables
+.PHONY: all build test race vet fmt ci fuzz-smoke fuzz crashers bench bench-full bench-passes tables
 
 all: build test
 
@@ -27,7 +27,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt vet build race fuzz-smoke fuzz crashers
+ci: fmt vet build race fuzz-smoke fuzz crashers bench
 
 # fuzz-smoke gives the integer-fold fuzzer (seeded with the signed-overflow
 # and division edge cases) a short budget; it fails fast on any fold panic.
@@ -47,8 +47,17 @@ fuzz:
 crashers:
 	THORIN_JOBS=4 $(GO) test -race -run TestCrashers ./internal/driver
 
-# bench runs the whole evaluation harness at laptop scale.
+# bench is the allocation-regression gate: a single-iteration smoke run of
+# every throughput benchmark (catches benchmarks that crash or regress into
+# errors), then the fast allocation measurement refreshing BENCH_pr4.json.
+# The JSON keeps the frozen pre-optimization baseline and overwrites only
+# the current numbers, so the delta stays reviewable in the diff.
 bench:
+	$(GO) test -short -run='^$$' -bench=. -benchtime=1x ./internal/bench
+	$(GO) run ./cmd/thorin-bench -alloc -o BENCH_pr4.json
+
+# bench-full runs the whole evaluation harness at laptop scale.
+bench-full:
 	$(GO) test -bench=. -benchmem -run='^$$'
 
 # bench-passes records the per-pass compile-time breakdown only.

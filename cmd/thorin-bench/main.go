@@ -15,6 +15,7 @@
 //	thorin-bench -figure sweep     # overhead vs input size
 //	thorin-bench -ablation all     # consing / schedule / mem2reg ablations
 //	thorin-bench -fast             # reduced problem sizes everywhere
+//	thorin-bench -alloc -o BENCH_pr4.json   # compile-throughput + allocs/op
 package main
 
 import (
@@ -32,8 +33,18 @@ func main() {
 		ablation = flag.String("ablation", "", "print ablation: consing | schedule | mem2reg | all")
 		all      = flag.Bool("all", false, "print every table, figure and ablation")
 		fast     = flag.Bool("fast", false, "use reduced problem sizes")
+		alloc    = flag.Bool("alloc", false, "measure compile throughput (ns/op, allocs/op, bytes/op) and emit JSON")
+		outFile  = flag.String("o", "", "with -alloc: write the JSON report to this file (default stdout); an existing report's baseline (or, failing that, its current numbers) is carried forward as the baseline")
 	)
 	flag.Parse()
+
+	if *alloc {
+		if err := runAlloc(*outFile, *fast); err != nil {
+			fmt.Fprintln(os.Stderr, "thorin-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var sizes bench.Sizes
 	if *fast {
@@ -92,4 +103,47 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runAlloc measures compile throughput and writes the JSON trajectory. When
+// the output file already holds a report, its baseline survives (so
+// regenerating BENCH_pr4.json keeps the pre-optimization numbers to compare
+// against); a report without a baseline promotes its current numbers.
+func runAlloc(outFile string, fast bool) error {
+	rep := bench.ThroughputReport{
+		Note: "compile throughput: ns/op, allocs/op, bytes/op per workload; baseline = before the allocation-lean IR core (PR 4)",
+		Fast: fast,
+	}
+	if outFile != "" {
+		if f, err := os.Open(outFile); err == nil {
+			old, rerr := bench.ReadThroughputReport(f)
+			f.Close()
+			// A baseline measured at a different problem scale is not
+			// comparable; only carry it forward when the modes match.
+			if rerr == nil && old.Fast == fast {
+				rep.Baseline = old.Baseline
+				if rep.Baseline == nil {
+					rep.Baseline = old.Current
+				}
+			}
+		}
+	}
+	rep.Current = bench.MeasureThroughput(fast)
+
+	out := os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := bench.WriteThroughputJSON(out, rep); err != nil {
+		return err
+	}
+	if outFile != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d workloads)\n", outFile, len(rep.Current))
+	}
+	return nil
 }

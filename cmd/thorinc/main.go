@@ -20,6 +20,8 @@
 //	thorinc -budget "time=30s,nodes=500000" prog.imp   # bounded compile
 //	thorinc -on-failure=degrade -run prog.imp 10       # survive a buggy pass
 //	thorinc -replay .thorin-crash/crash-ab12cd34ef56   # re-run a crash bundle
+//	thorinc -cpuprofile cpu.pprof prog.imp             # profile the compile
+//	thorinc -memprofile mem.pprof prog.imp             # heap profile at exit
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -54,8 +57,13 @@ func main() {
 		onFailure  = flag.String("on-failure", "fail", "pass-failure policy: fail (abort with a crash bundle) | degrade (strip the faulting pass and finish unoptimized)")
 		crashDir   = flag.String("crash-dir", ".thorin-crash", "directory for crash reproduction bundles (empty disables)")
 		replay     = flag.String("replay", "", "re-run the compilation recorded in a crash bundle directory and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	budget := pm.Budget{}
 	if *budgetSpec != "" {
@@ -81,6 +89,7 @@ func main() {
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: thorinc [flags] file.imp [args...]")
 		flag.Usage()
+		stopProfiles()
 		os.Exit(2)
 	}
 	srcBytes, err := os.ReadFile(flag.Arg(0))
@@ -285,7 +294,53 @@ func replayArgs() []int64 {
 	return args
 }
 
+// profileStop flushes any active profiles. fatal() and the usage path run it
+// explicitly because os.Exit skips deferred calls.
+var profileStop func()
+
+// startProfiles begins CPU profiling and/or arms a heap-profile dump. Both
+// are flushed by stopProfiles, which is safe to call more than once.
+func startProfiles(cpu, mem string) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("cpuprofile: %w", err))
+		}
+		cpuFile = f
+	}
+	profileStop = func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "thorinc: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "thorinc: memprofile:", err)
+			}
+		}
+	}
+}
+
+func stopProfiles() {
+	if profileStop != nil {
+		profileStop()
+		profileStop = nil
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "thorinc:", err)
+	stopProfiles()
 	os.Exit(1)
 }

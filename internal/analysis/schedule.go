@@ -134,7 +134,10 @@ func NewSchedule(s *Scope, mode Mode) *Schedule {
 					late = dom.LCA(late, b)
 				}
 			}
-			for _, u := range p.Uses() {
+			// Visit order is irrelevant: LCA over a set of blocks is the
+			// lattice meet, so EachUse (insertion order, no allocation)
+			// computes the same join as the sorted Uses.
+			p.EachUse(func(u ir.Use) bool {
 				switch ud := u.Def.(type) {
 				case *ir.Continuation:
 					join(g.NodeOf(ud))
@@ -143,7 +146,8 @@ func NewSchedule(s *Scope, mode Mode) *Schedule {
 						join(sched.place[ud])
 					}
 				}
-			}
+				return true
+			})
 			if late == nil || !dom.Dominates(early[p], late) {
 				late = early[p] // users outside this scope: stay early
 			}

@@ -11,6 +11,7 @@ package analysis
 
 import (
 	"sort"
+	"sync"
 
 	"thorin/internal/ir"
 )
@@ -26,6 +27,16 @@ type Scope struct {
 	// Conts lists the scope's continuations in ascending gid order with the
 	// entry first.
 	Conts []*ir.Continuation
+
+	// Free-variable sets are derived, immutable-once-computed properties of
+	// the scope; they are memoized because TopLevel() — asked for every
+	// scope by every scope-level pass — would otherwise re-derive the full
+	// set on each call. sync.Once keeps the memoization safe for the
+	// parallel analysis workers that share cached scopes.
+	freeDefsOnce   sync.Once
+	freeDefs       []ir.Def
+	freeParamsOnce sync.Once
+	freeParams     []*ir.Param
 }
 
 // NewScope computes the scope of entry by a transitive closure over use
@@ -50,9 +61,12 @@ func NewScope(entry *ir.Continuation) *Scope {
 		if d != entry {
 			// Follow use edges: everything that uses a scope member depends
 			// on the entry's params and therefore belongs to the scope.
-			for _, u := range d.Uses() {
+			// EachUse keeps the closure allocation-free; visit order does
+			// not matter because membership is a set and Conts is sorted.
+			d.EachUse(func(u ir.Use) bool {
 				push(u.Def)
-			}
+				return true
+			})
 		}
 		if c, ok := d.(*ir.Continuation); ok {
 			for _, p := range c.Params() {
@@ -76,8 +90,15 @@ func (s *Scope) Contains(d ir.Def) bool { return s.Defs[d] }
 
 // FreeDefs returns the non-continuation, non-literal defs referenced by
 // scope members but defined outside the scope, in ascending gid order.
-// These are the values lambda lifting must turn into parameters.
+// These are the values lambda lifting must turn into parameters. The result
+// is memoized: it is computed at most once per Scope, and callers must not
+// mutate the returned slice.
 func (s *Scope) FreeDefs() []ir.Def {
+	s.freeDefsOnce.Do(func() { s.freeDefs = s.computeFreeDefs() })
+	return s.freeDefs
+}
+
+func (s *Scope) computeFreeDefs() []ir.Def {
 	seen := map[ir.Def]bool{}
 	var free []ir.Def
 	var visit func(d ir.Def)
@@ -121,8 +142,15 @@ func (s *Scope) FreeDefs() []ir.Def {
 }
 
 // FreeParams returns only the free defs that are parameters of enclosing
-// continuations — the values that make the scope non-top-level.
+// continuations — the values that make the scope non-top-level. The result
+// is memoized: it is computed at most once per Scope, and callers must not
+// mutate the returned slice.
 func (s *Scope) FreeParams() []*ir.Param {
+	s.freeParamsOnce.Do(func() { s.freeParams = s.computeFreeParams() })
+	return s.freeParams
+}
+
+func (s *Scope) computeFreeParams() []*ir.Param {
 	var out []*ir.Param
 	seen := map[ir.Def]bool{}
 	var visit func(d ir.Def)
@@ -155,7 +183,9 @@ func (s *Scope) FreeParams() []*ir.Param {
 }
 
 // TopLevel reports whether the scope has no free parameters, i.e. the entry
-// can be treated as a global function.
+// can be treated as a global function. The underlying free-parameter set is
+// memoized, so repeated TopLevel queries (one per scope per scope-level
+// pass) cost a single computation.
 func (s *Scope) TopLevel() bool { return len(s.FreeParams()) == 0 }
 
 // ReachablePrimOps returns every primop reachable from the bodies of the

@@ -1,0 +1,30 @@
+package bench
+
+import "testing"
+
+// The compile-throughput benchmarks guard the IR core's allocation
+// behavior: construction (hash-consing), optimization (use-edge rewriting)
+// and scope computation (use-edge traversal). `make bench` runs them in
+// smoke mode and records the numbers in BENCH_pr4.json; run them directly
+// with
+//
+//	go test -bench='Construct|Optimize|Scope' -benchmem ./internal/bench
+//
+// to compare against the committed trajectory.
+
+func runCase(b *testing.B, name string) {
+	b.Helper()
+	for _, c := range ThroughputCases(testing.Short()) {
+		if c.Name == name {
+			c.Run(b)
+			return
+		}
+	}
+	b.Fatalf("no throughput case %q", name)
+}
+
+func BenchmarkConstruct(b *testing.B)     { runCase(b, "Construct/GenManyFns") }
+func BenchmarkConstructFuzz(b *testing.B) { runCase(b, "Construct/FuzzCorpus") }
+func BenchmarkOptimize(b *testing.B)      { runCase(b, "Optimize/GenManyFns") }
+func BenchmarkOptimizeFuzz(b *testing.B)  { runCase(b, "Optimize/FuzzCorpus") }
+func BenchmarkScope(b *testing.B)         { runCase(b, "Scope/GenManyFns") }

@@ -1,0 +1,76 @@
+package driver_test
+
+// Determinism regression test for the interning/use-list internals: the
+// printed IR must be byte-identical across repeated compiles at every -jobs
+// level. Repetition matters — a nondeterministic map iteration or racy
+// use-list append can produce self-consistent but run-dependent gids that a
+// single compile per jobs level would miss.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"thorin/internal/analysis"
+	"thorin/internal/driver"
+	"thorin/internal/ir"
+	"thorin/internal/transform"
+)
+
+// determinismCorpus returns every on-disk Impala program the repo ships:
+// the examples and the crash-regression corpus.
+func determinismCorpus(t *testing.T) map[string]string {
+	t.Helper()
+	srcs := map[string]string{}
+	for _, dir := range []string{"../../examples", "testdata/crashers"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading corpus dir %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".imp" {
+				continue
+			}
+			b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcs[e.Name()] = string(b)
+		}
+	}
+	if len(srcs) < 4 {
+		t.Fatalf("corpus too small (%d programs) — directories moved?", len(srcs))
+	}
+	return srcs
+}
+
+func printedIR(t *testing.T, src string, jobs int) string {
+	t.Helper()
+	res, err := driver.CompileSpec(src, transform.SpecFor(transform.OptAll()),
+		analysis.ScheduleSmart, driver.Config{Jobs: jobs})
+	if err != nil {
+		t.Fatalf("jobs=%d: %v", jobs, err)
+	}
+	var buf bytes.Buffer
+	ir.Print(&buf, res.World)
+	return buf.String()
+}
+
+func TestDeterministicIRAcrossJobsAndRuns(t *testing.T) {
+	for name, src := range determinismCorpus(t) {
+		t.Run(name, func(t *testing.T) {
+			ref := printedIR(t, src, 1)
+			if ref == "" {
+				t.Fatal("empty printed IR")
+			}
+			for _, jobs := range []int{1, 4, 8} {
+				for run := 0; run < 2; run++ {
+					if got := printedIR(t, src, jobs); got != ref {
+						t.Fatalf("jobs=%d run=%d: printed IR differs from first jobs=1 compile", jobs, run)
+					}
+				}
+			}
+		})
+	}
+}

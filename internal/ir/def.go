@@ -4,12 +4,25 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Use records that Def uses the subject def as operand Index.
 type Use struct {
 	Def   Def
 	Index int
+}
+
+// numUseStripes is the number of reader/writer locks striping the per-def
+// use lists. Striping by the subject def's gid keeps registration of
+// disjoint defs contention-free while still making each def's list safe
+// against concurrent construction.
+const numUseStripes = 64
+
+// useStripe returns the lock guarding the use list of the def with the
+// given gid.
+func (w *World) useStripe(gid int) *sync.RWMutex {
+	return &w.useStripes[uint(gid)%numUseStripes]
 }
 
 // Def is a node of the Thorin program graph. The four concrete
@@ -36,8 +49,17 @@ type Def interface {
 	SetName(string)
 	// World returns the owning world.
 	World() *World
-	// Uses returns all recorded uses of this def, in deterministic order.
+	// Uses returns all recorded uses of this def, sorted by (user gid,
+	// operand index). The returned slice is fresh; callers may keep it.
 	Uses() []Use
+	// EachUse calls f for every recorded use of this def, in insertion
+	// order, until f returns false. It allocates nothing: f runs against a
+	// snapshot of the use list, so f may create nodes or rewire
+	// continuations (mutations become visible to the *next* traversal, as
+	// with Uses). Insertion order is node-creation order and therefore
+	// deterministic wherever construction is — callers whose *output*
+	// depends on visit order should use the gid-sorted Uses instead.
+	EachUse(f func(Use) bool)
 	// NumUses returns the number of recorded uses.
 	NumUses() int
 
@@ -51,7 +73,13 @@ type defBase struct {
 	typ   Type
 	name  string
 	ops   []Def
-	uses  map[Use]struct{}
+	// uses is the compact use list, in insertion (= registration) order,
+	// guarded by the world's use stripe for this def's gid. Readers snapshot
+	// the slice header under the stripe's read lock and iterate lock-free:
+	// appends only touch indexes beyond every snapshot's length, and
+	// removals replace the backing array instead of compacting in place
+	// (copy-on-write), so a snapshot is immutable once taken.
+	uses []Use
 }
 
 func (d *defBase) GID() int         { return d.gid }
@@ -65,18 +93,33 @@ func (d *defBase) World() *World    { return d.world }
 func (d *defBase) base() *defBase   { return d }
 
 func (d *defBase) NumUses() int {
-	d.world.useMu.RLock()
-	defer d.world.useMu.RUnlock()
-	return len(d.uses)
+	mu := d.world.useStripe(d.gid)
+	mu.RLock()
+	n := len(d.uses)
+	mu.RUnlock()
+	return n
+}
+
+// snapshotUses returns the current use list without copying it. The result
+// is safe to iterate without the lock (see the uses field invariant).
+func (d *defBase) snapshotUses() []Use {
+	mu := d.world.useStripe(d.gid)
+	mu.RLock()
+	uses := d.uses
+	mu.RUnlock()
+	return uses
+}
+
+func (d *defBase) EachUse(f func(Use) bool) {
+	for _, u := range d.snapshotUses() {
+		if !f(u) {
+			return
+		}
+	}
 }
 
 func (d *defBase) Uses() []Use {
-	d.world.useMu.RLock()
-	uses := make([]Use, 0, len(d.uses))
-	for u := range d.uses {
-		uses = append(uses, u)
-	}
-	d.world.useMu.RUnlock()
+	uses := append([]Use(nil), d.snapshotUses()...)
 	sort.Slice(uses, func(i, j int) bool {
 		if uses[i].Def.GID() != uses[j].Def.GID() {
 			return uses[i].Def.GID() < uses[j].Def.GID()
@@ -88,33 +131,43 @@ func (d *defBase) Uses() []Use {
 
 // registerUses records user as a use of each of its operands. Use lists are
 // shared mutable state (concurrent workers interning nodes may touch the
-// same operand), so registration is guarded by the world's use lock.
+// same operand), so each append happens under the operand's use stripe.
 func registerUses(user Def) {
 	w := user.base().world
-	w.useMu.Lock()
-	defer w.useMu.Unlock()
 	for i, op := range user.Ops() {
 		if op == nil {
 			continue
 		}
 		b := op.base()
-		if b.uses == nil {
-			b.uses = make(map[Use]struct{})
-		}
-		b.uses[Use{Def: user, Index: i}] = struct{}{}
+		mu := w.useStripe(b.gid)
+		mu.Lock()
+		b.uses = append(b.uses, Use{Def: user, Index: i})
+		mu.Unlock()
 	}
 }
 
-// unregisterUses removes user from the use lists of its operands.
+// unregisterUses removes user from the use lists of its operands. Removal
+// is copy-on-write: live snapshots taken by concurrent readers keep seeing
+// the old backing array, and insertion order is preserved.
 func unregisterUses(user Def) {
 	w := user.base().world
-	w.useMu.Lock()
-	defer w.useMu.Unlock()
 	for i, op := range user.Ops() {
 		if op == nil {
 			continue
 		}
-		delete(op.base().uses, Use{Def: user, Index: i})
+		b := op.base()
+		mu := w.useStripe(b.gid)
+		mu.Lock()
+		for j, u := range b.uses {
+			if u.Def == user && u.Index == i {
+				next := make([]Use, 0, len(b.uses)-1)
+				next = append(next, b.uses[:j]...)
+				next = append(next, b.uses[j+1:]...)
+				b.uses = next
+				break
+			}
+		}
+		mu.Unlock()
 	}
 }
 

@@ -118,6 +118,10 @@ func (k OpKind) HasMemEffect() bool {
 type PrimOp struct {
 	defBase
 	kind OpKind
+	// salt distinguishes never-shared nodes (slots, allocs, globals) inside
+	// the interning table; 0 for ordinary hash-consed primops. It is part of
+	// the structural identity checked on hash collisions.
+	salt int
 }
 
 // OpKind returns the operation kind.

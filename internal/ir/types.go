@@ -265,46 +265,65 @@ func (*FrameType) Elems() []Type { return nil }
 
 func (*FrameType) String() string { return "frame" }
 
-// typeKey builds the interning key for a type under construction.
-func typeKey(kind TypeKind, tag PrimTypeTag, n int64, elems []Type) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d:%d:%d", kind, tag, n)
-	for _, e := range elems {
-		fmt.Fprintf(&sb, ":%d", e.ID())
+// typeHashHeader starts the structural interning hash of a type: FNV-1a
+// over the kind and scalar payload. Element types are folded in by ID (they
+// are interned, so the ID fully identifies them). No string key is built —
+// an intern hit allocates nothing.
+func typeHashHeader(kind TypeKind, tag PrimTypeTag, n int64) uint64 {
+	h := hashU64(fnvOffset64, uint64(kind))
+	h = hashU64(h, uint64(tag))
+	return hashU64(h, uint64(n))
+}
+
+// sameTypes reports element-wise pointer equality (types are interned, so
+// pointer comparison is exact).
+func sameTypes(a, b []Type) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	return sb.String()
+	for i, t := range a {
+		if t != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // typeTable interns types. A single mutex suffices: type construction is
-// rare (the table stays small) compared to primop interning.
+// rare (the table stays small) compared to primop interning. Buckets are
+// keyed by the structural hash; entries colliding on the hash are
+// disambiguated by a structural check in each constructor.
 type typeTable struct {
-	mu    sync.Mutex
-	types map[string]Type
-	all   []Type
+	mu  sync.Mutex
+	m   map[uint64][]Type
+	all []Type
 }
 
 func newTypeTable() *typeTable {
-	return &typeTable{types: make(map[string]Type)}
+	return &typeTable{m: make(map[uint64][]Type)}
 }
 
-func (tt *typeTable) intern(key string, mk func() Type) Type {
-	tt.mu.Lock()
-	defer tt.mu.Unlock()
-	if t, ok := tt.types[key]; ok {
-		return t
-	}
-	t := mk()
+// add interns t under hash h, assigning its creation-order ID. The caller
+// must hold tt.mu and have checked the bucket for a structural match.
+func (tt *typeTable) add(h uint64, t Type) Type {
 	t.setID(len(tt.all))
 	tt.all = append(tt.all, t)
-	tt.types[key] = t
+	tt.m[h] = append(tt.m[h], t)
 	return t
 }
 
 // PrimType returns the interned primitive type for tag.
 func (w *World) PrimType(tag PrimTypeTag) *PrimType {
-	return w.types.intern(typeKey(TypeKindPrim, tag, 0, nil), func() Type {
-		return &PrimType{Tag: tag}
-	}).(*PrimType)
+	tt := w.types
+	h := typeHashHeader(TypeKindPrim, tag, 0)
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	for _, t := range tt.m[h] {
+		if p, ok := t.(*PrimType); ok && p.Tag == tag {
+			return p
+		}
+	}
+	return tt.add(h, &PrimType{Tag: tag}).(*PrimType)
 }
 
 // BoolType returns the interned bool type.
@@ -313,18 +332,36 @@ func (w *World) BoolType() *PrimType { return w.PrimType(PrimBool) }
 // FnType returns the interned function (continuation) type with the given
 // parameter types.
 func (w *World) FnType(params ...Type) *FnType {
-	ps := append([]Type(nil), params...)
-	return w.types.intern(typeKey(TypeKindFn, 0, 0, ps), func() Type {
-		return &FnType{Params: ps}
-	}).(*FnType)
+	tt := w.types
+	h := typeHashHeader(TypeKindFn, 0, int64(len(params)))
+	for _, e := range params {
+		h = hashU64(h, uint64(e.ID()))
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	for _, t := range tt.m[h] {
+		if f, ok := t.(*FnType); ok && sameTypes(f.Params, params) {
+			return f
+		}
+	}
+	return tt.add(h, &FnType{Params: append([]Type(nil), params...)}).(*FnType)
 }
 
 // TupleType returns the interned tuple type with the given element types.
 func (w *World) TupleType(elems ...Type) *TupleType {
-	es := append([]Type(nil), elems...)
-	return w.types.intern(typeKey(TypeKindTuple, 0, 0, es), func() Type {
-		return &TupleType{ElemTypes: es}
-	}).(*TupleType)
+	tt := w.types
+	h := typeHashHeader(TypeKindTuple, 0, int64(len(elems)))
+	for _, e := range elems {
+		h = hashU64(h, uint64(e.ID()))
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	for _, t := range tt.m[h] {
+		if tp, ok := t.(*TupleType); ok && sameTypes(tp.ElemTypes, elems) {
+			return tp
+		}
+	}
+	return tt.add(h, &TupleType{ElemTypes: append([]Type(nil), elems...)}).(*TupleType)
 }
 
 // UnitType returns the empty tuple type.
@@ -332,37 +369,72 @@ func (w *World) UnitType() *TupleType { return w.TupleType() }
 
 // PtrType returns the interned pointer type to pointee.
 func (w *World) PtrType(pointee Type) *PtrType {
-	return w.types.intern(typeKey(TypeKindPtr, 0, 0, []Type{pointee}), func() Type {
-		return &PtrType{Pointee: pointee}
-	}).(*PtrType)
+	tt := w.types
+	h := hashU64(typeHashHeader(TypeKindPtr, 0, 0), uint64(pointee.ID()))
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	for _, t := range tt.m[h] {
+		if p, ok := t.(*PtrType); ok && p.Pointee == pointee {
+			return p
+		}
+	}
+	return tt.add(h, &PtrType{Pointee: pointee}).(*PtrType)
 }
 
 // ArrayType returns the interned definite array type [n x elem].
 func (w *World) ArrayType(n int64, elem Type) *ArrayType {
-	return w.types.intern(typeKey(TypeKindArray, 0, n, []Type{elem}), func() Type {
-		return &ArrayType{Len: n, Elem: elem}
-	}).(*ArrayType)
+	tt := w.types
+	h := hashU64(typeHashHeader(TypeKindArray, 0, n), uint64(elem.ID()))
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	for _, t := range tt.m[h] {
+		if a, ok := t.(*ArrayType); ok && a.Len == n && a.Elem == elem {
+			return a
+		}
+	}
+	return tt.add(h, &ArrayType{Len: n, Elem: elem}).(*ArrayType)
 }
 
 // IndefArrayType returns the interned indefinite array type [elem].
 func (w *World) IndefArrayType(elem Type) *IndefArrayType {
-	return w.types.intern(typeKey(TypeKindIndefArray, 0, 0, []Type{elem}), func() Type {
-		return &IndefArrayType{Elem: elem}
-	}).(*IndefArrayType)
+	tt := w.types
+	h := hashU64(typeHashHeader(TypeKindIndefArray, 0, 0), uint64(elem.ID()))
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	for _, t := range tt.m[h] {
+		if a, ok := t.(*IndefArrayType); ok && a.Elem == elem {
+			return a
+		}
+	}
+	return tt.add(h, &IndefArrayType{Elem: elem}).(*IndefArrayType)
 }
 
 // MemType returns the interned memory token type.
 func (w *World) MemType() *MemType {
-	return w.types.intern(typeKey(TypeKindMem, 0, 0, nil), func() Type {
-		return &MemType{}
-	}).(*MemType)
+	tt := w.types
+	h := typeHashHeader(TypeKindMem, 0, 0)
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	for _, t := range tt.m[h] {
+		if m, ok := t.(*MemType); ok {
+			return m
+		}
+	}
+	return tt.add(h, &MemType{}).(*MemType)
 }
 
 // FrameType returns the interned stack frame type.
 func (w *World) FrameType() *FrameType {
-	return w.types.intern(typeKey(TypeKindFrame, 0, 0, nil), func() Type {
-		return &FrameType{}
-	}).(*FrameType)
+	tt := w.types
+	h := typeHashHeader(TypeKindFrame, 0, 0)
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	for _, t := range tt.m[h] {
+		if f, ok := t.(*FrameType); ok {
+			return f
+		}
+	}
+	return tt.add(h, &FrameType{}).(*FrameType)
 }
 
 // IsFnType reports whether t is a function type.

@@ -3,7 +3,6 @@ package ir
 import (
 	"fmt"
 	"math"
-	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -13,26 +12,49 @@ import (
 // funnelling every hash-cons lookup through one lock.
 const numShards = 64
 
-// shardOf hashes an interning key (FNV-1a) onto a shard index.
-func shardOf(key string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
+// FNV-1a constants for the structural interning hashes.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashU64 folds the eight bytes of v into an FNV-1a state. Interning keys
+// are hashed field-by-field through this — no string key is ever built, so
+// a cons hit allocates nothing.
+func hashU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
 	}
-	return h % numShards
+	return h
+}
+
+// shardIndex maps a structural hash onto an interning shard.
+func shardIndex(h uint64) uint32 {
+	return uint32((h ^ h>>32) % numShards)
 }
 
 // primopShard is one lock-striped slice of the primop interning table.
+// Buckets are keyed by the full 64-bit structural hash; entries that
+// collide on the hash are disambiguated by structural equality (see
+// (*PrimOp).structEq). The interning statistics live per shard, guarded by
+// the shard mutex that every construction already holds — so a Stats()
+// snapshot is consistent (requested == hits + nodes at all times) without
+// putting another atomic RMW on the construction hot path.
 type primopShard struct {
 	mu sync.Mutex
-	m  map[string]*PrimOp
+	m  map[uint64][]*PrimOp
+
+	requested int64 // constructions routed to this shard
+	consHits  int64 // served from the table
+	nodes     int64 // distinct nodes interned
 }
 
 // literalShard is one lock-striped slice of the literal interning table.
 type literalShard struct {
 	mu sync.Mutex
-	m  map[string]*Literal
+	m  map[uint64][]*Literal
 }
 
 // World owns all types and defs of one program. It provides the only way to
@@ -63,14 +85,11 @@ type World struct {
 	intrMu     sync.Mutex
 	intrinsics map[Intrinsic]*Continuation
 
-	// useMu guards every def's use list (they are mutated whenever a node
-	// with operands is created or a continuation re-jumps).
-	useMu sync.RWMutex
-
-	// Stats
-	primopCount atomic.Int64 // number of primop constructions requested
-	consHits    atomic.Int64 // number served from the hash-cons table
-	primopNodes atomic.Int64 // number of distinct primop nodes interned
+	// useStripes guard the per-def use lists (they are mutated whenever a
+	// node with operands is created or a continuation re-jumps). Striping by
+	// the subject def's gid lets concurrent workers touch disjoint defs
+	// without contending on one world-wide lock.
+	useStripes [numUseStripes]sync.RWMutex
 
 	// NoCons disables hash-consing (for the ablation experiment A1).
 	NoCons bool
@@ -83,10 +102,10 @@ func NewWorld() *World {
 		intrinsics: make(map[Intrinsic]*Continuation),
 	}
 	for i := range w.primops {
-		w.primops[i].m = make(map[string]*PrimOp)
+		w.primops[i].m = make(map[uint64][]*PrimOp)
 	}
 	for i := range w.literals {
-		w.literals[i].m = make(map[string]*Literal)
+		w.literals[i].m = make(map[uint64][]*Literal)
 	}
 	return w
 }
@@ -124,17 +143,52 @@ func (w *World) Find(name string) *Continuation {
 	return nil
 }
 
+// InternStats is a consistent snapshot of the hash-consing counters.
+// Requested == ConsHits + Nodes holds for every snapshot, even one taken
+// while other goroutines are mid-construction: each shard updates its three
+// counters together under the shard lock the construction already holds,
+// and the snapshot sums them under those same locks. This is what keeps
+// pass-report cons-hit rates coherent under -jobs>1.
+type InternStats struct {
+	Requested int `json:"requested"` // primop constructions requested
+	ConsHits  int `json:"cons_hits"` // served from the hash-cons table
+	Nodes     int `json:"nodes"`     // distinct primop nodes interned
+}
+
+// HitRate returns the fraction of constructions served from the table.
+func (s InternStats) HitRate() float64 {
+	if s.Requested == 0 {
+		return 0
+	}
+	return float64(s.ConsHits) / float64(s.Requested)
+}
+
+// InternStats snapshots the interning counters in one pass over the shards.
+func (w *World) InternStats() InternStats {
+	var s InternStats
+	for i := range w.primops {
+		sh := &w.primops[i]
+		sh.mu.Lock()
+		s.Requested += int(sh.requested)
+		s.ConsHits += int(sh.consHits)
+		s.Nodes += int(sh.nodes)
+		sh.mu.Unlock()
+	}
+	return s
+}
+
 // Stats returns (primop constructions requested, hash-cons hits, live
-// continuation count).
+// continuation count). See InternStats for the consistency guarantee.
 func (w *World) Stats() (requested, consHits, conts int) {
 	w.contsMu.RLock()
 	n := len(w.conts)
 	w.contsMu.RUnlock()
-	return int(w.primopCount.Load()), int(w.consHits.Load()), n
+	s := w.InternStats()
+	return s.Requested, s.ConsHits, n
 }
 
 // NumPrimOps returns the number of distinct primop nodes in the world.
-func (w *World) NumPrimOps() int { return int(w.primopNodes.Load()) }
+func (w *World) NumPrimOps() int { return w.InternStats().Nodes }
 
 // NumContinuations returns the number of live continuations.
 func (w *World) NumContinuations() int {
@@ -238,15 +292,23 @@ func (w *World) intrinsic(tag Intrinsic, t *FnType) *Continuation {
 // ---------------------------------------------------------------------------
 
 func (w *World) literal(t Type, i int64, f float64, bottom bool) *Literal {
-	key := fmt.Sprintf("%d:%d:%d:%t", t.ID(), i, math.Float64bits(f), bottom)
-	sh := &w.literals[shardOf(key)]
+	fbits := math.Float64bits(f)
+	h := hashU64(fnvOffset64, uint64(t.ID()))
+	h = hashU64(h, uint64(i))
+	h = hashU64(h, fbits)
+	if bottom {
+		h = hashU64(h, 1)
+	}
+	sh := &w.literals[shardIndex(h)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if l, ok := sh.m[key]; ok {
-		return l
+	for _, l := range sh.m[h] {
+		if l.typ == t && l.I == i && math.Float64bits(l.F) == fbits && l.Bottom == bottom {
+			return l
+		}
 	}
 	l := &Literal{defBase: defBase{world: w, gid: w.newGID(), typ: t}, I: i, F: f, Bottom: bottom}
-	sh.m[key] = l
+	sh.m[h] = append(sh.m[h], l)
 	return l
 }
 
@@ -323,13 +385,33 @@ func truncInt(tag PrimTypeTag, v int64) int64 {
 // PrimOp construction (hash-consed)
 // ---------------------------------------------------------------------------
 
-func primopKey(kind OpKind, t Type, ops []Def, salt int) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d:%d:%d", kind, t.ID(), salt)
+// primopHash is the structural interning hash: FNV-1a over the kind, type
+// identity, salt and operand gids. Types are interned, so the type ID fully
+// identifies the type; operands are identified by gid (stable for the
+// lifetime of the world).
+func primopHash(kind OpKind, t Type, salt int, ops []Def) uint64 {
+	h := hashU64(fnvOffset64, uint64(kind))
+	h = hashU64(h, uint64(t.ID()))
+	h = hashU64(h, uint64(salt))
 	for _, o := range ops {
-		fmt.Fprintf(&sb, ":%d", o.GID())
+		h = hashU64(h, uint64(o.GID()))
 	}
-	return sb.String()
+	return h
+}
+
+// structEq reports whether p is the primop (kind, t, salt, ops) — the
+// collision check behind the structural hash. Types and operands are
+// interned/unique, so pointer comparison is exact.
+func (p *PrimOp) structEq(kind OpKind, t Type, salt int, ops []Def) bool {
+	if p.kind != kind || p.typ != t || p.salt != salt || len(p.ops) != len(ops) {
+		return false
+	}
+	for i, o := range ops {
+		if p.ops[i] != o {
+			return false
+		}
+	}
+	return true
 }
 
 // cse constructs or reuses the primop (kind, t, ops).
@@ -343,25 +425,28 @@ func (w *World) cseSalted(kind OpKind, t Type, salt int, ops ...Def) *PrimOp {
 			panic(fmt.Sprintf("ir: %s: nil operand %d", kind, i))
 		}
 	}
-	w.primopCount.Add(1)
 	if w.NoCons {
 		salt = int(w.salt.Add(1))
 	}
-	key := primopKey(kind, t, ops, salt)
-	sh := &w.primops[shardOf(key)]
+	h := primopHash(kind, t, salt, ops)
+	sh := &w.primops[shardIndex(h)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if p, ok := sh.m[key]; ok {
-		w.consHits.Add(1)
-		return p
+	sh.requested++
+	for _, p := range sh.m[h] {
+		if p.structEq(kind, t, salt, ops) {
+			sh.consHits++
+			return p
+		}
 	}
 	p := &PrimOp{
 		defBase: defBase{world: w, gid: w.newGID(), typ: t, ops: append([]Def(nil), ops...)},
 		kind:    kind,
+		salt:    salt,
 	}
 	registerUses(p)
-	sh.m[key] = p
-	w.primopNodes.Add(1)
+	sh.m[h] = append(sh.m[h], p)
+	sh.nodes++
 	return p
 }
 

@@ -120,16 +120,17 @@ func etaReduce(w *ir.World) int {
 		// targets and value uses need a real continuation.
 		if _, isCont := callee.(*ir.Continuation); !isCont {
 			calleeOnly := true
-			for _, u := range k.Uses() {
+			k.EachUse(func(u ir.Use) bool {
 				if u.Index != 0 {
 					calleeOnly = false
-					break
+					return false
 				}
 				if _, ok := u.Def.(*ir.Continuation); !ok {
 					calleeOnly = false
-					break
+					return false
 				}
-			}
+				return true
+			})
 			if !calleeOnly {
 				continue
 			}
@@ -159,14 +160,13 @@ func eliminateDeadParams(w *ir.World) int {
 			continue
 		}
 		directOnly := true
-		for _, u := range c.Uses() {
-			user, ok := u.Def.(*ir.Continuation)
-			if !ok || u.Index != 0 {
+		c.EachUse(func(u ir.Use) bool {
+			if _, ok := u.Def.(*ir.Continuation); !ok || u.Index != 0 {
 				directOnly = false
-				break
+				return false
 			}
-			_ = user
-		}
+			return true
+		})
 		if !directOnly {
 			continue
 		}
@@ -177,21 +177,25 @@ func eliminateDeadParams(w *ir.World) int {
 		for _, i := range deadIdx {
 			args[i] = w.Bottom(c.Param(i).Type())
 		}
-		for _, u := range c.Uses() {
+		// Every use is a distinct caller at index 0 (checked above) and Jump
+		// creates no nodes, so re-jumping from the EachUse snapshot is
+		// order-independent even though each Jump rewrites c's use list.
+		c.EachUse(func(u ir.Use) bool {
 			caller := u.Def.(*ir.Continuation)
 			newArgs := append([]ir.Def(nil), caller.Args()...)
 			for _, i := range deadIdx {
 				newArgs[i] = args[i]
 			}
 			caller.Jump(c, newArgs...)
-		}
+			return true
+		})
 
 		slim, err := Drop(analysis.NewScope(c), args)
 		if err != nil {
 			continue // args is sized to c by construction; be safe anyway
 		}
 		slim.SetName(c.Name())
-		for _, u := range c.Uses() {
+		c.EachUse(func(u ir.Use) bool {
 			caller := u.Def.(*ir.Continuation)
 			var kept []ir.Def
 			for i, a := range caller.Args() {
@@ -200,7 +204,8 @@ func eliminateDeadParams(w *ir.World) int {
 				}
 			}
 			caller.Jump(slim, kept...)
-		}
+			return true
+		})
 		n += len(deadIdx)
 	}
 	return n

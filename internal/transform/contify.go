@@ -40,14 +40,15 @@ func ContifyWith(w *ir.World, ac *analysis.Cache) (int, error) {
 				return n, err
 			}
 			spec.SetName(f.Name() + ".cont")
-			for _, u := range f.Uses() {
-				caller, ok := u.Def.(*ir.Continuation)
-				if !ok || u.Index != 0 {
-					continue
+			// One use per caller at index 0 and Jump creates no nodes, so the
+			// snapshot iteration is order-independent.
+			f.EachUse(func(u ir.Use) bool {
+				if caller, ok := u.Def.(*ir.Continuation); ok && u.Index == 0 {
+					kept := caller.Args()[:caller.NumArgs()-1]
+					caller.Jump(spec, kept...)
 				}
-				kept := caller.Args()[:caller.NumArgs()-1]
-				caller.Jump(spec, kept...)
-			}
+				return true
+			})
 			ac.InvalidateAll()
 			n++
 			changed = true
@@ -67,37 +68,41 @@ func ContifyWith(w *ir.World, ac *analysis.Cache) (int, error) {
 // Recursive call sites inside f's own scope that forward f's ret param are
 // ignored — they stay self-recursive after specialization.
 func commonRetArg(f *ir.Continuation) *ir.Continuation {
-	uses := f.Uses()
-	if len(uses) == 0 {
-		return nil
-	}
 	var common *ir.Continuation
 	external := 0
-	for _, u := range uses {
+	bad := false
+	// Every site must agree on the answer, so visit order is moot and the
+	// allocation-free snapshot iteration is safe.
+	f.EachUse(func(u ir.Use) bool {
 		caller, ok := u.Def.(*ir.Continuation)
 		if !ok || u.Index != 0 {
-			return nil // escapes as a value
+			bad = true // escapes as a value
+			return false
 		}
 		if caller.NumArgs() != f.NumParams() {
-			return nil
+			bad = true
+			return false
 		}
 		last := caller.Arg(caller.NumArgs() - 1)
 		if p, ok := last.(*ir.Param); ok && p == f.RetParam() {
 			// A self-recursive tail call; neutral.
-			continue
+			return true
 		}
 		k, ok := last.(*ir.Continuation)
 		if !ok || k.IsIntrinsic() {
-			return nil
+			bad = true
+			return false
 		}
 		if common == nil {
 			common = k
 		} else if common != k {
-			return nil
+			bad = true
+			return false
 		}
 		external++
-	}
-	if external == 0 {
+		return true
+	})
+	if bad || external == 0 {
 		return nil
 	}
 	return common

@@ -41,13 +41,12 @@ func PeelAt(w *ir.World, entry *ir.Continuation) *ir.Continuation {
 // its own scope (i.e. excluding back edges).
 func externalCallers(entry *ir.Continuation, s *analysis.Scope) []*ir.Continuation {
 	var out []*ir.Continuation
-	for _, u := range entry.Uses() {
-		caller, ok := u.Def.(*ir.Continuation)
-		if !ok || u.Index != 0 || s.Contains(caller) {
-			continue
+	entry.EachUse(func(u ir.Use) bool {
+		if caller, ok := u.Def.(*ir.Continuation); ok && u.Index == 0 && !s.Contains(caller) {
+			out = append(out, caller)
 		}
-		out = append(out, caller)
-	}
+		return true
+	})
 	return out
 }
 

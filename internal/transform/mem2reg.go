@@ -131,39 +131,45 @@ func PromotableSlots(s *analysis.Scope) []*ir.PrimOp {
 }
 
 func slotPromotable(slot *ir.PrimOp) bool {
-	for _, u := range slot.Uses() {
-		ext, ok := u.Def.(*ir.PrimOp)
-		if !ok || ext.OpKind() != ir.OpExtract {
+	ok := true
+	slot.EachUse(func(u ir.Use) bool {
+		ext, isOp := u.Def.(*ir.PrimOp)
+		if !isOp || ext.OpKind() != ir.OpExtract {
+			ok = false
 			return false
 		}
-		idx, ok := ir.LitValue(ext.Op(1))
-		if !ok {
+		idx, isLit := ir.LitValue(ext.Op(1))
+		if !isLit {
+			ok = false
 			return false
 		}
 		if idx == 0 {
-			continue // mem projection
+			return true // mem projection
 		}
 		// Pointer projection: all uses must be load/store addresses.
-		for _, pu := range ext.Uses() {
-			op, ok := pu.Def.(*ir.PrimOp)
-			if !ok {
+		ext.EachUse(func(pu ir.Use) bool {
+			op, isOp := pu.Def.(*ir.PrimOp)
+			if !isOp {
+				ok = false
 				return false
 			}
 			switch op.OpKind() {
 			case ir.OpLoad:
 				if pu.Index != 1 {
-					return false
+					ok = false
 				}
 			case ir.OpStore:
 				if pu.Index != 1 {
-					return false // stored as a value or used as mem
+					ok = false // stored as a value or used as mem
 				}
 			default:
-				return false
+				ok = false
 			}
-		}
-	}
-	return true
+			return ok
+		})
+		return ok
+	})
+	return ok
 }
 
 func slotType(slot *ir.PrimOp) ir.Type {
@@ -231,12 +237,13 @@ func planPromotion(w *ir.World, s *analysis.Scope) *promoter {
 	}
 	for _, sl := range slots {
 		p.slots[sl] = true
-		for _, u := range sl.Uses() {
+		sl.EachUse(func(u ir.Use) bool {
 			ext := u.Def.(*ir.PrimOp)
 			if idx, _ := ir.LitValue(ext.Op(1)); idx == 1 {
 				p.slotOf[ext] = sl // address projection -> its slot
 			}
-		}
+			return true
+		})
 	}
 
 	// Symbolic evaluation of all loads & block end values.

@@ -136,11 +136,15 @@ func InlineOnce(w *ir.World) int {
 			if !callee.IsReturning() {
 				continue // block-like conts are already local control flow
 			}
-			uses := callee.Uses()
-			if len(uses) != 1 || uses[0].Index != 0 {
+			if callee.NumUses() != 1 {
 				continue
 			}
-			caller, ok := uses[0].Def.(*ir.Continuation)
+			var use ir.Use
+			callee.EachUse(func(u ir.Use) bool { use = u; return false })
+			if use.Def == nil || use.Index != 0 {
+				continue
+			}
+			caller, ok := use.Def.(*ir.Continuation)
 			if !ok || caller == callee || !caller.HasBody() {
 				continue
 			}
