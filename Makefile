@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci fuzz-smoke fuzz crashers bench bench-full bench-passes tables
+.PHONY: all build test race vet fmt ci fuzz-smoke fuzz crashers bench bench-diff bench-full bench-passes tables
 
 all: build test
 
@@ -27,7 +27,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt vet build race fuzz-smoke fuzz crashers bench
+ci: fmt vet build race fuzz-smoke fuzz crashers bench bench-diff
 
 # fuzz-smoke gives the integer-fold fuzzer (seeded with the signed-overflow
 # and division edge cases) a short budget; it fails fast on any fold panic.
@@ -55,6 +55,14 @@ crashers:
 bench:
 	$(GO) test -short -run='^$$' -bench=. -benchtime=1x ./internal/bench
 	$(GO) run ./cmd/thorin-bench -alloc -o BENCH_pr4.json
+	$(GO) run ./cmd/thorin-bench -incremental -fast -o BENCH_pr5.json
+
+# bench-diff is the incremental-rewrite regression gate: re-measure the
+# incremental-vs-full fixpoint workload (at the same fast scale the committed
+# report was taken at) and fail if any workload's incremental Optimize ns/op
+# regressed by more than 10% against BENCH_pr5.json.
+bench-diff:
+	$(GO) run ./cmd/thorin-bench -incremental -fast -diff BENCH_pr5.json
 
 # bench-full runs the whole evaluation harness at laptop scale.
 bench-full:

@@ -16,6 +16,8 @@
 //	thorin-bench -ablation all     # consing / schedule / mem2reg ablations
 //	thorin-bench -fast             # reduced problem sizes everywhere
 //	thorin-bench -alloc -o BENCH_pr4.json   # compile-throughput + allocs/op
+//	thorin-bench -incremental -o BENCH_pr5.json   # incremental vs full pipeline work
+//	thorin-bench -incremental -diff BENCH_pr5.json   # fail on >10% optimize regression
 package main
 
 import (
@@ -34,12 +36,21 @@ func main() {
 		all      = flag.Bool("all", false, "print every table, figure and ablation")
 		fast     = flag.Bool("fast", false, "use reduced problem sizes")
 		alloc    = flag.Bool("alloc", false, "measure compile throughput (ns/op, allocs/op, bytes/op) and emit JSON")
-		outFile  = flag.String("o", "", "with -alloc: write the JSON report to this file (default stdout); an existing report's baseline (or, failing that, its current numbers) is carried forward as the baseline")
+		incr     = flag.Bool("incremental", false, "measure incremental-vs-full pipeline work (ns/op, scope builds, skipped runs) and emit JSON")
+		diffFile = flag.String("diff", "", "with -incremental: compare against this committed report and fail on a >10% optimize ns/op regression instead of writing")
+		outFile  = flag.String("o", "", "with -alloc/-incremental: write the JSON report to this file (default stdout); for -alloc an existing report's baseline (or, failing that, its current numbers) is carried forward as the baseline")
 	)
 	flag.Parse()
 
 	if *alloc {
 		if err := runAlloc(*outFile, *fast); err != nil {
+			fmt.Fprintln(os.Stderr, "thorin-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *incr {
+		if err := runIncremental(*outFile, *diffFile, *fast); err != nil {
 			fmt.Fprintln(os.Stderr, "thorin-bench:", err)
 			os.Exit(1)
 		}
@@ -144,6 +155,51 @@ func runAlloc(outFile string, fast bool) error {
 	}
 	if outFile != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d workloads)\n", outFile, len(rep.Current))
+	}
+	return nil
+}
+
+// runIncremental measures the incremental-vs-full pipeline comparison. With
+// diffFile set it acts as a regression gate instead: the fresh measurement
+// is compared against the committed report and any workload whose
+// incremental optimize time regressed by more than 10% fails the run.
+func runIncremental(outFile, diffFile string, fast bool) error {
+	rep, err := bench.MeasureIncremental(fast)
+	if err != nil {
+		return err
+	}
+
+	if diffFile != "" {
+		f, err := os.Open(diffFile)
+		if err != nil {
+			return err
+		}
+		old, rerr := bench.ReadIncrementalReport(f)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+		if err := bench.DiffIncremental(old, rep, 10); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "incremental bench within 10%% of %s (%d workloads)\n", diffFile, len(rep.Cases))
+		return nil
+	}
+
+	out := os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := bench.WriteIncrementalJSON(out, rep); err != nil {
+		return err
+	}
+	if outFile != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d workloads)\n", outFile, len(rep.Cases))
 	}
 	return nil
 }

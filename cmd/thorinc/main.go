@@ -17,6 +17,7 @@
 //	thorinc -passes="cleanup,pe,fix(cff,contify,mem2reg,inline-once),cleanup,closure" \
 //	    -emit=pass-report prog.imp         # custom pipeline + per-pass table
 //	thorinc -verify-each prog.imp          # ir.Verify after every pass
+//	thorinc -incremental=off prog.imp      # disable journal-driven pass skipping
 //	thorinc -budget "time=30s,nodes=500000" prog.imp   # bounded compile
 //	thorinc -on-failure=degrade -run prog.imp 10       # survive a buggy pass
 //	thorinc -replay .thorin-crash/crash-ab12cd34ef56   # re-run a crash bundle
@@ -44,26 +45,36 @@ import (
 
 func main() {
 	var (
-		emit       = flag.String("emit", "", "dump: thorin | ssa | bytecode | dot | cfg | pass-report | pass-report-json")
-		pipeline   = flag.String("pipeline", "thorin", "pipeline: thorin | ssa")
-		optLevel   = flag.Int("O", 2, "optimization level for the thorin pipeline: 0, 1 (no mangling), 2")
-		passes     = flag.String("passes", "", "explicit pass-pipeline spec, e.g. \"cleanup,pe,fix(cff,contify,mem2reg,inline-once),cleanup,closure\" (overrides -O)")
-		verifyEach = flag.Bool("verify-each", false, "run ir.Verify after every pass and fail naming the offending pass")
-		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "worker count for the parallel analysis phase of scope-level passes (output is identical at every value)")
-		run        = flag.Bool("run", false, "execute main with the trailing integer arguments")
-		stats      = flag.Bool("stats", false, "print compilation and execution statistics")
-		schedule   = flag.String("schedule", "smart", "primop schedule: early | late | smart")
-		budgetSpec = flag.String("budget", "", "compilation budget, e.g. \"iters=8,nodes=200000,time=30s\" (any subset of keys)")
-		onFailure  = flag.String("on-failure", "fail", "pass-failure policy: fail (abort with a crash bundle) | degrade (strip the faulting pass and finish unoptimized)")
-		crashDir   = flag.String("crash-dir", ".thorin-crash", "directory for crash reproduction bundles (empty disables)")
-		replay     = flag.String("replay", "", "re-run the compilation recorded in a crash bundle directory and exit")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (go tool pprof)")
-		memProfile = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
+		emit        = flag.String("emit", "", "dump: thorin | ssa | bytecode | dot | cfg | pass-report | pass-report-json")
+		pipeline    = flag.String("pipeline", "thorin", "pipeline: thorin | ssa")
+		optLevel    = flag.Int("O", 2, "optimization level for the thorin pipeline: 0, 1 (no mangling), 2")
+		passes      = flag.String("passes", "", "explicit pass-pipeline spec, e.g. \"cleanup,pe,fix(cff,contify,mem2reg,inline-once),cleanup,closure\" (overrides -O)")
+		verifyEach  = flag.Bool("verify-each", false, "run ir.Verify after every pass and fail naming the offending pass")
+		jobs        = flag.Int("jobs", runtime.GOMAXPROCS(0), "worker count for the parallel analysis phase of scope-level passes (output is identical at every value)")
+		incremental = flag.String("incremental", "on", "journal-driven incremental re-running: on | off (output is identical either way; off re-runs every pass)")
+		run         = flag.Bool("run", false, "execute main with the trailing integer arguments")
+		stats       = flag.Bool("stats", false, "print compilation and execution statistics")
+		schedule    = flag.String("schedule", "smart", "primop schedule: early | late | smart")
+		budgetSpec  = flag.String("budget", "", "compilation budget, e.g. \"iters=8,nodes=200000,time=30s\" (any subset of keys)")
+		onFailure   = flag.String("on-failure", "fail", "pass-failure policy: fail (abort with a crash bundle) | degrade (strip the faulting pass and finish unoptimized)")
+		crashDir    = flag.String("crash-dir", ".thorin-crash", "directory for crash reproduction bundles (empty disables)")
+		replay      = flag.String("replay", "", "re-run the compilation recorded in a crash bundle directory and exit")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
 
 	startProfiles(*cpuProfile, *memProfile)
 	defer stopProfiles()
+
+	disableIncremental := false
+	switch *incremental {
+	case "on":
+	case "off":
+		disableIncremental = true
+	default:
+		fatal(fmt.Errorf("bad -incremental %q (want on or off)", *incremental))
+	}
 
 	budget := pm.Budget{}
 	if *budgetSpec != "" {
@@ -144,6 +155,9 @@ func main() {
 		if *jobs > 0 {
 			ctx.Jobs = *jobs
 		}
+		if disableIncremental {
+			ctx.Incremental = false
+		}
 		rep, err := pl.Run(ctx)
 		if err != nil {
 			fatal(err)
@@ -192,11 +206,12 @@ func main() {
 			fatal(fmt.Errorf("bad -on-failure %q (want fail or degrade)", *onFailure))
 		}
 		res, err := driver.CompileSpec(src, spec, mode, driver.Config{
-			VerifyEach:    *verifyEach,
-			Jobs:          *jobs,
-			OnPassFailure: policy,
-			Budget:        budget,
-			CrashDir:      *crashDir,
+			VerifyEach:         *verifyEach,
+			Jobs:               *jobs,
+			OnPassFailure:      policy,
+			Budget:             budget,
+			CrashDir:           *crashDir,
+			DisableIncremental: disableIncremental,
 		})
 		if err != nil {
 			fatal(err)

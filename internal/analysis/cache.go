@@ -9,11 +9,14 @@ import (
 
 // CacheStats counts how a Cache was used over its lifetime. Hits and
 // Misses are per lookup (one ScopeOf call is one lookup); Invalidations
-// counts InvalidateAll/Invalidate calls that actually dropped entries.
+// counts InvalidateAll/Invalidate calls that actually dropped entries; Stale
+// counts entries dropped by generation validation because a scope member was
+// touched after the entry was computed.
 type CacheStats struct {
 	Hits          int `json:"hits"`
 	Misses        int `json:"misses"`
 	Invalidations int `json:"invalidations"`
+	Stale         int `json:"stale"`
 }
 
 // contEntry holds every memoized analysis of one continuation. All fields
@@ -27,6 +30,16 @@ type contEntry struct {
 	cfg   *CFG
 	dom   *DomTree
 	pdom  *DomTree
+	// stamp is the world's rewrite generation read immediately before the
+	// scope was computed: the scope (and everything derived from it) is
+	// valid iff no scope member was touched after stamp. Reading the
+	// generation *before* NewScope makes a concurrent touch look stale
+	// rather than silently valid.
+	stamp int64
+	// validatedAt caches the most recent generation at which the stamp walk
+	// succeeded, so back-to-back lookups with no interleaving mutation skip
+	// the walk entirely.
+	validatedAt int64
 }
 
 func (e *contEntry) empty() bool {
@@ -35,10 +48,13 @@ func (e *contEntry) empty() bool {
 
 // Cache memoizes per-continuation analysis results — scopes, CFGs and
 // (post-)dominator trees — across the passes of one pipeline run. The
-// analyses are pure functions of the IR, so entries stay valid exactly
-// until the IR mutates; the owner (normally the pass manager) must call
-// InvalidateAll as soon as a pass reports a mutation. Cached values are
-// shared snapshots: callers must treat them as immutable.
+// analyses are pure functions of the IR; every lookup validates the entry
+// against the world's change journal (no def in the cached scope's closure
+// may carry a stamp newer than the entry's), so entries survive unrelated
+// mutations and go stale precisely when their own scope was touched. Callers
+// may additionally force recomputation with Invalidate/InvalidateAll (the
+// pass manager does this after changed passes when incremental mode is off).
+// Cached values are shared snapshots: callers must treat them as immutable.
 //
 // A Cache is safe for concurrent lookups: the entry map is guarded by a
 // cache-wide mutex and each continuation's analyses by a per-continuation
@@ -56,6 +72,7 @@ type Cache struct {
 	hits          atomic.Int64
 	misses        atomic.Int64
 	invalidations atomic.Int64
+	stale         atomic.Int64
 }
 
 // NewCache creates an empty analysis cache.
@@ -75,14 +92,37 @@ func (c *Cache) entryFor(entry *ir.Continuation) *contEntry {
 	return e
 }
 
-// scopeLocked returns e's scope, computing it on a miss. e.mu must be held.
+// validateLocked drops e's memoized analyses if a member of the cached
+// scope has been touched since the scope was computed. e.mu must be held;
+// call it before serving any field of e.
+func (c *Cache) validateLocked(e *contEntry, entry *ir.Continuation) {
+	if e.scope == nil {
+		return
+	}
+	cur := entry.World().RewriteGen()
+	if cur == e.validatedAt {
+		return
+	}
+	if e.scope.UnchangedSince(e.stamp) {
+		e.validatedAt = cur
+		return
+	}
+	e.scope, e.cfg, e.dom, e.pdom = nil, nil, nil, nil
+	e.stamp, e.validatedAt = 0, 0
+	c.stale.Add(1)
+}
+
+// scopeLocked returns e's scope, computing it on a miss. e.mu must be held
+// and validateLocked must have run.
 func (c *Cache) scopeLocked(e *contEntry, entry *ir.Continuation) *Scope {
 	if e.scope != nil {
 		c.hits.Add(1)
 		return e.scope
 	}
 	c.misses.Add(1)
+	gen := entry.World().RewriteGen()
 	e.scope = NewScope(entry)
+	e.stamp, e.validatedAt = gen, gen
 	return e.scope
 }
 
@@ -105,6 +145,7 @@ func (c *Cache) ScopeOf(entry *ir.Continuation) *Scope {
 	e := c.entryFor(entry)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	c.validateLocked(e, entry)
 	return c.scopeLocked(e, entry)
 }
 
@@ -116,6 +157,7 @@ func (c *Cache) CFGOf(entry *ir.Continuation) *CFG {
 	e := c.entryFor(entry)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	c.validateLocked(e, entry)
 	return c.cfgLocked(e, entry)
 }
 
@@ -127,6 +169,7 @@ func (c *Cache) DomTreeOf(entry *ir.Continuation) *DomTree {
 	e := c.entryFor(entry)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	c.validateLocked(e, entry)
 	if e.dom != nil {
 		c.hits.Add(1)
 		return e.dom
@@ -144,6 +187,7 @@ func (c *Cache) PostDomTreeOf(entry *ir.Continuation) *DomTree {
 	e := c.entryFor(entry)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	c.validateLocked(e, entry)
 	if e.pdom != nil {
 		c.hits.Add(1)
 		return e.pdom
@@ -173,9 +217,10 @@ func (c *Cache) Invalidate(entry *ir.Continuation) {
 	}
 }
 
-// InvalidateAll drops every cached result. This is the rule the pass
-// manager applies after any pass that reports a mutation: analyses are only
-// reusable between mutation-free pass runs.
+// InvalidateAll drops every cached result. Stamp validation makes this
+// unnecessary for correctness; the pass manager still applies it after any
+// changed pass when incremental mode is off, as the conservative reference
+// behaviour the incremental mode is differenced against.
 func (c *Cache) InvalidateAll() {
 	if c == nil {
 		return
@@ -208,5 +253,6 @@ func (c *Cache) Stats() CacheStats {
 		Hits:          int(c.hits.Load()),
 		Misses:        int(c.misses.Load()),
 		Invalidations: int(c.invalidations.Load()),
+		Stale:         int(c.stale.Load()),
 	}
 }

@@ -60,6 +60,69 @@ func TestCacheDerivedAnalyses(t *testing.T) {
 	}
 }
 
+func TestCacheGenerationValidation(t *testing.T) {
+	w, main := cacheWorld()
+	c := NewCache()
+
+	// An unrelated continuation's mutation must not evict main's entry.
+	other := w.Continuation(w.FnType(w.MemType(), w.FnType(w.MemType())), "other")
+	s1 := c.ScopeOf(main)
+	other.Jump(other.Param(1), other.Param(0))
+	if c.ScopeOf(main) != s1 {
+		t.Error("mutation outside the scope must keep the cached scope valid")
+	}
+
+	// Rewiring main's body touches a scope member: the entry must go stale
+	// and the recomputed scope must reflect the new body.
+	f := w.Continuation(w.FnType(w.MemType()), "f")
+	f.Jump(main.Param(1), main.Param(0))
+	main.Jump(f)
+	s2 := c.ScopeOf(main)
+	if s2 == s1 {
+		t.Fatal("mutation inside the scope must recompute the cached scope")
+	}
+	if !s2.Contains(f) {
+		t.Error("recomputed scope must contain the new callee")
+	}
+	if st := c.Stats(); st.Stale == 0 {
+		t.Errorf("stats = %+v, want a stale eviction recorded", st)
+	}
+
+	// Derived analyses are dropped together with the scope.
+	g := c.CFGOf(main)
+	main.Jump(main.Param(1), main.Param(0))
+	if c.CFGOf(main) == g {
+		t.Error("CFG derived from a stale scope must be recomputed")
+	}
+}
+
+func TestScopeUnchangedSince(t *testing.T) {
+	w, main := cacheWorld()
+	gen := w.RewriteGen()
+	s := NewScope(main)
+	if !s.UnchangedSince(gen) {
+		t.Fatal("fresh scope must be unchanged since its construction generation")
+	}
+	// A new user of main's param grows the use-closure; the stamp on the
+	// param must flip the validity check.
+	f := w.Continuation(w.FnType(w.MemType()), "f")
+	f.Jump(main.Param(1), main.Param(0))
+	if s.UnchangedSince(gen) {
+		t.Error("scope must read as changed after a member gained a user")
+	}
+}
+
+func TestScopeBuildCount(t *testing.T) {
+	_, main := cacheWorld()
+	c := NewCache()
+	before := ScopeBuildCount()
+	c.ScopeOf(main)
+	c.ScopeOf(main)
+	if got := ScopeBuildCount() - before; got != 1 {
+		t.Errorf("scope builds = %d, want 1 (second lookup is a cache hit)", got)
+	}
+}
+
 func TestNilCacheComputes(t *testing.T) {
 	_, main := cacheWorld()
 	var c *Cache

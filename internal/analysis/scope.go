@@ -12,9 +12,19 @@ package analysis
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"thorin/internal/ir"
 )
+
+// scopeBuilds counts every NewScope execution in the process. The incremental
+// rewrite benchmarks use it to demonstrate that generation-validated caching
+// actually avoids scope reconstruction (the dominant analysis cost).
+var scopeBuilds atomic.Int64
+
+// ScopeBuildCount returns the number of NewScope executions so far,
+// process-wide. Meaningful as a delta around a workload.
+func ScopeBuildCount() int64 { return scopeBuilds.Load() }
 
 // Scope is the set of defs that (transitively) use the parameters of an
 // entry continuation, plus the entry itself. Continuations inside the scope
@@ -42,6 +52,7 @@ type Scope struct {
 // NewScope computes the scope of entry by a transitive closure over use
 // edges starting at entry's parameters (the algorithm of the paper's §4).
 func NewScope(entry *ir.Continuation) *Scope {
+	scopeBuilds.Add(1)
 	s := &Scope{Entry: entry, Defs: make(map[ir.Def]bool)}
 
 	var queue []ir.Def
@@ -87,6 +98,22 @@ func NewScope(entry *ir.Continuation) *Scope {
 
 // Contains reports whether d belongs to the scope.
 func (s *Scope) Contains(d ir.Def) bool { return s.Defs[d] }
+
+// UnchangedSince reports whether no member of the scope has been touched
+// (ir.Def.LastTouched) after the given rewrite generation. When it holds, a
+// scope computed at gen — and every analysis derived from it — is still
+// valid: scope membership is the use-closure of the entry's params, and any
+// mutation that grows the closure stamps the used def, any that shrinks it
+// stamps the no-longer-used def, and any body change stamps the jumping
+// continuation, all of which were members at gen.
+func (s *Scope) UnchangedSince(gen int64) bool {
+	for d := range s.Defs {
+		if d.LastTouched() > gen {
+			return false
+		}
+	}
+	return true
+}
 
 // FreeDefs returns the non-continuation, non-literal defs referenced by
 // scope members but defined outside the scope, in ascending gid order.

@@ -45,12 +45,12 @@ func determinismCorpus(t *testing.T) map[string]string {
 	return srcs
 }
 
-func printedIR(t *testing.T, src string, jobs int) string {
+func printedIR(t *testing.T, src string, jobs int, disableIncremental bool) string {
 	t.Helper()
 	res, err := driver.CompileSpec(src, transform.SpecFor(transform.OptAll()),
-		analysis.ScheduleSmart, driver.Config{Jobs: jobs})
+		analysis.ScheduleSmart, driver.Config{Jobs: jobs, DisableIncremental: disableIncremental})
 	if err != nil {
-		t.Fatalf("jobs=%d: %v", jobs, err)
+		t.Fatalf("jobs=%d incremental=%v: %v", jobs, !disableIncremental, err)
 	}
 	var buf bytes.Buffer
 	ir.Print(&buf, res.World)
@@ -60,15 +60,21 @@ func printedIR(t *testing.T, src string, jobs int) string {
 func TestDeterministicIRAcrossJobsAndRuns(t *testing.T) {
 	for name, src := range determinismCorpus(t) {
 		t.Run(name, func(t *testing.T) {
-			ref := printedIR(t, src, 1)
+			ref := printedIR(t, src, 1, false)
 			if ref == "" {
 				t.Fatal("empty printed IR")
 			}
 			for _, jobs := range []int{1, 4, 8} {
 				for run := 0; run < 2; run++ {
-					if got := printedIR(t, src, jobs); got != ref {
+					if got := printedIR(t, src, jobs, false); got != ref {
 						t.Fatalf("jobs=%d run=%d: printed IR differs from first jobs=1 compile", jobs, run)
 					}
+				}
+				// Incremental mode may only skip provably no-op work, never
+				// reorder rewrites, so turning it off must not change a byte
+				// at any jobs level.
+				if got := printedIR(t, src, jobs, true); got != ref {
+					t.Fatalf("jobs=%d: printed IR with -incremental=off differs from incremental compile", jobs)
 				}
 			}
 		})

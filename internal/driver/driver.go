@@ -84,6 +84,13 @@ type Config struct {
 	// CrashDir, when non-empty, is the directory where a reproduction
 	// bundle is written on pass failure (see WriteCrashBundle).
 	CrashDir string
+	// DisableIncremental turns off journal-driven work skipping in the pass
+	// manager (pm.Context.Incremental), so every pass runs every time it is
+	// named and the analysis cache is invalidated wholesale after each
+	// changing pass. The produced IR and program are byte-identical either
+	// way; this is the escape hatch (and the reference mode the differential
+	// tests compare against). thorinc exposes it as -incremental=off.
+	DisableIncremental bool
 }
 
 // IRStats summarizes the IR after a pipeline run.
@@ -180,6 +187,9 @@ func compileOnce(src, spec string, mode analysis.Mode, cfg Config) (*Result, err
 	ctx.Budget = cfg.Budget
 	if cfg.Jobs > 0 {
 		ctx.Jobs = cfg.Jobs
+	}
+	if cfg.DisableIncremental {
+		ctx.Incremental = false
 	}
 	rep, err := pl.Run(ctx)
 	if err != nil {

@@ -91,6 +91,16 @@ type World struct {
 	// without contending on one world-wide lock.
 	useStripes [numUseStripes]sync.RWMutex
 
+	// rewriteGen is the rewrite generation: it advances on every observable
+	// graph mutation, and defs are stamped with it (see journal.go).
+	rewriteGen atomic.Int64
+
+	// The change journal: continuations touched since the last DrainDirty,
+	// deduplicated by dirtySet, ordered first-touched-first in dirtyList.
+	dirtyMu   sync.Mutex
+	dirtySet  map[*Continuation]struct{}
+	dirtyList []*Continuation
+
 	// NoCons disables hash-consing (for the ablation experiment A1).
 	NoCons bool
 }
@@ -100,6 +110,7 @@ func NewWorld() *World {
 	w := &World{
 		types:      newTypeTable(),
 		intrinsics: make(map[Intrinsic]*Continuation),
+		dirtySet:   make(map[*Continuation]struct{}),
 	}
 	for i := range w.primops {
 		w.primops[i].m = make(map[uint64][]*PrimOp)
@@ -223,6 +234,11 @@ func (w *World) Continuation(t *FnType, name string) *Continuation {
 	w.contsMu.Lock()
 	w.conts = append(w.conts, c)
 	w.contsMu.Unlock()
+	// Creation is journaled so a drain sees brand-new continuations even
+	// before their first Jump (cleanup may sweep a bodyless cont, and a pass
+	// that only creates conts must still read as "changed something").
+	w.touch(c)
+	w.journal(c)
 	return c
 }
 
@@ -236,13 +252,16 @@ func (w *World) BasicBlock(name string) *Continuation {
 // caller must have unset c's body first so use lists stay consistent.
 func (w *World) RemoveContinuation(c *Continuation) {
 	w.contsMu.Lock()
-	defer w.contsMu.Unlock()
 	for i, x := range w.conts {
 		if x == c {
 			w.conts = append(w.conts[:i], w.conts[i+1:]...)
+			w.contsMu.Unlock()
+			w.touch(c)
+			w.journal(c)
 			return
 		}
 	}
+	w.contsMu.Unlock()
 }
 
 // Branch returns the branch intrinsic continuation:
@@ -454,6 +473,15 @@ func (w *World) cseSalted(kind OpKind, t Type, salt int, ops ...Def) *PrimOp {
 // that is never shared (slots, allocs, globals).
 func (w *World) uniqueSalt() int {
 	return int(w.salt.Add(1))
+}
+
+// RawPrimOp interns a primop of an arbitrary kind without the smart
+// constructors' folding, normalization or shape checks. It exists for tests
+// and fuzzers that need to exercise error paths on operations the
+// constructors would fold away or reject (e.g. an OpInvalid node); ordinary
+// construction must go through the typed constructors.
+func (w *World) RawPrimOp(kind OpKind, t Type, ops ...Def) *PrimOp {
+	return w.cseSalted(kind, t, w.uniqueSalt(), ops...)
 }
 
 // Arith constructs an arithmetic primop, folding and normalizing where

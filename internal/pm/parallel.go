@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"thorin/internal/analysis"
 	"thorin/internal/ir"
 )
 
@@ -19,13 +20,32 @@ type WorkerStat struct {
 // panicking target produces a *PassPanicError in its error slot while the
 // worker that recovered keeps draining the queue, so a fault never leaks
 // goroutines or deadlocks the scheduler.
-func analyzeOne(ctx *Context, sr ScopeRewriter, c *ir.Continuation) (plan any, err error) {
+//
+// With a non-nil memo table (incremental mode, self-fixpointing pass) it
+// first resolves the target's current scope through the validating cache: if
+// the memoized entry holds the *same scope pointer*, nothing in the target's
+// closure changed since the plan was computed and the memoized plan is
+// returned without re-analyzing. The memo table is read-only during the
+// (possibly parallel) analysis phase — writes happen after the sequential
+// commit phase — and the cache itself is concurrency-safe, so workers need
+// no extra locking. The validation runs here, on the worker, rather than in
+// a sequential pre-phase: ScopeOf both validates and pins the pointer in one
+// step, so any in-scope mutation before this moment already produced a fresh
+// pointer and therefore a miss.
+func analyzeOne(ctx *Context, sr ScopeRewriter, c *ir.Continuation, memo map[*ir.Continuation]*planMemo) (plan any, scope *analysis.Scope, hit bool, err error) {
 	err = guard(sr.Name(), c.Name(), func() error {
+		if memo != nil {
+			scope = ctx.Cache.ScopeOf(c)
+			if m := memo[c]; m != nil && m.scope == scope {
+				plan, hit = m.plan, true
+				return nil
+			}
+		}
 		var aerr error
 		plan, aerr = sr.Analyze(ctx, c)
 		return aerr
 	})
-	return plan, err
+	return plan, scope, hit, err
 }
 
 // runScoped drives one ScopeRewriter pass: enumerate targets, analyze them
@@ -33,13 +53,19 @@ func analyzeOne(ctx *Context, sr ScopeRewriter, c *ir.Continuation) (plan any, e
 // and finish. Analysis errors — including recovered panics — are surfaced
 // in deterministic target order so a failing pipeline reports the same
 // error at every jobs level.
-func runScoped(ctx *Context, sr ScopeRewriter) (res Result, parallelism int, stats []WorkerStat, err error) {
+func runScoped(ctx *Context, sr ScopeRewriter) (res Result, parallelism int, stats []WorkerStat, memoHits int, err error) {
 	var targets []*ir.Continuation
 	if err := guard(sr.Name(), "", func() error {
 		targets = sr.Targets(ctx)
 		return nil
 	}); err != nil {
-		return Result{}, 0, nil, err
+		return Result{}, 0, nil, 0, err
+	}
+	var memo map[*ir.Continuation]*planMemo
+	if ctx.Incremental {
+		if _, ok := sr.(SelfFixpointing); ok {
+			memo = ctx.memoFor(sr.Name())
+		}
 	}
 	jobs := ctx.Jobs
 	if jobs < 1 {
@@ -53,13 +79,15 @@ func runScoped(ctx *Context, sr ScopeRewriter) (res Result, parallelism int, sta
 	}
 
 	plans := make([]any, len(targets))
+	scopes := make([]*analysis.Scope, len(targets))
+	hits := make([]bool, len(targets))
 	errs := make([]error, len(targets))
 	stats = make([]WorkerStat, jobs)
 
 	if jobs == 1 {
 		start := time.Now()
 		for i, c := range targets {
-			plans[i], errs[i] = analyzeOne(ctx, sr, c)
+			plans[i], scopes[i], hits[i], errs[i] = analyzeOne(ctx, sr, c, memo)
 		}
 		stats[0] = WorkerStat{Worker: 0, Targets: len(targets), Time: time.Since(start)}
 	} else {
@@ -78,7 +106,7 @@ func runScoped(ctx *Context, sr ScopeRewriter) (res Result, parallelism int, sta
 					if i >= len(targets) {
 						break
 					}
-					plans[i], errs[i] = analyzeOne(ctx, sr, targets[i])
+					plans[i], scopes[i], hits[i], errs[i] = analyzeOne(ctx, sr, targets[i], memo)
 					n++
 				}
 				stats[wi] = WorkerStat{Worker: wi, Targets: n, Time: time.Since(start)}
@@ -86,11 +114,16 @@ func runScoped(ctx *Context, sr ScopeRewriter) (res Result, parallelism int, sta
 		}
 		wg.Wait()
 	}
+	for _, h := range hits {
+		if h {
+			memoHits++
+		}
+	}
 
 	var total Result
 	for i := range targets {
 		if errs[i] != nil {
-			return total, jobs, stats, errs[i]
+			return total, jobs, stats, memoHits, errs[i]
 		}
 	}
 	for i, c := range targets {
@@ -103,8 +136,9 @@ func runScoped(ctx *Context, sr ScopeRewriter) (res Result, parallelism int, sta
 		})
 		total.Rewrites += cres.Rewrites
 		total.Changed = total.Changed || cres.Changed
+		total.Saturated = total.Saturated || cres.Saturated
 		if err != nil {
-			return total, jobs, stats, err
+			return total, jobs, stats, memoHits, err
 		}
 	}
 	var fres Result
@@ -115,5 +149,18 @@ func runScoped(ctx *Context, sr ScopeRewriter) (res Result, parallelism int, sta
 	})
 	total.Rewrites += fres.Rewrites
 	total.Changed = total.Changed || fres.Changed
-	return total, jobs, stats, err
+	total.Saturated = total.Saturated || fres.Saturated
+	if memo != nil && err == nil {
+		// Store the plans computed this run. A target whose commit (or a
+		// later target's commit) touched its scope gets a fresh scope
+		// pointer on the next lookup, so its entry misses and re-analyzes;
+		// untouched targets hit. Storing the pre-commit pointer is exactly
+		// what makes that work.
+		for i, c := range targets {
+			if scopes[i] != nil {
+				memo[c] = &planMemo{scope: scopes[i], plan: plans[i]}
+			}
+		}
+	}
+	return total, jobs, stats, memoHits, err
 }

@@ -29,6 +29,10 @@ type Result struct {
 	// after each run, so a pass that forgets to set either still triggers
 	// invalidation when it allocates or removes nodes.
 	Changed bool
+	// Saturated reports that the pass hit an internal iteration bound while
+	// still rewriting: it did NOT reach its fixpoint, so the incremental
+	// runner must not skip its next occurrence even if the journal is quiet.
+	Saturated bool
 }
 
 // Pass is one named unit of IR transformation (or inspection).
@@ -75,10 +79,10 @@ type ScopeRewriter interface {
 // pass-family state (e.g. accumulated typed statistics).
 type Context struct {
 	World *ir.World
-	// Cache memoizes ScopeOf/CFG/domtree per continuation. The runner
-	// invalidates it wholesale after every pass that changed the IR; a
-	// pass that mutates mid-run and keeps reading analyses must invalidate
-	// eagerly itself.
+	// Cache memoizes ScopeOf/CFG/domtree per continuation, validating every
+	// lookup against the world's rewrite generation (stale entries rebuild
+	// themselves). In non-incremental mode the runner additionally
+	// invalidates it wholesale after every pass that changed the IR.
 	Cache *analysis.Cache
 	// VerifyEach makes the runner call ir.Verify after every pass and
 	// abort the pipeline naming the offending pass.
@@ -90,8 +94,18 @@ type Context struct {
 	// Budget bounds the run's fixpoint iterations, IR size and wall-clock
 	// time. The zero value imposes no extra limits.
 	Budget Budget
+	// Incremental enables journal-driven work skipping (see incremental.go):
+	// self-fixpointing passes whose input has not changed since they last ran
+	// are recorded as Skipped instead of executed, and ScopeRewriter analysis
+	// plans are memoized per target keyed by scope pointer identity. The
+	// produced IR is byte-identical either way; only the work differs. On by
+	// default; THORIN_INCREMENTAL=0 (or off/false) disables it, as does the
+	// driver's -incremental=off escape hatch.
+	Incremental bool
 
-	data map[string]any
+	data     map[string]any
+	passDone map[string]*passRecord
+	memos    map[string]map[*ir.Continuation]*planMemo
 }
 
 // NewContext creates a run context for w with a fresh analysis cache. The
@@ -105,7 +119,15 @@ func NewContext(w *ir.World) *Context {
 			jobs = n
 		}
 	}
-	return &Context{World: w, Cache: analysis.NewCache(), Jobs: jobs, data: make(map[string]any)}
+	return &Context{
+		World:       w,
+		Cache:       analysis.NewCache(),
+		Jobs:        jobs,
+		Incremental: incrementalDefault(),
+		data:        make(map[string]any),
+		passDone:    make(map[string]*passRecord),
+		memos:       make(map[string]map[*ir.Continuation]*planMemo),
+	}
 }
 
 // Put stores a blackboard value under key.

@@ -34,7 +34,15 @@ type PassRun struct {
 	// number; only the timing varies.
 	Parallelism int          `json:"parallelism,omitempty"`
 	Workers     []WorkerStat `json:"workers,omitempty"`
-	Err         string       `json:"error,omitempty"`
+	// Skipped marks a run the incremental runner elided: the pass is
+	// self-fixpointing and nothing it reads changed since it last ran, so
+	// executing it would provably have been a no-op (Rewrites 0, Changed
+	// false, zero time).
+	Skipped bool `json:"skipped,omitempty"`
+	// MemoHits counts the targets of a ScopeRewriter pass whose analysis
+	// plan was served from the per-target memo instead of recomputed.
+	MemoHits int    `json:"memo_hits,omitempty"`
+	Err      string `json:"error,omitempty"`
 }
 
 // Label renders the run's position in the pipeline, e.g. "cleanup" or
@@ -90,6 +98,29 @@ func (r *Report) Rewrites() int {
 	return n
 }
 
+// Skips counts the runs the incremental runner elided, and MemoHits sums the
+// analysis plans served from the per-target memo. Both are zero in
+// non-incremental mode — they are the report-level measure of what
+// incrementality saved.
+func (r *Report) Skips() int {
+	n := 0
+	for _, run := range r.Runs {
+		if run.Skipped {
+			n++
+		}
+	}
+	return n
+}
+
+// MemoHits sums the memoized analysis plans across all runs (see Skips).
+func (r *Report) MemoHits() int {
+	n := 0
+	for _, run := range r.Runs {
+		n += run.MemoHits
+	}
+	return n
+}
+
 // WriteText renders the report as an aligned table.
 func (r *Report) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "pass report: %s\n", r.Spec)
@@ -97,6 +128,9 @@ func (r *Report) WriteText(w io.Writer) {
 	fmt.Fprintln(tw, "pass\ttime\trewrites\tconts\tprimops\tcache")
 	for _, run := range r.Runs {
 		status := ""
+		if run.Skipped {
+			status = "  (skipped)"
+		}
 		if run.Err != "" {
 			status = "  ERROR: " + run.Err
 		}

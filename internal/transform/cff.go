@@ -28,28 +28,24 @@ const maxCFFSpecializations = 4096
 // return continuation) — the forms a classical SSA backend can consume.
 // A mangling failure aborts the conversion with the stats so far.
 func LowerToCFF(w *ir.World) (CFFStats, error) {
+	return LowerToCFFWith(w, nil)
+}
+
+// LowerToCFFWith is LowerToCFF with scopes served from ac (nil = compute
+// fresh). The worklist keeps conversion cost proportional to the code it
+// actually touches: rewriting a jump enqueues the new callee's scope instead
+// of rescanning the whole world each round. The specialize-then-rescan
+// mechanics are shared with PartialEval through specializer.
+func LowerToCFFWith(w *ir.World, ac *analysis.Cache) (CFFStats, error) {
 	var stats CFFStats
-	cache := map[string]*ir.Continuation{}
+	wl := newContWorklist(w.Continuations())
+	sp := newSpecializer(ac, ".cff", wl)
 
-	// Worklist of call sites to inspect; rewriting a jump enqueues the new
-	// callee's scope instead of rescanning the whole world each round, so
-	// conversion cost is proportional to the code it actually touches.
-	work := append([]*ir.Continuation(nil), w.Continuations()...)
-	inWork := map[*ir.Continuation]bool{}
-	for _, c := range work {
-		inWork[c] = true
-	}
-	push := func(c *ir.Continuation) {
-		if !inWork[c] {
-			inWork[c] = true
-			work = append(work, c)
+	for {
+		caller, ok := wl.pop()
+		if !ok {
+			break
 		}
-	}
-
-	for len(work) > 0 {
-		caller := work[len(work)-1]
-		work = work[:len(work)-1]
-		inWork[caller] = false
 		if !caller.HasBody() {
 			continue
 		}
@@ -65,32 +61,14 @@ func LowerToCFF(w *ir.World) (CFFStats, error) {
 			stats.Saturated = true
 			break
 		}
-		key := specKey(callee, args)
-		spec, ok := cache[key]
-		if !ok {
-			var err error
-			spec, err = Drop(analysis.NewScope(callee), args)
-			if err != nil {
-				return stats, err
-			}
-			spec.SetName(callee.Name() + ".cff")
-			cache[key] = spec
-			// The copy may itself contain higher-order calls.
-			for _, c := range analysis.NewScope(spec).Conts {
-				push(c)
-			}
+		if _, err := sp.specialize(caller, callee, args); err != nil {
+			return stats, err
 		}
-		var kept []ir.Def
-		for i, a := range caller.Args() {
-			if args[i] == nil {
-				kept = append(kept, a)
-			}
-		}
-		caller.Jump(spec, kept...)
 		stats.Specialized++
-		push(caller) // the rewritten jump may be specializable again
 	}
-	Cleanup(w)
+	if _, err := CleanupWith(w, ac); err != nil {
+		return stats, err
+	}
 	return stats, nil
 }
 

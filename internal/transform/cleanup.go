@@ -7,34 +7,61 @@ import (
 
 // CleanupStats reports what a cleanup round removed or rewired.
 type CleanupStats struct {
-	RemovedConts int // unreachable continuations deleted
-	EtaReduced   int // continuations replaced by their eta-equal callee
-	DeadParams   int // parameters eliminated
+	RemovedConts int  // unreachable continuations deleted
+	EtaReduced   int  // continuations replaced by their eta-equal callee
+	DeadParams   int  // parameters eliminated
+	Saturated    bool // round cap reached while still making progress
+}
+
+// changed reports whether the round did any work (saturation aside).
+func (s CleanupStats) changed() bool {
+	return s.RemovedConts != 0 || s.EtaReduced != 0 || s.DeadParams != 0
 }
 
 // Cleanup removes continuations unreachable from the extern roots,
 // eta-reduces forwarder continuations, and eliminates dead parameters. It
 // iterates to a fixed point.
 func Cleanup(w *ir.World) CleanupStats {
+	s, err := CleanupWith(w, nil)
+	if err != nil {
+		panic(err) // unreachable: a nil cache recomputes and Rebuild handles every constructor-built kind
+	}
+	return s
+}
+
+// CleanupWith is Cleanup with scopes served from ac (nil = compute fresh).
+// A Rebuild failure inside eta-reduction aborts with the stats so far.
+func CleanupWith(w *ir.World, ac *analysis.Cache) (CleanupStats, error) {
 	var total CleanupStats
-	for round := 0; round < 32; round++ {
-		s := cleanupRound(w)
+	const maxRounds = 32
+	for round := 0; round < maxRounds; round++ {
+		s, err := cleanupRound(w, ac)
 		total.RemovedConts += s.RemovedConts
 		total.EtaReduced += s.EtaReduced
 		total.DeadParams += s.DeadParams
-		if s == (CleanupStats{}) {
+		if err != nil {
+			return total, err
+		}
+		if !s.changed() {
 			break
 		}
+		if round == maxRounds-1 {
+			total.Saturated = true
+		}
 	}
-	return total
+	return total, nil
 }
 
-func cleanupRound(w *ir.World) CleanupStats {
+func cleanupRound(w *ir.World, ac *analysis.Cache) (CleanupStats, error) {
 	var stats CleanupStats
-	stats.EtaReduced = etaReduce(w)
-	stats.DeadParams = eliminateDeadParams(w)
+	var err error
+	stats.EtaReduced, err = etaReduce(w)
+	if err != nil {
+		return stats, err
+	}
+	stats.DeadParams = eliminateDeadParams(w, ac)
 	stats.RemovedConts = sweepUnreachable(w)
-	return stats
+	return stats, nil
 }
 
 // sweepUnreachable removes every continuation not reachable from an extern
@@ -86,7 +113,7 @@ func sweepUnreachable(w *ir.World) int {
 
 // etaReduce replaces continuations of the shape k(p0..pn) = g(p0..pn) with g
 // itself wherever k is referenced.
-func etaReduce(w *ir.World) int {
+func etaReduce(w *ir.World) (int, error) {
 	n := 0
 	for _, k := range append([]*ir.Continuation(nil), w.Continuations()...) {
 		if k.IsExtern() || k.IsIntrinsic() || !k.HasBody() {
@@ -135,16 +162,18 @@ func etaReduce(w *ir.World) int {
 				continue
 			}
 		}
-		ReplaceUses(w, k, callee)
+		if err := ReplaceUses(w, k, callee); err != nil {
+			return n, err
+		}
 		k.Unset()
 		n++
 	}
-	return n
+	return n, nil
 }
 
 // eliminateDeadParams drops parameters without uses from continuations whose
 // every use is a direct call.
-func eliminateDeadParams(w *ir.World) int {
+func eliminateDeadParams(w *ir.World, ac *analysis.Cache) int {
 	n := 0
 	for _, c := range append([]*ir.Continuation(nil), w.Continuations()...) {
 		if c.IsExtern() || c.IsIntrinsic() || !c.HasBody() || c.NumUses() == 0 {
@@ -190,7 +219,7 @@ func eliminateDeadParams(w *ir.World) int {
 			return true
 		})
 
-		slim, err := Drop(analysis.NewScope(c), args)
+		slim, err := Drop(ac.ScopeOf(c), args)
 		if err != nil {
 			continue // args is sized to c by construction; be safe anyway
 		}

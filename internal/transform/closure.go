@@ -9,8 +9,9 @@ import (
 // here corresponds to a function value the optimizer could not eliminate —
 // the residual higher-order overhead measured in Table 2.
 type ClosureStats struct {
-	Closures int // closure records introduced
-	Lifted   int // continuations lambda-lifted to top level
+	Closures  int  // closure records introduced
+	Lifted    int  // continuations lambda-lifted to top level
+	Saturated bool // round cap reached while still converting
 }
 
 // ClosureConvert lowers residual first-class continuations: every
@@ -26,11 +27,13 @@ func ClosureConvert(w *ir.World) (ClosureStats, error) { return ClosureConvertWi
 
 // ClosureConvertWith is ClosureConvert reading scopes through an optional
 // analysis cache; scopes of continuations that need no conversion stay
-// cached, and the cache is invalidated whenever a conversion mutates the
-// graph. A mangling failure aborts the pass with the stats so far.
+// cached, and a conversion's mutations stamp the defs they touch so the
+// cache evicts exactly the entries that went stale. A mangling failure
+// aborts the pass with the stats so far.
 func ClosureConvertWith(w *ir.World, ac *analysis.Cache) (ClosureStats, error) {
 	var stats ClosureStats
-	for round := 0; round < 32; round++ {
+	const maxRounds = 32
+	for round := 0; round < maxRounds; round++ {
 		changed := false
 		for _, k := range append([]*ir.Continuation(nil), w.Continuations()...) {
 			if k.IsIntrinsic() || !k.HasBody() {
@@ -88,10 +91,15 @@ func ClosureConvertWith(w *ir.World, ac *analysis.Cache) (ClosureStats, error) {
 					ops := make([]ir.Def, user.NumOps())
 					copy(ops, user.Ops())
 					ops[u.Index] = clo
-					ReplaceUses(w, user, Rebuild(w, user, ops))
+					nu, err := Rebuild(w, user, ops)
+					if err != nil {
+						return stats, err
+					}
+					if err := ReplaceUses(w, user, nu); err != nil {
+						return stats, err
+					}
 				}
 			}
-			ac.InvalidateAll()
 		}
 		// Converting a nested lambda can introduce its captured values as
 		// closure-environment operands inside an *already lifted* enclosing
@@ -125,19 +133,21 @@ func ClosureConvertWith(w *ir.World, ac *analysis.Cache) (ClosureStats, error) {
 			changed = true
 			for _, clo := range cloUses {
 				env := append(append([]ir.Def(nil), clo.Ops()[1:]...), lift...)
-				ReplaceUses(w, clo, w.Closure(clo.Type().(*ir.FnType), code, env...))
+				if err := ReplaceUses(w, clo, w.Closure(clo.Type().(*ir.FnType), code, env...)); err != nil {
+					return stats, err
+				}
 			}
-			ac.InvalidateAll()
 		}
 		if !changed {
 			break
 		}
+		if round == maxRounds-1 {
+			stats.Saturated = true
+		}
 	}
-	if etaExpandRetArgs(w) > 0 {
-		ac.InvalidateAll()
-	}
-	if cs := Cleanup(w); cs != (CleanupStats{}) {
-		ac.InvalidateAll()
+	etaExpandRetArgs(w)
+	if _, err := CleanupWith(w, ac); err != nil {
+		return stats, err
 	}
 	return stats, nil
 }

@@ -13,15 +13,22 @@ import (
 //
 // This is the classical contification optimization; in the mangling
 // framework it is a one-call specialization.
-func Contify(w *ir.World) (int, error) { return ContifyWith(w, nil) }
+func Contify(w *ir.World) (int, error) {
+	n, _, err := ContifyWith(w, nil)
+	return n, err
+}
 
 // ContifyWith is Contify reading scopes through an optional analysis cache.
-// The cache is invalidated as soon as a specialization mutates the graph,
-// so entries are only reused across the mutation-free probing stretches.
-// A mangling failure aborts the pass with the count so far.
-func ContifyWith(w *ir.World, ac *analysis.Cache) (int, error) {
+// Cached scopes are validated against the change journal on every lookup, so
+// a specialization's mutations evict exactly the entries they staled and the
+// mutation-free probing stretches stay cache hits. The bool result reports
+// saturation: the round cap was reached while still contifying, so another
+// run could make progress. A mangling failure aborts the pass with the count
+// so far.
+func ContifyWith(w *ir.World, ac *analysis.Cache) (int, bool, error) {
 	n := 0
-	for round := 0; round < 8; round++ {
+	const maxRounds = 8
+	for round := 0; round < maxRounds; round++ {
 		changed := false
 		for _, f := range append([]*ir.Continuation(nil), w.Continuations()...) {
 			if f.IsExtern() || f.IsIntrinsic() || !f.HasBody() || !f.IsReturning() {
@@ -37,7 +44,7 @@ func ContifyWith(w *ir.World, ac *analysis.Cache) (int, error) {
 			args[f.NumParams()-1] = k
 			spec, err := Drop(ac.ScopeOf(f), args)
 			if err != nil {
-				return n, err
+				return n, false, err
 			}
 			spec.SetName(f.Name() + ".cont")
 			// One use per caller at index 0 and Jump creates no nodes, so the
@@ -49,17 +56,20 @@ func ContifyWith(w *ir.World, ac *analysis.Cache) (int, error) {
 				}
 				return true
 			})
-			ac.InvalidateAll()
 			n++
 			changed = true
 		}
 		if !changed {
 			break
 		}
-		Cleanup(w)
-		ac.InvalidateAll()
+		if _, err := CleanupWith(w, ac); err != nil {
+			return n, false, err
+		}
+		if round == maxRounds-1 {
+			return n, true, nil
+		}
 	}
-	return n, nil
+	return n, false, nil
 }
 
 // commonRetArg returns the single continuation passed as f's return argument

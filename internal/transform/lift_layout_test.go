@@ -1,0 +1,87 @@
+package transform
+
+import (
+	"testing"
+
+	"thorin/internal/analysis"
+	"thorin/internal/ir"
+)
+
+// TestLiftKeepsRetParamLast pins the parameter layout Mangle produces when
+// lambda-lifting a *returning* function: the lifted defs become parameters
+// inserted BEFORE the kept trailing return continuation, so the lifted
+// entry still follows the returning-call convention (ret param last). The
+// call protocol, Contify's ret-param specialization and codegen all key off
+// that position, so getting it wrong type-checks but miscompiles.
+func TestLiftKeepsRetParamLast(t *testing.T) {
+	w := ir.NewWorld()
+	i64 := w.PrimType(ir.PrimI64)
+	retT := w.FnType(w.MemType(), i64)
+
+	// h's parameter x is the enclosing value f captures.
+	h := w.Continuation(w.FnType(w.MemType(), i64), "h")
+	x := h.Param(1)
+
+	f := w.Continuation(w.FnType(w.MemType(), i64, retT), "f")
+	f.Param(0).SetName("mem")
+	f.Param(1).SetName("a")
+	sum := w.Arith(ir.OpAdd, f.Param(1), x)
+	f.Jump(f.RetParam(), f.Param(0), sum)
+	if f.RetParam() != f.Param(2) {
+		t.Fatal("test setup: f's ret param is not its last param")
+	}
+
+	lifted, err := Lift(analysis.NewScope(f), []ir.Def{x})
+	if err != nil {
+		t.Fatalf("Lift: %v", err)
+	}
+
+	// Layout must be [mem, a, x, ret]: the lifted param slots in before the
+	// kept trailing ret param, not after it.
+	if got, want := lifted.NumParams(), 4; got != want {
+		t.Fatalf("lifted entry has %d params, want %d", got, want)
+	}
+	if got := lifted.Param(2).Type(); got != i64 {
+		t.Fatalf("param 2 (lifted x) has type %s, want %s", got, i64)
+	}
+	last := lifted.Param(3)
+	if !ir.IsRetContType(last.Type()) {
+		t.Fatalf("last param has type %s — not a return continuation", last.Type())
+	}
+	if lifted.RetParam() != last {
+		t.Fatal("lifted entry's RetParam is not its last param")
+	}
+	if !lifted.IsReturning() {
+		t.Fatal("lifted entry lost the returning-call convention")
+	}
+
+	// The lift did its job: x is substituted by the new param, so the lifted
+	// scope no longer references any enclosing parameter.
+	if free := analysis.NewScope(lifted).FreeParams(); len(free) != 0 {
+		t.Fatalf("lifted scope still has free params: %v", free)
+	}
+	// And the body forwards to the (kept) return continuation with the sum
+	// rebuilt over the new params.
+	if callee := lifted.Callee(); callee != last {
+		t.Fatalf("lifted body jumps %v, want its ret param", callee)
+	}
+	wantSum := w.Arith(ir.OpAdd, lifted.Param(1), lifted.Param(2))
+	if lifted.Arg(1) != wantSum {
+		t.Fatalf("lifted body returns %v, want add(a, x') = %v", lifted.Arg(1), wantSum)
+	}
+
+	// Contrast case: lifting a non-returning block appends the lifted param
+	// at the end (there is no ret param to keep last).
+	blk := w.Continuation(w.FnType(w.MemType()), "blk")
+	blk.Jump(h, blk.Param(0), x)
+	liftedBlk, err := Lift(analysis.NewScope(blk), []ir.Def{x})
+	if err != nil {
+		t.Fatalf("Lift(blk): %v", err)
+	}
+	if got, want := liftedBlk.NumParams(), 2; got != want {
+		t.Fatalf("lifted block has %d params, want %d", got, want)
+	}
+	if got := liftedBlk.Param(1).Type(); got != i64 {
+		t.Fatalf("lifted block param 1 has type %s, want %s (appended lift)", got, i64)
+	}
+}

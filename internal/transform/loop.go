@@ -21,6 +21,9 @@ func Peel(s *analysis.Scope) *ir.Continuation {
 		peel:    true,
 	}
 	c := m.run()
+	if m.err != nil {
+		panic(m.err) // unreachable: Rebuild handles every constructor-built kind
+	}
 	c.SetName(s.Entry.Name() + ".peel")
 	return c
 }
@@ -28,7 +31,12 @@ func Peel(s *analysis.Scope) *ir.Continuation {
 // PeelAt peels one iteration of the loop entered at entry and redirects
 // every external call site to the peeled copy. Returns the copy.
 func PeelAt(w *ir.World, entry *ir.Continuation) *ir.Continuation {
-	s := analysis.NewScope(entry)
+	return PeelAtWith(w, nil, entry)
+}
+
+// PeelAtWith is PeelAt with the loop scope served from ac.
+func PeelAtWith(w *ir.World, ac *analysis.Cache, entry *ir.Continuation) *ir.Continuation {
+	s := ac.ScopeOf(entry)
 	callers := externalCallers(entry, s) // snapshot before cloning!
 	peeled := Peel(s)
 	for _, caller := range callers {
@@ -59,10 +67,17 @@ func externalCallers(entry *ir.Continuation, s *analysis.Scope) []*ir.Continuati
 // is produced by Peel (back edges at the original entry), then the back
 // edges are re-pointed along the cycle.
 func Unroll(w *ir.World, entry *ir.Continuation, factor int) []*ir.Continuation {
+	return UnrollWith(w, nil, entry, factor)
+}
+
+// UnrollWith is Unroll with scopes served from ac (the per-copy back-edge
+// rescan is a fresh scope per copy either way; the entry scope is the reuse
+// opportunity).
+func UnrollWith(w *ir.World, ac *analysis.Cache, entry *ir.Continuation, factor int) []*ir.Continuation {
 	if factor < 2 {
 		return []*ir.Continuation{entry}
 	}
-	s := analysis.NewScope(entry)
+	s := ac.ScopeOf(entry)
 	callers := externalCallers(entry, s) // snapshot before cloning!
 	copies := make([]*ir.Continuation, factor)
 	for i := range copies {
@@ -73,7 +88,7 @@ func Unroll(w *ir.World, entry *ir.Continuation, factor int) []*ir.Continuation 
 	// jumps to copy (i+1) mod factor.
 	for i, c := range copies {
 		next := copies[(i+1)%factor]
-		cs := analysis.NewScope(c)
+		cs := ac.ScopeOf(c)
 		for _, cc := range cs.Conts {
 			if cc.HasBody() && cc.Callee() == entry {
 				cc.Jump(next, cc.Args()...)

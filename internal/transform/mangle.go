@@ -37,6 +37,9 @@ type Mangler struct {
 	// of rewiring them to the copy — the copy then executes exactly one
 	// iteration before re-entering the original loop (loop peeling).
 	peel bool
+	// err records the first Rebuild failure; mangle must keep returning a
+	// def mid-traversal, so errors are collected here and surfaced by run.
+	err error
 }
 
 // slot describes one parameter of the mangled entry: either a kept old
@@ -66,7 +69,11 @@ func Mangle(s *analysis.Scope, args []ir.Def, lift []ir.Def) (*ir.Continuation, 
 		old2new: make(map[ir.Def]ir.Def),
 		srcBody: make(map[*ir.Continuation]*ir.Continuation),
 	}
-	return m.run(), nil
+	nc := m.run()
+	if m.err != nil {
+		return nil, m.err
+	}
+	return nc, nil
 }
 
 // Drop specializes the entry of s: args[i] != nil fixes parameter i.
@@ -224,7 +231,13 @@ func (m *Mangler) mangle(d ir.Def) ir.Def {
 		for i, op := range d.Ops() {
 			ops[i] = m.mangle(op)
 		}
-		n := Rebuild(m.w, d, ops)
+		n, err := Rebuild(m.w, d, ops)
+		if err != nil {
+			if m.err == nil {
+				m.err = err
+			}
+			return d // placeholder; the caller aborts on m.err
+		}
 		m.old2new[d] = n
 		return n
 	default:
@@ -237,6 +250,11 @@ func (m *Mangler) mangle(d ir.Def) ir.Def {
 // (the mangling formulation of inlining: drop every parameter, then jump to
 // the parameterless result).
 func InlineCall(caller *ir.Continuation) bool {
+	return inlineCallWith(caller, nil)
+}
+
+// inlineCallWith is InlineCall with the callee's scope served from ac.
+func inlineCallWith(caller *ir.Continuation, ac *analysis.Cache) bool {
 	callee, ok := caller.Callee().(*ir.Continuation)
 	if !ok || !callee.HasBody() || callee.IsIntrinsic() || caller == callee {
 		return false
@@ -245,10 +263,95 @@ func InlineCall(caller *ir.Continuation) bool {
 	if len(args) != callee.NumParams() {
 		return false
 	}
-	dropped, err := Drop(analysis.NewScope(callee), args)
+	dropped, err := Drop(ac.ScopeOf(callee), args)
 	if err != nil {
 		return false // unreachable given the arity check above
 	}
 	caller.Jump(dropped)
 	return true
+}
+
+// contWorklist is the scan order shared by the specializing passes (partial
+// evaluation, CFF lowering): a LIFO of continuations deduplicated while
+// enqueued, seeded with the world's continuations in creation order.
+type contWorklist struct {
+	work   []*ir.Continuation
+	inWork map[*ir.Continuation]bool
+}
+
+func newContWorklist(seed []*ir.Continuation) *contWorklist {
+	wl := &contWorklist{inWork: make(map[*ir.Continuation]bool, len(seed))}
+	for _, c := range seed {
+		wl.push(c)
+	}
+	return wl
+}
+
+func (wl *contWorklist) push(c *ir.Continuation) {
+	if !wl.inWork[c] {
+		wl.inWork[c] = true
+		wl.work = append(wl.work, c)
+	}
+}
+
+func (wl *contWorklist) pop() (*ir.Continuation, bool) {
+	if len(wl.work) == 0 {
+		return nil, false
+	}
+	c := wl.work[len(wl.work)-1]
+	wl.work = wl.work[:len(wl.work)-1]
+	wl.inWork[c] = false
+	return c, true
+}
+
+// specializer is the specialize-then-rescan step shared by the partial
+// evaluator and CFF lowering: Drop the callee's scope against an argument
+// vector, cache the copy per (callee, args) key so repeated call sites share
+// one specialization, enqueue the copy's scope for another scan, and rewire
+// the call site to the copy passing only the non-dropped arguments.
+type specializer struct {
+	ac     *analysis.Cache
+	suffix string // debug-name suffix of specialized copies (".pe", ".cff")
+	cache  map[string]*ir.Continuation
+	wl     *contWorklist
+}
+
+func newSpecializer(ac *analysis.Cache, suffix string, wl *contWorklist) *specializer {
+	return &specializer{
+		ac:     ac,
+		suffix: suffix,
+		cache:  make(map[string]*ir.Continuation),
+		wl:     wl,
+	}
+}
+
+// specialize retargets caller's jump to a copy of callee with args[i] != nil
+// substituted for parameter i. It reports whether a new copy was built (false
+// = an existing specialization was reused).
+func (sp *specializer) specialize(caller, callee *ir.Continuation, args []ir.Def) (bool, error) {
+	key := specKey(callee, args)
+	spec, ok := sp.cache[key]
+	fresh := false
+	if !ok {
+		var err error
+		spec, err = Drop(sp.ac.ScopeOf(callee), args)
+		if err != nil {
+			return false, err
+		}
+		spec.SetName(callee.Name() + sp.suffix)
+		sp.cache[key] = spec
+		for _, c := range sp.ac.ScopeOf(spec).Conts {
+			sp.wl.push(c)
+		}
+		fresh = true
+	}
+	var kept []ir.Def
+	for i, a := range caller.Args() {
+		if args[i] == nil {
+			kept = append(kept, a)
+		}
+	}
+	caller.Jump(spec, kept...)
+	sp.wl.push(caller)
+	return fresh, nil
 }

@@ -23,11 +23,18 @@ type Mem2RegStats struct {
 // transformation in Thorin: the φ-placement algorithm of Braun et al. runs
 // on the CPS graph, and φ-functions materialize as parameters of join-point
 // continuations.
-func Mem2Reg(w *ir.World) Mem2RegStats { return Mem2RegWith(w, nil) }
+func Mem2Reg(w *ir.World) Mem2RegStats {
+	st, err := Mem2RegWith(w, nil)
+	if err != nil {
+		panic(err) // unreachable: a nil cache recomputes and Rebuild handles every constructor-built kind
+	}
+	return st
+}
 
 // Mem2RegWith is Mem2Reg reading scopes through an optional analysis cache.
-// Scopes of scanned-but-unchanged roots stay cached for later passes; the
-// cache is invalidated whenever a promotion mutates the graph.
+// Scopes of scanned-but-unchanged roots stay cached for later passes; a
+// promotion's mutations stamp the defs they touch, so the cache evicts
+// exactly the entries that went stale.
 //
 // The pass is structured as plan-all-then-commit: every root is analyzed
 // against the unmutated world first, then all plans are applied in root
@@ -36,7 +43,7 @@ func Mem2Reg(w *ir.World) Mem2RegStats { return Mem2RegWith(w, nil) }
 // contradicting top-levelness), so the split is equivalent to the old
 // interleaved loop — and it is what lets the pass manager run the analysis
 // phase on parallel workers.
-func Mem2RegWith(w *ir.World, ac *analysis.Cache) Mem2RegStats {
+func Mem2RegWith(w *ir.World, ac *analysis.Cache) (Mem2RegStats, error) {
 	targets := m2rTargets(w)
 	plans := make([]*m2rPlan, len(targets))
 	for i, c := range targets {
@@ -44,13 +51,15 @@ func Mem2RegWith(w *ir.World, ac *analysis.Cache) Mem2RegStats {
 	}
 	var stats Mem2RegStats
 	for _, plan := range plans {
-		st := m2rCommit(w, ac, plan)
+		st, err := m2rCommit(w, ac, plan)
 		stats.PromotedSlots += st.PromotedSlots
 		stats.PhiParams += st.PhiParams
 		stats.SkippedScopes += st.SkippedScopes
+		if err != nil {
+			return stats, err
+		}
 	}
-	m2rFinish(w, ac)
-	return stats
+	return stats, m2rFinish(w, ac)
 }
 
 // m2rTargets enumerates the candidate promotion roots in creation order.
@@ -84,27 +93,30 @@ func m2rAnalyze(w *ir.World, ac *analysis.Cache, c *ir.Continuation) *m2rPlan {
 	return &m2rPlan{p: planPromotion(w, s)}
 }
 
-// m2rCommit applies one plan, invalidating the cache when it mutates.
-func m2rCommit(w *ir.World, ac *analysis.Cache, plan *m2rPlan) Mem2RegStats {
+// m2rCommit applies one plan. Stamp validation in the cache handles the
+// mutations a promotion makes; no explicit invalidation is needed.
+func m2rCommit(w *ir.World, ac *analysis.Cache, plan *m2rPlan) (Mem2RegStats, error) {
 	var st Mem2RegStats
 	if plan.skipped {
 		st.SkippedScopes++
-		return st
+		return st, nil
 	}
 	if plan.p == nil {
-		return st
+		return st, nil
 	}
-	st.PhiParams = plan.p.rewrite()
+	phis, err := plan.p.rewrite()
+	if err != nil {
+		return st, err
+	}
+	st.PhiParams = phis
 	st.PromotedSlots = len(plan.p.slots)
-	ac.InvalidateAll()
-	return st
+	return st, nil
 }
 
 // m2rFinish sweeps the husks the committed promotions left behind.
-func m2rFinish(w *ir.World, ac *analysis.Cache) {
-	if cs := Cleanup(w); cs != (CleanupStats{}) {
-		ac.InvalidateAll()
-	}
+func m2rFinish(w *ir.World, ac *analysis.Cache) error {
+	_, err := CleanupWith(w, ac)
+	return err
 }
 
 // blockFormScope reports whether every non-entry continuation of the scope
@@ -399,11 +411,12 @@ func (p *promoter) livePhis(n *analysis.Node) []*m2rPhi {
 
 // rewrite rebuilds the scope without the promoted slots. It returns the
 // number of φ parameters introduced.
-func (p *promoter) rewrite() int {
+func (p *promoter) rewrite() (int, error) {
 	w := p.w
 	entry := p.s.Entry
 	old2new := map[ir.Def]ir.Def{}
 	phiParams := 0
+	var rwErr error
 
 	// New continuations for every non-entry block; φ-extended where needed.
 	type blockInfo struct {
@@ -502,7 +515,14 @@ func (p *promoter) rewrite() int {
 			for i, o := range op.Ops() {
 				ops[i] = rw(o)
 			}
-			n = Rebuild(w, op, ops)
+			var err error
+			n, err = Rebuild(w, op, ops)
+			if err != nil {
+				if rwErr == nil {
+					rwErr = err
+				}
+				n = d // placeholder; the commit aborts on rwErr
+			}
 		}
 		old2new[d] = n
 		return n
@@ -567,7 +587,7 @@ func (p *promoter) rewrite() int {
 		}
 		bi.new.Jump(rw(callee), args...)
 	}
-	return phiParams
+	return phiParams, rwErr
 }
 
 func (p *promoter) isSlotProj(op *ir.PrimOp) bool {

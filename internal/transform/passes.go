@@ -47,6 +47,12 @@ func (p stdPass) Run(ctx *pm.Context) (pm.Result, error) {
 	return p.run(ctx, ctxStats(ctx))
 }
 
+// SelfFixpointing opts every standard pass into journal-driven skipping:
+// each one iterates to an internal fixpoint (and reports Result.Saturated
+// when it hits its round cap instead), so re-running it on unchanged IR is
+// a no-op by construction.
+func (p stdPass) SelfFixpointing() {}
+
 // mem2regPass exposes slot promotion to the pass manager through the
 // ScopeRewriter protocol: targets are enumerated once, analyzed (read-only)
 // on parallel workers, and committed sequentially in target order, so the
@@ -55,15 +61,19 @@ type mem2regPass struct{}
 
 func (mem2regPass) Name() string { return "mem2reg" }
 
+// SelfFixpointing: one run promotes every promotable slot it can see, so an
+// immediate re-run on unchanged IR finds nothing left to do.
+func (mem2regPass) SelfFixpointing() {}
+
 // Run is the sequential fallback for callers that drive the pass directly;
 // the pipeline runner uses the three-phase protocol instead.
 func (p mem2regPass) Run(ctx *pm.Context) (pm.Result, error) {
-	s := Mem2RegWith(ctx.World, ctx.Cache)
+	s, err := Mem2RegWith(ctx.World, ctx.Cache)
 	st := ctxStats(ctx)
 	st.Mem2Reg.PromotedSlots += s.PromotedSlots
 	st.Mem2Reg.PhiParams += s.PhiParams
 	st.Mem2Reg.SkippedScopes += s.SkippedScopes
-	return pm.Result{Rewrites: s.PromotedSlots + s.PhiParams}, nil
+	return pm.Result{Rewrites: s.PromotedSlots + s.PhiParams}, err
 }
 
 func (mem2regPass) Targets(ctx *pm.Context) []*ir.Continuation {
@@ -75,56 +85,55 @@ func (mem2regPass) Analyze(ctx *pm.Context, c *ir.Continuation) (any, error) {
 }
 
 func (mem2regPass) Commit(ctx *pm.Context, c *ir.Continuation, plan any) (pm.Result, error) {
-	s := m2rCommit(ctx.World, ctx.Cache, plan.(*m2rPlan))
+	s, err := m2rCommit(ctx.World, ctx.Cache, plan.(*m2rPlan))
 	st := ctxStats(ctx)
 	st.Mem2Reg.PromotedSlots += s.PromotedSlots
 	st.Mem2Reg.PhiParams += s.PhiParams
 	st.Mem2Reg.SkippedScopes += s.SkippedScopes
-	return pm.Result{Rewrites: s.PromotedSlots + s.PhiParams}, nil
+	return pm.Result{Rewrites: s.PromotedSlots + s.PhiParams}, err
 }
 
 func (mem2regPass) Finish(ctx *pm.Context) (pm.Result, error) {
-	m2rFinish(ctx.World, ctx.Cache)
-	return pm.Result{}, nil
+	return pm.Result{}, m2rFinish(ctx.World, ctx.Cache)
 }
 
 func init() {
 	pm.Register(stdPass{"cleanup", func(ctx *pm.Context, st *Stats) (pm.Result, error) {
-		s := Cleanup(ctx.World)
+		s, err := CleanupWith(ctx.World, ctx.Cache)
 		st.Cleanup.RemovedConts += s.RemovedConts
 		st.Cleanup.EtaReduced += s.EtaReduced
 		st.Cleanup.DeadParams += s.DeadParams
-		return pm.Result{Rewrites: s.RemovedConts + s.EtaReduced + s.DeadParams}, nil
+		return pm.Result{Rewrites: s.RemovedConts + s.EtaReduced + s.DeadParams, Saturated: s.Saturated}, err
 	}})
 	pm.Register(stdPass{"pe", func(ctx *pm.Context, st *Stats) (pm.Result, error) {
-		s, err := PartialEval(ctx.World)
+		s, err := PartialEvalWith(ctx.World, ctx.Cache)
 		st.PE.Specialized += s.Specialized
 		st.PE.Inlined += s.Inlined
 		st.PE.Saturated = st.PE.Saturated || s.Saturated
-		return pm.Result{Rewrites: s.Specialized + s.Inlined}, err
+		return pm.Result{Rewrites: s.Specialized + s.Inlined, Saturated: s.Saturated}, err
 	}})
 	pm.Register(stdPass{"cff", func(ctx *pm.Context, st *Stats) (pm.Result, error) {
-		s, err := LowerToCFF(ctx.World)
+		s, err := LowerToCFFWith(ctx.World, ctx.Cache)
 		st.CFF.Specialized += s.Specialized
 		st.CFF.Saturated = st.CFF.Saturated || s.Saturated
-		return pm.Result{Rewrites: s.Specialized}, err
+		return pm.Result{Rewrites: s.Specialized, Saturated: s.Saturated}, err
 	}})
 	pm.Register(stdPass{"contify", func(ctx *pm.Context, st *Stats) (pm.Result, error) {
-		n, err := ContifyWith(ctx.World, ctx.Cache)
+		n, sat, err := ContifyWith(ctx.World, ctx.Cache)
 		st.Contified += n
-		return pm.Result{Rewrites: n}, err
+		return pm.Result{Rewrites: n, Saturated: sat}, err
 	}})
 	pm.Register(mem2regPass{})
 	pm.Register(stdPass{"inline-once", func(ctx *pm.Context, st *Stats) (pm.Result, error) {
-		n := InlineOnce(ctx.World)
+		n, sat, err := InlineOnceWith(ctx.World, ctx.Cache)
 		st.Inlined += n
-		return pm.Result{Rewrites: n}, nil
+		return pm.Result{Rewrites: n, Saturated: sat}, err
 	}})
 	pm.Register(stdPass{"closure", func(ctx *pm.Context, st *Stats) (pm.Result, error) {
 		s, err := ClosureConvertWith(ctx.World, ctx.Cache)
 		st.Closure.Closures += s.Closures
 		st.Closure.Lifted += s.Lifted
-		return pm.Result{Rewrites: s.Closures + s.Lifted}, err
+		return pm.Result{Rewrites: s.Closures + s.Lifted, Saturated: s.Saturated}, err
 	}})
 }
 

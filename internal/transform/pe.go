@@ -27,25 +27,22 @@ const maxPESpecializations = 2048
 // constant folding inside the world simplifies the copy while it is built.
 // A mangling failure aborts the evaluator with the stats so far.
 func PartialEval(w *ir.World) (PEStats, error) {
+	return PartialEvalWith(w, nil)
+}
+
+// PartialEvalWith is PartialEval with scopes served from ac (nil = compute
+// fresh). The specialize-then-rescan mechanics are shared with LowerToCFF
+// through specializer.
+func PartialEvalWith(w *ir.World, ac *analysis.Cache) (PEStats, error) {
 	var stats PEStats
-	cache := map[string]*ir.Continuation{}
+	wl := newContWorklist(w.Continuations())
+	sp := newSpecializer(ac, ".pe", wl)
 
-	work := append([]*ir.Continuation(nil), w.Continuations()...)
-	inWork := map[*ir.Continuation]bool{}
-	for _, c := range work {
-		inWork[c] = true
-	}
-	push := func(c *ir.Continuation) {
-		if !inWork[c] {
-			inWork[c] = true
-			work = append(work, c)
+	for {
+		caller, ok := wl.pop()
+		if !ok {
+			break
 		}
-	}
-
-	for len(work) > 0 {
-		caller := work[len(work)-1]
-		work = work[:len(work)-1]
-		inWork[caller] = false
 		if !caller.HasBody() {
 			continue
 		}
@@ -65,7 +62,7 @@ func PartialEval(w *ir.World) (PEStats, error) {
 			continue
 		}
 		if !callee.AlwaysInline {
-			if len(analysis.NewScope(callee).Conts) > peSizeThreshold {
+			if len(ac.ScopeOf(callee).Conts) > peSizeThreshold {
 				continue
 			}
 		}
@@ -73,31 +70,14 @@ func PartialEval(w *ir.World) (PEStats, error) {
 			stats.Saturated = true
 			break
 		}
-		key := specKey(callee, args)
-		spec, ok := cache[key]
-		if !ok {
-			var err error
-			spec, err = Drop(analysis.NewScope(callee), args)
-			if err != nil {
-				return stats, err
-			}
-			spec.SetName(callee.Name() + ".pe")
-			cache[key] = spec
-			for _, c := range analysis.NewScope(spec).Conts {
-				push(c)
-			}
+		if _, err := sp.specialize(caller, callee, args); err != nil {
+			return stats, err
 		}
-		var kept []ir.Def
-		for i, a := range caller.Args() {
-			if args[i] == nil {
-				kept = append(kept, a)
-			}
-		}
-		caller.Jump(spec, kept...)
 		stats.Specialized++
-		push(caller)
 	}
-	Cleanup(w)
+	if _, err := CleanupWith(w, ac); err != nil {
+		return stats, err
+	}
 	return stats, nil
 }
 
@@ -126,8 +106,20 @@ func literalArgs(callee *ir.Continuation, args []ir.Def) []ir.Def {
 // place and not otherwise referenced — this never grows code. Returns the
 // number of call sites inlined.
 func InlineOnce(w *ir.World) int {
+	n, _, err := InlineOnceWith(w, nil)
+	if err != nil {
+		panic(err) // unreachable: a nil cache recomputes and Rebuild handles every constructor-built kind
+	}
+	return n
+}
+
+// InlineOnceWith is InlineOnce with scopes served from ac. The bool result
+// reports saturation: the round cap was reached while call sites were still
+// being inlined, so another run could make progress.
+func InlineOnceWith(w *ir.World, ac *analysis.Cache) (int, bool, error) {
 	n := 0
-	for round := 0; round < 16; round++ {
+	const maxRounds = 16
+	for round := 0; round < maxRounds; round++ {
 		changed := false
 		for _, callee := range append([]*ir.Continuation(nil), w.Continuations()...) {
 			if callee.IsExtern() || callee.IsIntrinsic() || !callee.HasBody() {
@@ -148,15 +140,20 @@ func InlineOnce(w *ir.World) int {
 			if !ok || caller == callee || !caller.HasBody() {
 				continue
 			}
-			if InlineCall(caller) {
+			if inlineCallWith(caller, ac) {
 				n++
 				changed = true
 			}
 		}
 		if !changed {
-			break
+			return n, false, nil
 		}
-		Cleanup(w)
+		if _, err := CleanupWith(w, ac); err != nil {
+			return n, false, err
+		}
+		if round == maxRounds-1 {
+			return n, true, nil
+		}
 	}
-	return n
+	return n, false, nil
 }
