@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci fuzz-smoke fuzz crashers bench bench-diff bench-full bench-passes tables
+.PHONY: all build test race vet fmt ci fuzz-smoke fuzz crashers loadtest bench bench-diff bench-full bench-passes tables
 
 all: build test
 
@@ -27,7 +27,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt vet build race fuzz-smoke fuzz crashers bench bench-diff
+ci: fmt vet build race fuzz-smoke fuzz crashers loadtest bench bench-diff
 
 # fuzz-smoke gives the integer-fold fuzzer (seeded with the signed-overflow
 # and division edge cases) a short budget; it fails fast on any fold panic.
@@ -47,6 +47,14 @@ fuzz:
 crashers:
 	THORIN_JOBS=4 $(GO) test -race -run TestCrashers ./internal/driver
 
+# loadtest is the compile-server smoke gate: an in-process thorind on an
+# ephemeral port serves concurrent cold+warm requests; the test asserts
+# that every warm request hit the content-addressed cache, that the
+# daemon's hit/miss counters reconcile exactly with the request
+# arithmetic, and that shutdown drains cleanly.
+loadtest:
+	$(GO) test -run TestLoadTestSmoke -count=1 ./internal/bench
+
 # bench is the allocation-regression gate: a single-iteration smoke run of
 # every throughput benchmark (catches benchmarks that crash or regress into
 # errors), then the fast allocation measurement refreshing BENCH_pr4.json.
@@ -56,6 +64,7 @@ bench:
 	$(GO) test -short -run='^$$' -bench=. -benchtime=1x ./internal/bench
 	$(GO) run ./cmd/thorin-bench -alloc -o BENCH_pr4.json
 	$(GO) run ./cmd/thorin-bench -incremental -fast -o BENCH_pr5.json
+	$(GO) run ./cmd/thorin-bench -loadtest -o BENCH_pr6.json
 
 # bench-diff is the incremental-rewrite regression gate: re-measure the
 # incremental-vs-full fixpoint workload (at the same fast scale the committed

@@ -18,6 +18,7 @@
 //	thorin-bench -alloc -o BENCH_pr4.json   # compile-throughput + allocs/op
 //	thorin-bench -incremental -o BENCH_pr5.json   # incremental vs full pipeline work
 //	thorin-bench -incremental -diff BENCH_pr5.json   # fail on >10% optimize regression
+//	thorin-bench -loadtest -o BENCH_pr6.json      # thorind cold vs warm-cache latency
 package main
 
 import (
@@ -37,6 +38,9 @@ func main() {
 		fast     = flag.Bool("fast", false, "use reduced problem sizes")
 		alloc    = flag.Bool("alloc", false, "measure compile throughput (ns/op, allocs/op, bytes/op) and emit JSON")
 		incr     = flag.Bool("incremental", false, "measure incremental-vs-full pipeline work (ns/op, scope builds, skipped runs) and emit JSON")
+		loadtest = flag.Bool("loadtest", false, "load-test an in-process thorind (N clients × bench corpus, cold vs warm cache) and emit JSON")
+		clients  = flag.Int("clients", 8, "with -loadtest: concurrent clients in the warm phase")
+		rounds   = flag.Int("rounds", 5, "with -loadtest: warm sweeps over the corpus per client")
 		diffFile = flag.String("diff", "", "with -incremental: compare against this committed report and fail on a >10% optimize ns/op regression instead of writing")
 		outFile  = flag.String("o", "", "with -alloc/-incremental: write the JSON report to this file (default stdout); for -alloc an existing report's baseline (or, failing that, its current numbers) is carried forward as the baseline")
 	)
@@ -51,6 +55,13 @@ func main() {
 	}
 	if *incr {
 		if err := runIncremental(*outFile, *diffFile, *fast); err != nil {
+			fmt.Fprintln(os.Stderr, "thorin-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *loadtest {
+		if err := runLoadTest(*outFile, *clients, *rounds, *fast); err != nil {
 			fmt.Fprintln(os.Stderr, "thorin-bench:", err)
 			os.Exit(1)
 		}
@@ -155,6 +166,32 @@ func runAlloc(outFile string, fast bool) error {
 	}
 	if outFile != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d workloads)\n", outFile, len(rep.Current))
+	}
+	return nil
+}
+
+// runLoadTest runs the thorind cold-vs-warm load test and writes the JSON
+// report (BENCH_pr6.json when committed).
+func runLoadTest(outFile string, clients, rounds int, fast bool) error {
+	rep, err := bench.MeasureLoad(clients, rounds, fast)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := bench.WriteLoadJSON(out, rep); err != nil {
+		return err
+	}
+	if outFile != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d programs, %d storm requests, %.1fx warm speedup)\n",
+			outFile, len(rep.Cases), rep.StormRequests, rep.SpeedupX)
 	}
 	return nil
 }

@@ -23,6 +23,12 @@
 //	thorinc -replay .thorin-crash/crash-ab12cd34ef56   # re-run a crash bundle
 //	thorinc -cpuprofile cpu.pprof prog.imp             # profile the compile
 //	thorinc -memprofile mem.pprof prog.imp             # heap profile at exit
+//	thorinc -server localhost:7474 -run prog.imp 10    # compile on a thorind daemon
+//
+// Exit status: 0 on success, 1 on errors, 2 on usage mistakes, and 3 when
+// the compile succeeded only by graceful degradation (a pass was stripped;
+// see -on-failure=degrade). Pass -allow-degraded to treat degraded
+// compiles as success.
 package main
 
 import (
@@ -39,9 +45,15 @@ import (
 	"thorin/internal/driver"
 	"thorin/internal/ir"
 	"thorin/internal/pm"
+	"thorin/internal/server"
 	"thorin/internal/transform"
 	"thorin/internal/vm"
 )
+
+// exitDegraded is the exit status of a compile that finished only via
+// graceful degradation; distinct from 1 (error) so scripts and CI can
+// detect a silently-weaker build. -allow-degraded opts out.
+const exitDegraded = 3
 
 func main() {
 	var (
@@ -59,6 +71,8 @@ func main() {
 		onFailure   = flag.String("on-failure", "fail", "pass-failure policy: fail (abort with a crash bundle) | degrade (strip the faulting pass and finish unoptimized)")
 		crashDir    = flag.String("crash-dir", ".thorin-crash", "directory for crash reproduction bundles (empty disables)")
 		replay      = flag.String("replay", "", "re-run the compilation recorded in a crash bundle directory and exit")
+		serverAddr  = flag.String("server", "", "compile on a thorind daemon at this address instead of in-process (host:port or http://host:port)")
+		allowDegr   = flag.Bool("allow-degraded", false, "exit 0 instead of 3 when the compile finished via graceful degradation")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (go tool pprof)")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
@@ -141,6 +155,9 @@ func main() {
 	// Files ending in .thorin contain textual IR (the Print format) and
 	// bypass the frontend.
 	if strings.HasSuffix(flag.Arg(0), ".thorin") {
+		if *serverAddr != "" {
+			fatal(fmt.Errorf("-server only compiles Impala sources (the daemon's frontend is the cache key's hash domain), not textual IR"))
+		}
 		w, err := ir.ParseWorld(src)
 		if err != nil {
 			fatal(err)
@@ -175,6 +192,7 @@ func main() {
 	}
 
 	var prog *vm.Program
+	degraded := false
 	switch *pipeline {
 	case "ssa":
 		p, mod, err := driver.CompileSSA(src)
@@ -197,6 +215,40 @@ func main() {
 				len(mod.Funcs), instrs, phis)
 		}
 	default:
+		if *serverAddr != "" {
+			switch *emit {
+			case "", "bytecode":
+			default:
+				fatal(fmt.Errorf("-emit=%s is not available with -server (the daemon ships bytecode artifacts, not IR)", *emit))
+			}
+			req := &driver.Request{
+				Source:             src,
+				Spec:               spec,
+				Schedule:           *schedule,
+				Jobs:               *jobs,
+				OnFailure:          *onFailure,
+				Budget:             *budgetSpec,
+				DisableIncremental: disableIncremental,
+			}
+			c := &server.Client{Addr: *serverAddr}
+			resp, art, err := c.Compile(req)
+			if err != nil {
+				fatal(err)
+			}
+			if art.Degraded {
+				degraded = true
+				fmt.Fprintf(os.Stderr, "thorinc: warning: remote pass failure in %v; daemon finished with degraded pipeline %q\n",
+					art.FailedPasses, art.Spec)
+			}
+			prog = art.Program
+			if *stats {
+				m := art.IRStats
+				fmt.Fprintf(os.Stderr,
+					"thorin (remote %s): cache %s, key %s…, %d continuations, %d primops, %d higher-order\n",
+					*serverAddr, resp.Cache, resp.Key[:12], m.Continuations, m.PrimOps, m.HigherOrder)
+			}
+			break
+		}
 		policy := driver.FailFast
 		switch *onFailure {
 		case "fail":
@@ -217,6 +269,7 @@ func main() {
 			fatal(err)
 		}
 		if res.Degraded {
+			degraded = true
 			fmt.Fprintf(os.Stderr, "thorinc: warning: pass failure in %v; finished with degraded pipeline %q", res.FailedPasses, res.Spec)
 			if res.CrashBundle != "" {
 				fmt.Fprintf(os.Stderr, " (crash bundle: %s)", res.CrashBundle)
@@ -252,6 +305,15 @@ func main() {
 	}
 
 	runProgram(prog, args, *emit, *run, *stats)
+
+	// A degraded compile produced a valid but weaker-than-requested
+	// program; all output above still happened, and the distinct exit
+	// status lets scripts and CI detect it. -allow-degraded opts out.
+	if degraded && !*allowDegr {
+		fmt.Fprintln(os.Stderr, "thorinc: exit 3: compile finished via graceful degradation (-allow-degraded accepts it)")
+		stopProfiles()
+		os.Exit(exitDegraded)
+	}
 }
 
 // emitReport prints the pass-manager instrumentation when requested.

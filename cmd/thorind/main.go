@@ -1,0 +1,105 @@
+// Command thorind is the compile-server daemon: a long-lived HTTP/JSON
+// service that compiles Impala programs on demand and caches the emitted
+// artifacts in a content-addressed store, so repeated compiles of the same
+// (source, pipeline spec, schedule) are served without running the
+// pipeline at all.
+//
+// Usage:
+//
+//	thorind [flags]
+//
+// Examples:
+//
+//	thorind -addr :7474                     # serve on port 7474
+//	thorind -addr :7474 -cache-dir .thorind # persist artifacts across restarts
+//	thorind -cache-entries 1024 -jobs 8     # bigger LRU, 8 analysis workers
+//	thorinc -server localhost:7474 -run prog.imp 10   # compile remotely, run locally
+//	curl -s localhost:7474/metrics | jq .   # request/cache/pass counters
+//
+// Endpoints:
+//
+//	POST /compile   {"source": ..., "spec"/"opt", "schedule", "jobs", "on_failure", "budget"}
+//	GET  /metrics   request counts, cache hit/miss, per-pass timings, interning totals
+//	GET  /healthz   liveness probe
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight compiles (bounded by -drain-timeout), and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"thorin/internal/driver"
+	"thorin/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7474", "listen address (host:port)")
+		cacheEntries = flag.Int("cache-entries", server.DefaultCacheEntries, "in-memory artifact cache capacity (entries)")
+		cacheDir     = flag.String("cache-dir", "", "on-disk artifact cache directory (empty disables; survives restarts)")
+		crashDir     = flag.String("crash-dir", ".thorin-crash", "directory for crash reproduction bundles (empty disables)")
+		jobs         = flag.Int("jobs", 0, "default analysis worker count for requests that do not set jobs (0 = driver default)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight compiles")
+		quiet        = flag.Bool("quiet", false, "suppress per-request logging")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: thorind [flags]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "thorind: ", log.LstdFlags)
+	srvLog := logger
+	if *quiet {
+		srvLog = nil
+	}
+	srv := server.New(server.Config{
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+		CrashDir:     *crashDir,
+		DefaultJobs:  *jobs,
+		Log:          srvLog,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	logger.Printf("serving %s on %s (cache %d entries, dir %q)",
+		driver.Version, l.Addr(), *cacheEntries, *cacheDir)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		logger.Printf("%s: draining (timeout %s)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		<-done
+	case err := <-done:
+		if err != nil {
+			logger.Fatalf("serve: %v", err)
+		}
+	}
+
+	m := srv.Metrics()
+	logger.Printf("drained cleanly: %d requests (%d ok, %d errors, %d cache hits)",
+		m.Requests, m.OK, m.Errors, m.CacheHits)
+}

@@ -1,0 +1,279 @@
+package bench
+
+// Load-test harness for the thorind compile server (BENCH_pr6.json),
+// in three phases over M distinct programs against an in-process daemon on
+// an ephemeral port:
+//
+//  1. cold — one sequential request per program; every key misses and the
+//     pipeline runs, so each latency is an honest uncontended compile;
+//  2. warm — the same sequential sweep repeated; every key hits the
+//     content-addressed cache and the pipeline is skipped. Comparing 1 and
+//     2 under identical (uncontended) conditions gives the headline
+//     speedup number;
+//  3. storm — N concurrent clients sweep the corpus rounds times, proving
+//     the hit path under contention and feeding the daemon's own hit/miss
+//     counters, which the harness cross-checks against its request
+//     arithmetic.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"thorin/internal/driver"
+	"thorin/internal/server"
+)
+
+// drainContext bounds the daemon shutdown at the end of a measurement.
+func drainContext() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}
+
+// median returns the middle value of ns (ns is reordered).
+func median(ns []int64) int64 {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	return ns[len(ns)/2]
+}
+
+// LoadCase is the latency record of one benchmark program.
+type LoadCase struct {
+	Name string `json:"name"`
+	// ColdNs is the latency of the one cold (compiling) request; WarmNs
+	// the mean latency of its sequential warm (cache-hit) requests.
+	ColdNs   int64   `json:"cold_ns"`
+	WarmNs   int64   `json:"warm_ns"`
+	SpeedupX float64 `json:"speedup_x"`
+	// ArtifactBytes is the encoded artifact size shipped per response.
+	ArtifactBytes int `json:"artifact_bytes"`
+}
+
+// LoadReport is the serialized form of one load-test run.
+type LoadReport struct {
+	Note    string `json:"note"`
+	Fast    bool   `json:"fast,omitempty"`
+	Clients int    `json:"clients"`
+	// Rounds is the number of passes over the corpus in the sequential
+	// warm phase and, per client, in the concurrent storm phase.
+	Rounds int        `json:"rounds"`
+	Cases  []LoadCase `json:"cases"`
+	// Aggregates over the whole corpus (cold and warm measured under
+	// identical uncontended conditions).
+	ColdTotalNs int64   `json:"cold_total_ns"`
+	ColdMeanNs  int64   `json:"cold_mean_ns"`
+	WarmMeanNs  int64   `json:"warm_mean_ns"`
+	SpeedupX    float64 `json:"speedup_x"`
+	// Storm phase: clients × rounds × corpus concurrent cache hits.
+	StormRequests int64 `json:"storm_requests"`
+	// StormMeanNs is the per-request wall time seen by a storm client
+	// (includes queueing under contention); StormThroughputRps the
+	// aggregate served rate.
+	StormMeanNs        int64   `json:"storm_mean_ns"`
+	StormThroughputRps float64 `json:"storm_throughput_rps"`
+	// Daemon-side counters after the run (the proof the warm and storm
+	// phases really hit the cache).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Errors      int64 `json:"errors"`
+}
+
+// loadCorpus returns the programs the load test compiles: the functional
+// variant of every suite program (the closure-heavy shape the optimizer
+// works hardest on) plus two synthetic heavies, so the corpus spans
+// millisecond compiles up to the many-scope workloads a build farm would
+// actually ship. fast trims it for smoke runs.
+func loadCorpus(fast bool) []Program {
+	progs := make([]Program, 0, len(Suite)+2)
+	progs = append(progs, Suite...)
+	progs = append(progs,
+		Program{Name: "manyfns64", Functional: GenManyFns(64)},
+		Program{Name: "chain50", Functional: GenChain(50)},
+	)
+	if fast {
+		progs = append(progs[:3:3], Program{Name: "manyfns16", Functional: GenManyFns(16)})
+	}
+	return progs
+}
+
+// MeasureLoad starts an in-process thorind on an ephemeral port, runs the
+// cold and warm phases, and returns the report. The daemon is drained
+// before returning, so a clean run also demonstrates graceful shutdown.
+func MeasureLoad(clients, rounds int, fast bool) (LoadReport, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	progs := loadCorpus(fast)
+
+	srv := server.New(server.Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return LoadReport{}, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer func() {
+		ctx, cancel := drainContext()
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	c := &server.Client{Addr: l.Addr().String()}
+	rep := LoadReport{
+		Note: "thorind load test: cold = first sequential request per program (pipeline runs); " +
+			"warm = same sequential sweep, served from the content-addressed cache (speedup compares these two); " +
+			"storm = clients × rounds concurrent sweeps, all cache hits (per-request time includes queueing)",
+		Fast:    fast,
+		Clients: clients,
+		Rounds:  rounds,
+	}
+
+	// Phase 1 — cold: one request per program, sequential so each latency
+	// is an honest uncontended compile.
+	type coldRec struct {
+		ns    int64
+		bytes int
+	}
+	colds := make([]coldRec, len(progs))
+	for i := range progs {
+		req := &driver.Request{Source: progs[i].Functional}
+		start := time.Now()
+		resp, _, err := c.Compile(req)
+		elapsed := time.Since(start).Nanoseconds()
+		if err != nil {
+			return rep, fmt.Errorf("cold %s: %w", progs[i].Name, err)
+		}
+		if resp.Cache != "miss" {
+			return rep, fmt.Errorf("cold %s served from %q, want miss", progs[i].Name, resp.Cache)
+		}
+		colds[i] = coldRec{elapsed, len(resp.Artifact)}
+		rep.ColdTotalNs += elapsed
+	}
+
+	// Phase 2 — warm: the identical sequential sweep, rounds times; every
+	// request must hit. Same client, same conditions as cold, so the
+	// per-program speedup is apples to apples. The cold phase leaves the
+	// heap full of dead compilation worlds whose collection would
+	// otherwise land as pauses inside warm samples, so settle it first,
+	// and summarize each program by its median sample to shed residual
+	// scheduler/GC outliers.
+	runtime.GC()
+	warmSamples := make([][]int64, len(progs))
+	for r := 0; r < rounds; r++ {
+		for i := range progs {
+			req := &driver.Request{Source: progs[i].Functional}
+			start := time.Now()
+			resp, _, err := c.Compile(req)
+			elapsed := time.Since(start).Nanoseconds()
+			if err != nil {
+				return rep, fmt.Errorf("warm %s: %w", progs[i].Name, err)
+			}
+			if resp.Cache != "memory" && resp.Cache != "disk" {
+				return rep, fmt.Errorf("warm %s recompiled (cache=%q)", progs[i].Name, resp.Cache)
+			}
+			warmSamples[i] = append(warmSamples[i], elapsed)
+		}
+	}
+
+	var warmTotal int64
+	for i := range progs {
+		med := median(warmSamples[i])
+		rep.Cases = append(rep.Cases, LoadCase{
+			Name:          progs[i].Name,
+			ColdNs:        colds[i].ns,
+			WarmNs:        med,
+			SpeedupX:      float64(colds[i].ns) / float64(med),
+			ArtifactBytes: colds[i].bytes,
+		})
+		warmTotal += med
+	}
+	sort.Slice(rep.Cases, func(i, j int) bool { return rep.Cases[i].Name < rep.Cases[j].Name })
+	rep.ColdMeanNs = rep.ColdTotalNs / int64(len(progs))
+	rep.WarmMeanNs = warmTotal / int64(len(progs))
+	rep.SpeedupX = float64(rep.ColdMeanNs) / float64(rep.WarmMeanNs)
+
+	// Phase 3 — storm: clients concurrent sweeps; every request must
+	// still hit, and the daemon's counters must reconcile exactly.
+	var stormNs, stormN int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	stormStart := time.Now()
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ns, n int64
+			cc := &server.Client{Addr: l.Addr().String()}
+			for r := 0; r < rounds; r++ {
+				for i := range progs {
+					req := &driver.Request{Source: progs[i].Functional}
+					start := time.Now()
+					resp, _, err := cc.Compile(req)
+					ns += time.Since(start).Nanoseconds()
+					n++
+					if err != nil {
+						errs <- fmt.Errorf("storm %s: %w", progs[i].Name, err)
+						return
+					}
+					if resp.Cache != "memory" && resp.Cache != "disk" {
+						errs <- fmt.Errorf("storm %s recompiled (cache=%q)", progs[i].Name, resp.Cache)
+						return
+					}
+				}
+			}
+			mu.Lock()
+			stormNs += ns
+			stormN += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	stormWall := time.Since(stormStart)
+	close(errs)
+	if err := <-errs; err != nil {
+		return rep, err
+	}
+	rep.StormRequests = stormN
+	rep.StormMeanNs = stormNs / stormN
+	rep.StormThroughputRps = float64(stormN) / stormWall.Seconds()
+
+	m, err := c.Metrics()
+	if err != nil {
+		return rep, err
+	}
+	rep.CacheHits = m.CacheHits
+	rep.CacheMisses = m.Cache.Misses
+	rep.Errors = m.Errors
+	if want := int64(len(progs)); m.Cache.Misses != want {
+		return rep, fmt.Errorf("daemon reports %d misses, want %d (cold phase only)", m.Cache.Misses, want)
+	}
+	if want := int64((clients + 1) * rounds * len(progs)); m.CacheHits != want {
+		return rep, fmt.Errorf("daemon reports %d hits, want %d (every warm and storm request)", m.CacheHits, want)
+	}
+	return rep, nil
+}
+
+// WriteLoadJSON serializes a load report.
+func WriteLoadJSON(w io.Writer, rep LoadReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadLoadReport parses a serialized load report.
+func ReadLoadReport(r io.Reader) (LoadReport, error) {
+	var rep LoadReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("bench: bad load report: %w", err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+// TestLoadTestSmoke is the `make loadtest` CI gate: start a daemon on an
+// ephemeral port, fire concurrent cold+warm requests, and assert the
+// daemon's own hit counters and a clean drain. MeasureLoad fails
+// internally if any warm request misses the cache, if the hit/miss
+// counters disagree with the request arithmetic, or if shutdown hangs, so
+// the assertions here focus on the report's shape and the warm-cache win.
+func TestLoadTestSmoke(t *testing.T) {
+	const clients, rounds = 4, 2
+	rep, err := MeasureLoad(clients, rounds, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := len(loadCorpus(true))
+	if len(rep.Cases) != progs {
+		t.Fatalf("report has %d cases, want %d", len(rep.Cases), progs)
+	}
+	if want := int64((clients + 1) * rounds * progs); rep.CacheHits != want {
+		t.Errorf("hits=%d, want %d", rep.CacheHits, want)
+	}
+	if want := int64(clients * rounds * progs); rep.StormRequests != want {
+		t.Errorf("storm requests=%d, want %d", rep.StormRequests, want)
+	}
+	if rep.CacheMisses != int64(progs) {
+		t.Errorf("misses=%d, want %d", rep.CacheMisses, progs)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("daemon recorded %d errors", rep.Errors)
+	}
+	// The acceptance bar for the committed BENCH_pr6.json is 10×; the
+	// smoke run only insists the cache wins at all, so CI stays immune to
+	// noisy shared runners.
+	if rep.SpeedupX <= 1 {
+		t.Errorf("warm requests not faster than cold: %.2fx", rep.SpeedupX)
+	}
+	for _, c := range rep.Cases {
+		if c.ColdNs <= 0 || c.WarmNs <= 0 || c.ArtifactBytes <= 0 {
+			t.Errorf("degenerate case record: %+v", c)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package driver
+
+import (
+	"fmt"
+
+	"thorin/internal/analysis"
+	"thorin/internal/pm"
+	"thorin/internal/transform"
+)
+
+// Version identifies the compiler build for artifact provenance and cache
+// keying. Any change that can alter the produced program for the same
+// (source, spec, schedule) input — IR semantics, pass behavior, codegen,
+// bytecode format — must bump it, because a content-addressed artifact
+// cache (internal/server) includes it in every key: bumping the version
+// invalidates every cached artifact at once.
+const Version = "thorin-go/6"
+
+// Request is the wire-shaped form of one compilation: everything a client
+// can ask for, expressed in plain strings and integers so it serializes to
+// JSON and can be hashed into a stable cache key. The compile server and
+// `thorinc -server` both speak this type; Resolve turns it into the
+// concrete spec/mode/Config triple CompileSpec consumes.
+type Request struct {
+	// Source is the Impala program text.
+	Source string `json:"source"`
+	// Spec is an explicit pass-pipeline spec. When empty, Opt selects the
+	// canonical spec (transform.SpecFor), mirroring thorinc's -passes/-O.
+	Spec string `json:"spec,omitempty"`
+	// Opt is the optimization level (0, 1, 2) used when Spec is empty.
+	// The zero value means -O2, the thorinc default, so the empty Request
+	// compiles like a plain `thorinc file.imp`.
+	Opt *int `json:"opt,omitempty"`
+	// Schedule picks the primop placement mode: "early", "late" or
+	// "smart" (default).
+	Schedule string `json:"schedule,omitempty"`
+	// Jobs is the worker count for parallel scope analysis. It does not
+	// enter the cache key: the produced program is byte-identical at
+	// every jobs level.
+	Jobs int `json:"jobs,omitempty"`
+	// OnFailure picks the pass-failure policy: "fail" (default) or
+	// "degrade".
+	OnFailure string `json:"on_failure,omitempty"`
+	// Budget is a pm.ParseBudget spec, e.g. "iters=8,nodes=200000,time=30s".
+	Budget string `json:"budget,omitempty"`
+	// DisableIncremental turns off journal-driven pass skipping. Like
+	// Jobs it never enters the cache key: output is identical either way.
+	DisableIncremental bool `json:"disable_incremental,omitempty"`
+}
+
+// ResolvedSpec returns the pipeline spec the request will compile with:
+// the explicit Spec if given, else the canonical spec for Opt.
+func (r *Request) ResolvedSpec() (string, error) {
+	if r.Spec != "" {
+		return r.Spec, nil
+	}
+	opt := 2
+	if r.Opt != nil {
+		opt = *r.Opt
+	}
+	switch opt {
+	case 0:
+		return transform.SpecFor(transform.OptNone()), nil
+	case 1:
+		return transform.SpecFor(transform.Options{Mem2Reg: true}), nil
+	case 2:
+		return transform.SpecFor(transform.OptAll()), nil
+	}
+	return "", fmt.Errorf("driver: bad opt level %d (want 0, 1 or 2)", opt)
+}
+
+// ResolvedSchedule returns the schedule mode and its canonical name.
+func (r *Request) ResolvedSchedule() (analysis.Mode, string, error) {
+	switch r.Schedule {
+	case "", "smart":
+		return analysis.ScheduleSmart, "smart", nil
+	case "early":
+		return analysis.ScheduleEarly, "early", nil
+	case "late":
+		return analysis.ScheduleLate, "late", nil
+	}
+	return 0, "", fmt.Errorf("driver: bad schedule %q (want early, late or smart)", r.Schedule)
+}
+
+// Config resolves the request's policy knobs into a driver Config.
+// crashDir is supplied by the caller (the daemon owns the bundle
+// directory, not the client).
+func (r *Request) Config(crashDir string) (Config, error) {
+	cfg := Config{
+		Jobs:               r.Jobs,
+		CrashDir:           crashDir,
+		DisableIncremental: r.DisableIncremental,
+	}
+	switch r.OnFailure {
+	case "", "fail":
+		cfg.OnPassFailure = FailFast
+	case "degrade":
+		cfg.OnPassFailure = Degrade
+	default:
+		return Config{}, fmt.Errorf("driver: bad on_failure %q (want fail or degrade)", r.OnFailure)
+	}
+	if r.Budget != "" {
+		b, err := pm.ParseBudget(r.Budget)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Budget = b
+	}
+	return cfg, nil
+}
+
+// CompileRequest runs one wire-shaped request through the full pipeline.
+// It is CompileSpec with the request's knobs resolved; pass failures are
+// handled per the request's on_failure policy and, with crashDir set, leave
+// a reproduction bundle exactly like a thorinc run would.
+func CompileRequest(req *Request, crashDir string) (*Result, error) {
+	if req.Source == "" {
+		return nil, fmt.Errorf("driver: request has no source")
+	}
+	spec, err := req.ResolvedSpec()
+	if err != nil {
+		return nil, err
+	}
+	mode, _, err := req.ResolvedSchedule()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := req.Config(crashDir)
+	if err != nil {
+		return nil, err
+	}
+	return CompileSpec(req.Source, spec, mode, cfg)
+}

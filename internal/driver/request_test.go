@@ -1,0 +1,130 @@
+package driver
+
+import (
+	"bytes"
+	"testing"
+
+	"thorin/internal/transform"
+)
+
+const requestSrc = `
+fn fib(n: i64) -> i64 { if n < 2 { n } else { fib(n - 1) + fib(n - 2) } }
+fn main(n: i64) -> i64 { fib(n) }
+`
+
+func intp(n int) *int { return &n }
+
+// TestRequestDefaults: the zero request compiles like a plain
+// `thorinc file.imp` — full -O2 spec, smart schedule, fail-fast.
+func TestRequestDefaults(t *testing.T) {
+	req := &Request{Source: requestSrc}
+	spec, err := req.ResolvedSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := transform.SpecFor(transform.OptAll()); spec != want {
+		t.Errorf("default spec %q, want %q", spec, want)
+	}
+	_, name, err := req.ResolvedSchedule()
+	if err != nil || name != "smart" {
+		t.Errorf("default schedule %q err=%v, want smart", name, err)
+	}
+	cfg, err := req.Config("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.OnPassFailure != FailFast {
+		t.Error("default policy is not FailFast")
+	}
+
+	res, err := CompileRequest(req, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Exec(res.Program, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 55 {
+		t.Errorf("fib(10) = %d, want 55", got)
+	}
+}
+
+// TestRequestValidation: malformed knobs are rejected with errors, not
+// silently defaulted.
+func TestRequestValidation(t *testing.T) {
+	if _, err := CompileRequest(&Request{}, ""); err == nil {
+		t.Error("empty source accepted")
+	}
+	if _, err := (&Request{Opt: intp(7)}).ResolvedSpec(); err == nil {
+		t.Error("opt level 7 accepted")
+	}
+	if _, _, err := (&Request{Schedule: "sideways"}).ResolvedSchedule(); err == nil {
+		t.Error("bad schedule accepted")
+	}
+	if _, err := (&Request{OnFailure: "shrug"}).Config(""); err == nil {
+		t.Error("bad on_failure accepted")
+	}
+	if _, err := (&Request{Budget: "nodes=-3"}).Config(""); err == nil {
+		t.Error("bad budget accepted")
+	}
+}
+
+// TestArtifactRoundTrip: encode → decode reproduces a runnable program,
+// and version mismatches are rejected.
+func TestArtifactRoundTrip(t *testing.T) {
+	req := &Request{Source: requestSrc, Opt: intp(2)}
+	res, err := CompileRequest(req, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := NewArtifact(res, res.Spec, "smart")
+	data, err := art.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Exec(back.Program, nil, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 144 {
+		t.Errorf("decoded program: fib(12) = %d, want 144", got)
+	}
+
+	bad := bytes.Replace(data, []byte(Version), []byte("thorin-go/0"), 1)
+	if _, err := DecodeArtifact(bad); err == nil {
+		t.Error("artifact with wrong version accepted")
+	}
+}
+
+// TestArtifactDeterministic: the encoded artifact is byte-identical across
+// jobs levels and with incremental rewriting on or off — the property the
+// compile server's cache keying relies on to exclude those knobs from the
+// key.
+func TestArtifactDeterministic(t *testing.T) {
+	var ref []byte
+	for _, cfg := range []Request{
+		{Source: requestSrc, Jobs: 1},
+		{Source: requestSrc, Jobs: 4},
+		{Source: requestSrc, Jobs: 4, DisableIncremental: true},
+	} {
+		req := cfg
+		res, err := CompileRequest(&req, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := NewArtifact(res, res.Spec, "smart").Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = data
+		} else if !bytes.Equal(ref, data) {
+			t.Errorf("artifact bytes differ for config %+v", cfg)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// CacheKey derives the content address of a compilation: a SHA-256 digest
+// over (compiler version, source bytes, resolved pipeline spec, schedule
+// mode). Each field is length-framed so no two distinct field tuples can
+// collide by concatenation, and the digest depends on nothing else — in
+// particular not on -jobs or -incremental, which are execution knobs with
+// a byte-identical-output guarantee, and not on the failure policy or
+// budget, which never change a *successful* compile's output (degraded
+// results are never cached; see Cache).
+//
+// Invalidation is entirely by key: a compiler change bumps driver.Version
+// and thereby every key at once (the wazero CompilationCache discipline);
+// a source or spec change produces a new key and the old entry ages out of
+// the LRU. Cached artifacts are immutable and never updated in place.
+func CacheKey(version, source, spec, schedule string) string {
+	h := sha256.New()
+	var frame [8]byte
+	for _, field := range []string{version, source, spec, schedule} {
+		binary.LittleEndian.PutUint64(frame[:], uint64(len(field)))
+		h.Write(frame[:])
+		h.Write([]byte(field))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache is the content-addressed artifact store: an in-memory LRU over
+// encoded artifact bytes, optionally backed by an on-disk directory that
+// survives daemon restarts. Entries are immutable once stored; the disk
+// tier is written through on Put and promoted into memory on Get.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	entries  map[string]*list.Element
+	dir      string // "" disables the disk tier
+
+	hits, misses, diskHits, evictions int64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// NewCache builds a cache holding at most capacity in-memory entries
+// (minimum 1). dir, when non-empty, enables the on-disk tier; it is
+// created on first use.
+func NewCache(capacity int, dir string) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+		dir:      dir,
+	}
+}
+
+// Get returns the artifact bytes stored under key. tier reports where the
+// entry was found: "memory", "disk", or "" on a miss. Disk finds are
+// promoted into the in-memory LRU.
+func (c *Cache) Get(key string) (data []byte, tier string) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		data = el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return data, "memory"
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.diskPath(key)); err == nil {
+			c.mu.Lock()
+			c.diskHits++
+			c.insertLocked(key, data)
+			c.mu.Unlock()
+			return data, "disk"
+		}
+	}
+
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, ""
+}
+
+// Put stores the artifact bytes under key in memory and, when the disk
+// tier is enabled, on disk (atomically, via rename). A disk write failure
+// is reported but does not affect the in-memory store.
+func (c *Cache) Put(key string, data []byte) error {
+	c.mu.Lock()
+	c.insertLocked(key, data)
+	c.mu.Unlock()
+
+	if c.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("server: cache dir: %w", err)
+	}
+	path := c.diskPath(key)
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("server: cache write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: cache write: %w", err)
+	}
+	return nil
+}
+
+// insertLocked adds or refreshes an in-memory entry and evicts the LRU
+// tail past capacity. Callers hold c.mu.
+func (c *Cache) insertLocked(key string, data []byte) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).data = data
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+	for c.order.Len() > c.capacity {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// diskPath maps a key to its artifact file. Keys are hex digests, so the
+// name is filesystem-safe by construction.
+func (c *Cache) diskPath(key string) string {
+	return filepath.Join(c.dir, key+".artifact.json")
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// CacheStats is a snapshot of the cache counters.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	DiskHits  int64 `json:"disk_hits,omitempty"`
+	Evictions int64 `json:"evictions,omitempty"`
+}
+
+// Stats snapshots the cache counters. A Get that falls through to the
+// disk tier counts as a disk hit, not a miss.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.order.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		DiskHits:  c.diskHits,
+		Evictions: c.evictions,
+	}
+}

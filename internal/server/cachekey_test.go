@@ -1,0 +1,95 @@
+package server
+
+import (
+	"testing"
+
+	"thorin/internal/driver"
+)
+
+// TestCacheKeyStability: identical (source, spec, schedule) inputs must
+// produce byte-identical digests on every derivation — the key is a pure
+// function of its fields, never of run state, -jobs or -incremental. The
+// companion property (artifact *bytes* are identical across jobs levels
+// and incremental modes, so excluding those knobs from the key is sound)
+// is pinned by driver's TestArtifactDeterministic.
+func TestCacheKeyStability(t *testing.T) {
+	req := &driver.Request{Source: fibSrc}
+	spec, err := req.ResolvedSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := CacheKey(driver.Version, fibSrc, spec, "smart")
+	if len(ref) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", ref)
+	}
+	for i := 0; i < 100; i++ {
+		if k := CacheKey(driver.Version, fibSrc, spec, "smart"); k != ref {
+			t.Fatalf("derivation %d produced %s, want %s", i, k, ref)
+		}
+	}
+
+	// Requests differing only in execution knobs (jobs, incremental,
+	// failure policy, budget) resolve to the same key inputs.
+	for _, r := range []driver.Request{
+		{Source: fibSrc, Jobs: 1},
+		{Source: fibSrc, Jobs: 8},
+		{Source: fibSrc, DisableIncremental: true},
+		{Source: fibSrc, OnFailure: "degrade"},
+		{Source: fibSrc, Budget: "nodes=500000"},
+	} {
+		s, err := r.ResolvedSpec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sched, err := r.ResolvedSchedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k := CacheKey(driver.Version, r.Source, s, sched); k != ref {
+			t.Errorf("request %+v keys to %s, want %s", r, k, ref)
+		}
+	}
+}
+
+// TestCacheKeyCollisions: inputs that must produce different artifacts
+// must never share a key — different opt levels, schedules, sources or
+// compiler versions all diverge, and the length-framing defeats
+// concatenation ambiguity.
+func TestCacheKeyCollisions(t *testing.T) {
+	keyFor := func(r driver.Request) string {
+		t.Helper()
+		spec, err := r.ResolvedSpec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, sched, err := r.ResolvedSchedule()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return CacheKey(driver.Version, r.Source, spec, sched)
+	}
+	opt := func(n int) *int { return &n }
+
+	seen := map[string]string{}
+	for name, r := range map[string]driver.Request{
+		"O0":        {Source: fibSrc, Opt: opt(0)},
+		"O1":        {Source: fibSrc, Opt: opt(1)},
+		"O2":        {Source: fibSrc, Opt: opt(2)},
+		"early":     {Source: fibSrc, Schedule: "early"},
+		"late":      {Source: fibSrc, Schedule: "late"},
+		"other-src": {Source: fibSrc + "\n"},
+	} {
+		k := keyFor(r)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s and %s collide on %s", name, prev, k)
+		}
+		seen[k] = name
+	}
+
+	if CacheKey("v1", "ab", "c", "") == CacheKey("v1", "a", "bc", "") {
+		t.Error("length framing failed: field boundary shift collides")
+	}
+	if CacheKey("v1", fibSrc, "cleanup", "smart") == CacheKey("v2", fibSrc, "cleanup", "smart") {
+		t.Error("compiler version does not enter the key")
+	}
+}

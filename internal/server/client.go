@@ -1,0 +1,115 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"thorin/internal/driver"
+)
+
+// Client talks to a thorind daemon. It is what `thorinc -server=ADDR` and
+// the load-test harness use.
+type Client struct {
+	// Addr is the daemon base URL ("http://host:port"); a bare
+	// "host:port" is accepted and prefixed with http://.
+	Addr string
+	// HTTP overrides the transport; nil selects a client with a 5-minute
+	// timeout (compiles can be slow under load; budgets belong in the
+	// request, not the transport).
+	HTTP *http.Client
+}
+
+// RemoteError is a structured compile failure relayed from the daemon.
+type RemoteError struct {
+	Status int
+	ErrorResponse
+}
+
+func (e *RemoteError) Error() string {
+	msg := fmt.Sprintf("server: HTTP %d: %s", e.Status, e.ErrorResponse.Error)
+	if e.Pass != "" {
+		msg += fmt.Sprintf(" (pass %s)", e.Pass)
+	}
+	if e.CrashBundle != "" {
+		msg += fmt.Sprintf(" (crash bundle on server: %s)", e.CrashBundle)
+	}
+	return msg
+}
+
+func (c *Client) base() string {
+	addr := c.Addr
+	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+		addr = "http://" + addr
+	}
+	return addr
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 5 * time.Minute}
+}
+
+// Compile sends one request to the daemon and decodes the returned
+// artifact. Compile failures come back as *RemoteError.
+func (c *Client) Compile(req *driver.Request) (*CompileResponse, *driver.Artifact, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	httpResp, err := c.http().Post(c.base()+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: %w", err)
+	}
+	defer httpResp.Body.Close()
+
+	dec := json.NewDecoder(httpResp.Body)
+	if httpResp.StatusCode != http.StatusOK {
+		re := &RemoteError{Status: httpResp.StatusCode}
+		if derr := dec.Decode(&re.ErrorResponse); derr != nil {
+			re.ErrorResponse.Error = fmt.Sprintf("undecodable error body: %v", derr)
+		}
+		return nil, nil, re
+	}
+	var resp CompileResponse
+	if err := dec.Decode(&resp); err != nil {
+		return nil, nil, fmt.Errorf("server: bad response: %w", err)
+	}
+	art, err := driver.DecodeArtifact(resp.Artifact)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &resp, art, nil
+}
+
+// Metrics fetches the daemon's /metrics snapshot.
+func (c *Client) Metrics() (Metrics, error) {
+	httpResp, err := c.http().Get(c.base() + "/metrics")
+	if err != nil {
+		return Metrics{}, fmt.Errorf("server: %w", err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return Metrics{}, fmt.Errorf("server: metrics: HTTP %d", httpResp.StatusCode)
+	}
+	var m Metrics
+	if err := json.NewDecoder(httpResp.Body).Decode(&m); err != nil {
+		return Metrics{}, fmt.Errorf("server: bad metrics: %w", err)
+	}
+	return m, nil
+}
+
+// Healthy probes /healthz.
+func (c *Client) Healthy() bool {
+	resp, err := c.http().Get(c.base() + "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"thorin/internal/ir"
+	"thorin/internal/pm"
+)
+
+// PassTotal accumulates one pass's instrumentation across every request
+// the daemon has served.
+type PassTotal struct {
+	Runs     int           `json:"runs"`
+	Skipped  int           `json:"skipped,omitempty"`
+	Rewrites int           `json:"rewrites"`
+	TimeNs   time.Duration `json:"time_ns"`
+}
+
+// InternTotals sums ir.InternStats over every compiled world, giving the
+// fleet-wide hash-consing picture (/metrics exposes it alongside the
+// request counters).
+type InternTotals struct {
+	Requested int64 `json:"requested"`
+	ConsHits  int64 `json:"cons_hits"`
+	Nodes     int64 `json:"nodes"`
+}
+
+// Metrics is the daemon's observable state, serialized by GET /metrics.
+type Metrics struct {
+	UptimeNs time.Duration `json:"uptime_ns"`
+	// Request outcomes. Requests = OK + Errors; Degraded and CacheHits
+	// count subsets of OK.
+	Requests  int64 `json:"requests"`
+	OK        int64 `json:"ok"`
+	Errors    int64 `json:"errors"`
+	Degraded  int64 `json:"degraded"`
+	InFlight  int64 `json:"in_flight"`
+	CacheHits int64 `json:"cache_hits"`
+	// CompileNs is wall time spent actually compiling (cache misses).
+	CompileNs time.Duration `json:"compile_ns"`
+	Cache     CacheStats    `json:"cache"`
+	Intern    InternTotals  `json:"intern"`
+	// Passes maps pass name to its cumulative instrumentation, from each
+	// compiled request's pm.Report.
+	Passes map[string]PassTotal `json:"passes,omitempty"`
+}
+
+// metrics is the mutable accumulator behind Metrics.
+type metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	requests  int64
+	ok        int64
+	errors    int64
+	degraded  int64
+	inFlight  int64
+	cacheHits int64
+	compileNs time.Duration
+	intern    InternTotals
+	passes    map[string]PassTotal
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), passes: make(map[string]PassTotal)}
+}
+
+func (m *metrics) begin() {
+	m.mu.Lock()
+	m.requests++
+	m.inFlight++
+	m.mu.Unlock()
+}
+
+func (m *metrics) end() {
+	m.mu.Lock()
+	m.inFlight--
+	m.mu.Unlock()
+}
+
+func (m *metrics) hit() {
+	m.mu.Lock()
+	m.ok++
+	m.cacheHits++
+	m.mu.Unlock()
+}
+
+func (m *metrics) failed() {
+	m.mu.Lock()
+	m.errors++
+	m.mu.Unlock()
+}
+
+// compiled folds one cache-miss compilation into the totals.
+func (m *metrics) compiled(elapsed time.Duration, degraded bool, rep *pm.Report, st ir.InternStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ok++
+	if degraded {
+		m.degraded++
+	}
+	m.compileNs += elapsed
+	m.intern.Requested += int64(st.Requested)
+	m.intern.ConsHits += int64(st.ConsHits)
+	m.intern.Nodes += int64(st.Nodes)
+	if rep == nil {
+		return
+	}
+	for _, run := range rep.Runs {
+		t := m.passes[run.Name]
+		t.Runs++
+		if run.Skipped {
+			t.Skipped++
+		}
+		t.Rewrites += run.Rewrites
+		t.TimeNs += run.Time
+		m.passes[run.Name] = t
+	}
+}
+
+// snapshot renders the accumulator as the wire Metrics value.
+func (m *metrics) snapshot(cache CacheStats) Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Metrics{
+		UptimeNs:  time.Since(m.start),
+		Requests:  m.requests,
+		OK:        m.ok,
+		Errors:    m.errors,
+		Degraded:  m.degraded,
+		InFlight:  m.inFlight,
+		CacheHits: m.cacheHits,
+		CompileNs: m.compileNs,
+		Cache:     cache,
+		Intern:    m.intern,
+	}
+	if len(m.passes) > 0 {
+		out.Passes = make(map[string]PassTotal, len(m.passes))
+		for name, t := range m.passes {
+			out.Passes[name] = t
+		}
+	}
+	return out
+}
+
+// PassNames returns the recorded pass names in sorted order (for stable
+// textual rendering of a Metrics value).
+func (mt Metrics) PassNames() []string {
+	names := make([]string, 0, len(mt.Passes))
+	for n := range mt.Passes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

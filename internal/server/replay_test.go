@@ -1,0 +1,86 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"thorin/internal/analysis"
+	"thorin/internal/driver"
+	"thorin/internal/pm"
+)
+
+// TestDaemonBundleReplaysLikeCLI: a crash bundle written for a failing
+// daemon request must be indistinguishable from one produced by a plain
+// thorinc compile of the same input — same manifest, same input files —
+// and must replay (driver.Replay, the engine behind `thorinc -replay`)
+// to the identical pass-attributed failure.
+func TestDaemonBundleReplaysLikeCLI(t *testing.T) {
+	daemonDir := t.TempDir()
+	cliDir := t.TempDir()
+
+	// Daemon-produced bundle: a poisoned request through the HTTP server.
+	_, c := startServer(t, Config{CrashDir: daemonDir})
+	_, _, err := c.Compile(&driver.Request{Source: fibSrc, Spec: faultySpec})
+	re, ok := err.(*RemoteError)
+	if !ok || re.CrashBundle == "" {
+		t.Fatalf("poisoned request did not yield a bundle: %v", err)
+	}
+	daemonBundle := re.CrashBundle
+
+	// CLI-produced bundle: the same compile through driver.CompileSpec,
+	// exactly as thorinc runs it.
+	_, err = driver.CompileSpec(fibSrc, faultySpec, analysis.ScheduleSmart, driver.Config{
+		CrashDir: cliDir,
+	})
+	if err == nil {
+		t.Fatal("CLI compile unexpectedly succeeded")
+	}
+	entries, err := os.ReadDir(cliDir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("CLI crash dir: entries=%d err=%v, want 1", len(entries), err)
+	}
+	cliBundle := filepath.Join(cliDir, entries[0].Name())
+
+	// Same content address: both bundles hash (source, spec) identically.
+	if filepath.Base(daemonBundle) != filepath.Base(cliBundle) {
+		t.Errorf("bundle names differ: daemon %s vs CLI %s",
+			filepath.Base(daemonBundle), filepath.Base(cliBundle))
+	}
+
+	// Identical input records and manifests (jobs may differ only if the
+	// request set it; here both ran with the driver default).
+	for _, f := range []string{"input.imp", "repro.json"} {
+		d, derr := os.ReadFile(filepath.Join(daemonBundle, f))
+		cl, cerr := os.ReadFile(filepath.Join(cliBundle, f))
+		if derr != nil || cerr != nil {
+			t.Fatalf("reading %s: daemon=%v cli=%v", f, derr, cerr)
+		}
+		if string(d) != string(cl) {
+			t.Errorf("%s differs:\ndaemon: %s\ncli:    %s", f, d, cl)
+		}
+	}
+	var man struct {
+		Spec string `json:"spec"`
+		Pass string `json:"pass"`
+	}
+	js, _ := os.ReadFile(filepath.Join(daemonBundle, "repro.json"))
+	if err := json.Unmarshal(js, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Spec != faultySpec || man.Pass != "srv-panic" {
+		t.Errorf("daemon manifest spec=%q pass=%q", man.Spec, man.Pass)
+	}
+
+	// Both bundles replay to the same pass-attributed failure.
+	for _, bundle := range []string{daemonBundle, cliBundle} {
+		_, rerr := driver.Replay(bundle)
+		if rerr == nil {
+			t.Fatalf("replay of %s unexpectedly succeeded", bundle)
+		}
+		if pass, ok := pm.FailedPass(rerr); !ok || pass != "srv-panic" {
+			t.Errorf("replay of %s attributed to %q (%v), want srv-panic", bundle, pass, rerr)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package server implements thorind, the compile-server daemon: a
+// long-lived HTTP/JSON service that accepts compile requests, runs each in
+// a fresh per-request ir.World on the existing driver pipeline, and caches
+// the emitted artifacts in a content-addressed store (in-memory LRU with
+// an optional on-disk tier). Cache keys are a stable digest of (compiler
+// version, source bytes, resolved pipeline spec, schedule mode) — see
+// CacheKey — so a cache hit skips the pipeline entirely and still returns
+// byte-identical artifacts.
+//
+// Request-level containment reuses the driver's fault-tolerance end to
+// end: a poisoned request degrades per its policy or fails with a
+// structured error naming the pass and the replayable crash bundle, and
+// never takes the daemon down. GET /metrics exposes request counters,
+// cache hit/miss rates, cumulative per-pass timings and interning totals;
+// Shutdown drains in-flight requests for graceful SIGTERM handling.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"thorin/internal/driver"
+	"thorin/internal/pm"
+)
+
+// MaxRequestBytes bounds the /compile request body; a source file larger
+// than this is rejected with 413 rather than buffered.
+const MaxRequestBytes = 32 << 20
+
+// Config parameterizes a daemon instance.
+type Config struct {
+	// CacheEntries is the in-memory LRU capacity (entries). 0 selects
+	// DefaultCacheEntries.
+	CacheEntries int
+	// CacheDir, when non-empty, enables the on-disk artifact tier so the
+	// cache survives restarts.
+	CacheDir string
+	// CrashDir is where crash bundles for failing requests are written
+	// ("" disables bundles). Bundles replay with `thorinc -replay`
+	// exactly like CLI-produced ones — they share the writer.
+	CrashDir string
+	// DefaultJobs is the analysis worker count used when a request does
+	// not set jobs itself. 0 keeps the driver default.
+	DefaultJobs int
+	// Log receives request logs; nil silences them.
+	Log *log.Logger
+}
+
+// DefaultCacheEntries is the in-memory artifact capacity when
+// Config.CacheEntries is zero.
+const DefaultCacheEntries = 256
+
+// Server is one daemon instance. Create with New, attach to a listener
+// with Serve (or use Handler with an external http.Server), stop with
+// Shutdown.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	metrics *metrics
+	httpSrv *http.Server
+}
+
+// New builds a Server. It does not listen yet.
+func New(cfg Config) *Server {
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = DefaultCacheEntries
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheEntries, cfg.CacheDir),
+		metrics: newMetrics(),
+	}
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	return s
+}
+
+// CompileResponse is the /compile success body. The artifact is embedded
+// verbatim (it is itself JSON) so cache hits are served without a decode.
+type CompileResponse struct {
+	// Key is the content address the artifact is cached under.
+	Key string `json:"key"`
+	// Cache reports how the request was served: "miss" (compiled),
+	// "memory" or "disk" (cache hit), or "uncached" (compiled but not
+	// stored — degraded results are never cached).
+	Cache string `json:"cache"`
+	// CompileNs is the wall time of the compilation; 0 on cache hits.
+	CompileNs time.Duration `json:"compile_ns"`
+	Degraded  bool          `json:"degraded,omitempty"`
+	// FailedPasses and CrashBundle mirror driver.Result for degraded
+	// compiles.
+	FailedPasses []string `json:"failed_passes,omitempty"`
+	CrashBundle  string   `json:"crash_bundle,omitempty"`
+	// Artifact is the encoded driver.Artifact.
+	Artifact json.RawMessage `json:"artifact"`
+}
+
+// ErrorResponse is the structured failure body (HTTP 4xx/5xx).
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Pass names the failing optimizer pass when the failure is
+	// attributable to one.
+	Pass string `json:"pass,omitempty"`
+	// CrashBundle is the replayable reproduction bundle written for the
+	// failure, when bundles are enabled.
+	CrashBundle string `json:"crash_bundle,omitempty"`
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// Serve accepts connections on l until Shutdown. It reports
+// http.ErrServerClosed as nil, matching the graceful path.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.httpSrv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully drains the daemon: the listener closes immediately,
+// in-flight requests run to completion (bounded by ctx), and only then
+// does Shutdown return.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// Metrics snapshots the daemon's counters.
+func (s *Server) Metrics() Metrics {
+	return s.metrics.snapshot(s.cache.Stats())
+}
+
+// handleCompile serves POST /compile: resolve the request, consult the
+// content-addressed cache, compile on a miss, and answer with the
+// artifact. Every failure path — bad request, pass failure, even a panic
+// that escapes the driver's own containment — produces a structured JSON
+// error and leaves the daemon serving.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
+		return
+	}
+	s.metrics.begin()
+	defer s.metrics.end()
+
+	// The driver contains pass, frontend and codegen panics itself; this
+	// recover is the daemon's last line for bugs in the server layer.
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.logf("panic serving /compile: %v\n%s", rec, debug.Stack())
+			s.metrics.failed()
+			s.writeError(w, http.StatusInternalServerError,
+				ErrorResponse{Error: fmt.Sprintf("server: internal panic: %v", rec)})
+		}
+	}()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	if err != nil {
+		s.metrics.failed()
+		s.writeError(w, http.StatusRequestEntityTooLarge, ErrorResponse{Error: "request too large"})
+		return
+	}
+	var req driver.Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.metrics.failed()
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if req.Source == "" {
+		s.metrics.failed()
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "request has no source"})
+		return
+	}
+	spec, err := req.ResolvedSpec()
+	if err == nil {
+		_, _, err = req.ResolvedSchedule()
+	}
+	if err == nil {
+		_, err = req.Config("")
+	}
+	if err != nil {
+		s.metrics.failed()
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	_, schedule, _ := req.ResolvedSchedule()
+	if req.Jobs == 0 {
+		req.Jobs = s.cfg.DefaultJobs
+	}
+
+	key := CacheKey(driver.Version, req.Source, spec, schedule)
+	if data, tier := s.cache.Get(key); data != nil {
+		s.metrics.hit()
+		s.logf("compile %s: %s hit (%d bytes)", key[:12], tier, len(data))
+		s.writeJSON(w, http.StatusOK, CompileResponse{
+			Key:      key,
+			Cache:    tier,
+			Artifact: json.RawMessage(data),
+		})
+		return
+	}
+
+	start := time.Now()
+	res, err := driver.CompileRequest(&req, s.cfg.CrashDir)
+	if err != nil {
+		s.metrics.failed()
+		resp := ErrorResponse{Error: err.Error()}
+		if pass, ok := pm.FailedPass(err); ok {
+			resp.Pass = pass
+		}
+		resp.CrashBundle = bundleFromError(err)
+		s.logf("compile %s: failed: %v", key[:12], err)
+		s.writeError(w, http.StatusUnprocessableEntity, resp)
+		return
+	}
+	elapsed := time.Since(start)
+
+	art := driver.NewArtifact(res, res.Spec, schedule)
+	data, err := art.Encode()
+	if err != nil {
+		s.metrics.failed()
+		s.writeError(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.metrics.compiled(elapsed, res.Degraded, res.Report, res.World.InternStats())
+
+	tier := "uncached"
+	if !res.Degraded {
+		// A degraded artifact is not the program the requested spec
+		// denotes; caching it would serve the degraded result to every
+		// future requester of the healthy key.
+		tier = "miss"
+		if err := s.cache.Put(key, data); err != nil {
+			s.logf("compile %s: cache store: %v", key[:12], err)
+		}
+	}
+	s.logf("compile %s: %s in %s (%d bytes, degraded=%v)", key[:12], tier, elapsed, len(data), res.Degraded)
+	s.writeJSON(w, http.StatusOK, CompileResponse{
+		Key:          key,
+		Cache:        tier,
+		CompileNs:    elapsed,
+		Degraded:     res.Degraded,
+		FailedPasses: res.FailedPasses,
+		CrashBundle:  res.CrashBundle,
+		Artifact:     json.RawMessage(data),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		s.logf("write response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, resp ErrorResponse) {
+	s.writeJSON(w, status, resp)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+// bundleFromError extracts the crash-bundle path the driver appends to a
+// fail-fast error ("... (crash bundle: <dir>)"), if present.
+func bundleFromError(err error) string {
+	msg := err.Error()
+	const marker = "crash bundle: "
+	i := strings.LastIndex(msg, marker)
+	if i < 0 {
+		return ""
+	}
+	return strings.TrimSuffix(msg[i+len(marker):], ")")
+}
