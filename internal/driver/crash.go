@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -23,6 +24,32 @@ import (
 //
 // The hash covers source and spec, so recompiling the same broken input
 // overwrites its bundle instead of accumulating duplicates.
+
+// BundledError is a fail-fast pass failure that left a crash bundle on
+// disk. It wraps the underlying pipeline error (so pm.FailedPass and
+// errors.Is/As still see it) and carries the bundle directory structurally,
+// so consumers like the compile server can report the path without parsing
+// the rendered message.
+type BundledError struct {
+	Err    error
+	Bundle string
+}
+
+func (e *BundledError) Error() string {
+	return fmt.Sprintf("%v (crash bundle: %s)", e.Err, e.Bundle)
+}
+
+func (e *BundledError) Unwrap() error { return e.Err }
+
+// CrashBundle returns the replayable crash-bundle path recorded in err's
+// chain, if any.
+func CrashBundle(err error) (string, bool) {
+	var be *BundledError
+	if errors.As(err, &be) {
+		return be.Bundle, true
+	}
+	return "", false
+}
 
 // crashManifest is the serialized form of repro.json.
 type crashManifest struct {

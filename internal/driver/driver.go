@@ -129,7 +129,7 @@ func CompileSpec(src, spec string, mode analysis.Mode, cfg Config) (*Result, err
 	}
 	if cfg.OnPassFailure != Degrade {
 		if bundle != "" {
-			return nil, fmt.Errorf("%w (crash bundle: %s)", err, bundle)
+			return nil, &BundledError{Err: err, Bundle: bundle}
 		}
 		return nil, err
 	}

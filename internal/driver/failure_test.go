@@ -55,8 +55,10 @@ func TestFailFastWritesBundleAndReplays(t *testing.T) {
 	if !strings.Contains(err.Error(), "crash bundle: ") {
 		t.Fatalf("error does not reference the bundle: %v", err)
 	}
-	bundle := err.Error()[strings.Index(err.Error(), "crash bundle: ")+len("crash bundle: "):]
-	bundle = strings.TrimSuffix(bundle, ")")
+	bundle, ok := CrashBundle(err)
+	if !ok || bundle == "" {
+		t.Fatalf("no structural bundle path on the error: %v", err)
+	}
 	for _, f := range []string{"repro.json", "input.imp", "input.thorin"} {
 		if _, serr := os.Stat(filepath.Join(bundle, f)); serr != nil {
 			t.Errorf("bundle missing %s: %v", f, serr)

@@ -8,31 +8,54 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
+
+	"thorin/internal/pm"
 )
 
 // CacheKey derives the content address of a compilation: a SHA-256 digest
 // over (compiler version, source bytes, resolved pipeline spec, schedule
-// mode). Each field is length-framed so no two distinct field tuples can
-// collide by concatenation, and the digest depends on nothing else — in
-// particular not on -jobs or -incremental, which are execution knobs with
-// a byte-identical-output guarantee, and not on the failure policy or
-// budget, which never change a *successful* compile's output (degraded
-// results are never cached; see Cache).
+// mode, fixpoint iteration bound). Each field is length-framed so no two
+// distinct field tuples can collide by concatenation, and the digest
+// depends on nothing else — in particular not on -jobs or -incremental,
+// which are execution knobs with a byte-identical-output guarantee, and
+// not on the failure policy or the nodes/time budgets, which can only fail
+// a compile, never change a successful one's output (degraded results are
+// never cached; see Cache).
+//
+// fixIters is the exception among the budget knobs: an iters= budget caps
+// every fix(...) group, so a capped run can succeed with a merely
+// saturated, under-optimized program — or iterate past the default bound
+// to a deeper fixpoint. Callers pass the *effective* bound (see
+// effectiveFixIters) so an explicit iters equal to the pipeline default
+// shares the default key, and every other bound gets its own.
 //
 // Invalidation is entirely by key: a compiler change bumps driver.Version
 // and thereby every key at once (the wazero CompilationCache discipline);
 // a source or spec change produces a new key and the old entry ages out of
 // the LRU. Cached artifacts are immutable and never updated in place.
-func CacheKey(version, source, spec, schedule string) string {
+func CacheKey(version, source, spec, schedule string, fixIters int) string {
 	h := sha256.New()
 	var frame [8]byte
-	for _, field := range []string{version, source, spec, schedule} {
+	for _, field := range []string{version, source, spec, schedule, strconv.Itoa(fixIters)} {
 		binary.LittleEndian.PutUint64(frame[:], uint64(len(field)))
 		h.Write(frame[:])
 		h.Write([]byte(field))
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// effectiveFixIters normalizes a budget's fixpoint bound for cache keying.
+// The pipeline runs every fix group to pm.DefaultMaxFixIters when no iters
+// budget is set, so "no budget" and an explicit iters= of exactly that
+// default are the same compilation and must share a key; any other bound
+// changes which program a successful compile produces and must not collide.
+func effectiveFixIters(b pm.Budget) int {
+	if b.MaxFixpointIters > 0 {
+		return b.MaxFixpointIters
+	}
+	return pm.DefaultMaxFixIters
 }
 
 // Cache is the content-addressed artifact store: an in-memory LRU over

@@ -1,0 +1,40 @@
+package server
+
+import "sync"
+
+// flight deduplicates concurrent identical cache misses (single-flight):
+// the first request to claim a key becomes the leader and runs the
+// compilation; followers block until the leader finishes and then
+// re-consult the cache. Results travel through the cache rather than a
+// shared return value so only cacheable outcomes are deduplicated — a
+// follower whose leader failed or produced an uncacheable (degraded)
+// result finds the cache still cold and compiles for itself, reporting its
+// own error.
+type flight struct {
+	mu     sync.Mutex
+	active map[string]chan struct{}
+}
+
+func newFlight() *flight {
+	return &flight{active: make(map[string]chan struct{})}
+}
+
+// begin claims key. The leader gets leader=true and must call done exactly
+// once after publishing its result (a deferred call survives panics, so
+// followers are never stranded); followers get a channel that closes when
+// the leader is done.
+func (f *flight) begin(key string) (leader bool, done func(), wait <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok := f.active[key]; ok {
+		return false, nil, ch
+	}
+	ch := make(chan struct{})
+	f.active[key] = ch
+	return true, func() {
+		f.mu.Lock()
+		delete(f.active, key)
+		f.mu.Unlock()
+		close(ch)
+	}, nil
+}

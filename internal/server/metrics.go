@@ -38,6 +38,10 @@ type Metrics struct {
 	Degraded  int64 `json:"degraded"`
 	InFlight  int64 `json:"in_flight"`
 	CacheHits int64 `json:"cache_hits"`
+	// Coalesced counts requests that joined an identical in-flight
+	// compilation (single-flight) and were served from its cached result;
+	// they are also counted in CacheHits.
+	Coalesced int64 `json:"coalesced,omitempty"`
 	// CompileNs is wall time spent actually compiling (cache misses).
 	CompileNs time.Duration `json:"compile_ns"`
 	Cache     CacheStats    `json:"cache"`
@@ -57,6 +61,7 @@ type metrics struct {
 	degraded  int64
 	inFlight  int64
 	cacheHits int64
+	coalesced int64
 	compileNs time.Duration
 	intern    InternTotals
 	passes    map[string]PassTotal
@@ -83,6 +88,16 @@ func (m *metrics) hit() {
 	m.mu.Lock()
 	m.ok++
 	m.cacheHits++
+	m.mu.Unlock()
+}
+
+// coalesced records a request served from the cache after waiting out an
+// identical in-flight compilation.
+func (m *metrics) coalescedHit() {
+	m.mu.Lock()
+	m.ok++
+	m.cacheHits++
+	m.coalesced++
 	m.mu.Unlock()
 }
 
@@ -131,6 +146,7 @@ func (m *metrics) snapshot(cache CacheStats) Metrics {
 		Degraded:  m.degraded,
 		InFlight:  m.inFlight,
 		CacheHits: m.cacheHits,
+		Coalesced: m.coalesced,
 		CompileNs: m.compileNs,
 		Cache:     cache,
 		Intern:    m.intern,

@@ -3,9 +3,11 @@
 // a fresh per-request ir.World on the existing driver pipeline, and caches
 // the emitted artifacts in a content-addressed store (in-memory LRU with
 // an optional on-disk tier). Cache keys are a stable digest of (compiler
-// version, source bytes, resolved pipeline spec, schedule mode) — see
+// version, source bytes, resolved pipeline spec, schedule mode, effective
+// fixpoint iteration bound) — see
 // CacheKey — so a cache hit skips the pipeline entirely and still returns
-// byte-identical artifacts.
+// byte-identical artifacts. Concurrent identical misses are single-flighted:
+// one request compiles, the rest wait and are served from the cache.
 //
 // Request-level containment reuses the driver's fault-tolerance end to
 // end: a poisoned request degrades per its policy or fails with a
@@ -25,7 +27,6 @@ import (
 	"net"
 	"net/http"
 	"runtime/debug"
-	"strings"
 	"time"
 
 	"thorin/internal/driver"
@@ -65,6 +66,7 @@ const DefaultCacheEntries = 256
 type Server struct {
 	cfg     Config
 	cache   *Cache
+	flights *flight
 	metrics *metrics
 	httpSrv *http.Server
 }
@@ -77,6 +79,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		cache:   NewCache(cfg.CacheEntries, cfg.CacheDir),
+		flights: newFlight(),
 		metrics: newMetrics(),
 	}
 	s.httpSrv = &http.Server{Handler: s.Handler()}
@@ -181,7 +184,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	if err != nil {
 		s.metrics.failed()
-		s.writeError(w, http.StatusRequestEntityTooLarge, ErrorResponse{Error: "request too large"})
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, ErrorResponse{Error: "request too large"})
+		} else {
+			// Anything else — client disconnect, transport fault — is a bad
+			// request, not an oversized one.
+			s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "read request: " + err.Error()})
+		}
 		return
 	}
 	var req driver.Request
@@ -196,11 +206,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec, err := req.ResolvedSpec()
+	var cfg driver.Config
 	if err == nil {
 		_, _, err = req.ResolvedSchedule()
 	}
 	if err == nil {
-		_, err = req.Config("")
+		cfg, err = req.Config("")
 	}
 	if err != nil {
 		s.metrics.failed()
@@ -212,7 +223,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		req.Jobs = s.cfg.DefaultJobs
 	}
 
-	key := CacheKey(driver.Version, req.Source, spec, schedule)
+	key := CacheKey(driver.Version, req.Source, spec, schedule, effectiveFixIters(cfg.Budget))
 	if data, tier := s.cache.Get(key); data != nil {
 		s.metrics.hit()
 		s.logf("compile %s: %s hit (%d bytes)", key[:12], tier, len(data))
@@ -224,6 +235,27 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Single-flight: concurrent identical misses share one compilation. The
+	// leader compiles and publishes through the cache; followers wait, then
+	// re-read it. A follower whose leader failed or produced an uncacheable
+	// (degraded) result finds the cache still cold and compiles for itself.
+	leader, flightDone, wait := s.flights.begin(key)
+	if leader {
+		defer flightDone()
+	} else {
+		<-wait
+		if data, tier := s.cache.Get(key); data != nil {
+			s.metrics.coalescedHit()
+			s.logf("compile %s: coalesced into in-flight compile, %s hit (%d bytes)", key[:12], tier, len(data))
+			s.writeJSON(w, http.StatusOK, CompileResponse{
+				Key:      key,
+				Cache:    tier,
+				Artifact: json.RawMessage(data),
+			})
+			return
+		}
+	}
+
 	start := time.Now()
 	res, err := driver.CompileRequest(&req, s.cfg.CrashDir)
 	if err != nil {
@@ -232,7 +264,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		if pass, ok := pm.FailedPass(err); ok {
 			resp.Pass = pass
 		}
-		resp.CrashBundle = bundleFromError(err)
+		if bundle, ok := driver.CrashBundle(err); ok {
+			resp.CrashBundle = bundle
+		}
 		s.logf("compile %s: failed: %v", key[:12], err)
 		s.writeError(w, http.StatusUnprocessableEntity, resp)
 		return
@@ -298,16 +332,4 @@ func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Log != nil {
 		s.cfg.Log.Printf(format, args...)
 	}
-}
-
-// bundleFromError extracts the crash-bundle path the driver appends to a
-// fail-fast error ("... (crash bundle: <dir>)"), if present.
-func bundleFromError(err error) string {
-	msg := err.Error()
-	const marker = "crash bundle: "
-	i := strings.LastIndex(msg, marker)
-	if i < 0 {
-		return ""
-	}
-	return strings.TrimSuffix(msg[i+len(marker):], ")")
 }

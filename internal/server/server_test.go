@@ -25,7 +25,20 @@ func (srvPanicPass) Run(*pm.Context) (pm.Result, error) {
 	panic("server test pass exploding")
 }
 
-func init() { pm.Register(srvPanicPass{}) }
+// srvSlowPass is a no-op pass that takes long enough for concurrent
+// identical requests to pile up behind the single-flight leader.
+type srvSlowPass struct{}
+
+func (srvSlowPass) Name() string { return "srv-slow" }
+func (srvSlowPass) Run(*pm.Context) (pm.Result, error) {
+	time.Sleep(300 * time.Millisecond)
+	return pm.Result{}, nil
+}
+
+func init() {
+	pm.Register(srvPanicPass{})
+	pm.Register(srvSlowPass{})
+}
 
 const fibSrc = `
 fn fib(n: i64) -> i64 { if n < 2 { n } else { fib(n - 1) + fib(n - 2) } }
@@ -175,6 +188,65 @@ func TestPanickingRequestContained(t *testing.T) {
 	}
 }
 
+// TestItersBudgetDoesNotPoisonCache: an iters= budget silently caps fix
+// groups, so a capped request can succeed with an under-optimized
+// (saturated) program. It must be cached under its own key — never under
+// the budget-free key, where it would be served to every later requester
+// of the full compile (the cache-poisoning regression).
+func TestItersBudgetDoesNotPoisonCache(t *testing.T) {
+	_, c := startServer(t, Config{})
+
+	capped, cappedArt, err := c.Compile(&driver.Request{Source: fibSrc, Budget: "iters=1"})
+	if err != nil {
+		t.Fatalf("iters=1 compile: %v", err)
+	}
+	if capped.Cache != "miss" {
+		t.Errorf("capped compile cache = %q, want miss", capped.Cache)
+	}
+	if got, _, err := driver.Exec(cappedArt.Program, nil, 10); err != nil || got != 55 {
+		t.Fatalf("capped artifact: fib(10) = %d err=%v, want 55", got, err)
+	}
+
+	// The budget-free request must compile, not be served the capped
+	// artifact from cache.
+	full, fullArt, err := c.Compile(&driver.Request{Source: fibSrc})
+	if err != nil {
+		t.Fatalf("unbudgeted compile: %v", err)
+	}
+	if full.Key == capped.Key {
+		t.Errorf("iters=1 and unbudgeted requests share key %s", full.Key)
+	}
+	if full.Cache != "miss" {
+		t.Errorf("unbudgeted compile after capped one: cache = %q, want miss (served the capped artifact?)", full.Cache)
+	}
+	if got, _, err := driver.Exec(fullArt.Program, nil, 10); err != nil || got != 55 {
+		t.Fatalf("full artifact: fib(10) = %d err=%v, want 55", got, err)
+	}
+
+	// Each keeps its own warm entry.
+	for _, req := range []*driver.Request{
+		{Source: fibSrc, Budget: "iters=1"},
+		{Source: fibSrc},
+	} {
+		warm, _, err := c.Compile(req)
+		if err != nil {
+			t.Fatalf("warm %+v: %v", req, err)
+		}
+		if warm.Cache != "memory" {
+			t.Errorf("warm %+v: cache = %q, want memory", req, warm.Cache)
+		}
+	}
+	// An iters budget equal to the pipeline default is the same
+	// compilation as no budget and shares its warm entry.
+	same, _, err := c.Compile(&driver.Request{Source: fibSrc, Budget: "iters=32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Key != full.Key || same.Cache != "memory" {
+		t.Errorf("iters=32 keyed to %s cache=%q, want the default key %s from memory", same.Key, same.Cache, full.Key)
+	}
+}
+
 // TestDegradedNotCached: a degrade-policy request that loses a pass
 // returns a valid program marked degraded, and the artifact is never
 // cached — the healthy key must not serve a degraded program.
@@ -203,6 +275,99 @@ func TestDegradedNotCached(t *testing.T) {
 	m, _ := c.Metrics()
 	if m.Degraded != 2 || m.CacheHits != 0 {
 		t.Errorf("metrics degraded=%d hits=%d, want 2/0", m.Degraded, m.CacheHits)
+	}
+}
+
+// TestFlightLeaderAndFollowers: flight mechanics — exactly one leader per
+// key at a time, followers wake when the leader is done, the key frees up
+// afterwards, and distinct keys never interfere.
+func TestFlightLeaderAndFollowers(t *testing.T) {
+	f := newFlight()
+	leader, done, _ := f.begin("k")
+	if !leader {
+		t.Fatal("first caller is not the leader")
+	}
+	l2, _, wait := f.begin("k")
+	if l2 {
+		t.Fatal("second caller became leader while the first is in flight")
+	}
+	select {
+	case <-wait:
+		t.Fatal("follower released before the leader finished")
+	default:
+	}
+	if l3, d3, _ := f.begin("other"); !l3 {
+		t.Fatal("distinct key blocked by unrelated flight")
+	} else {
+		d3()
+	}
+	done()
+	select {
+	case <-wait:
+	case <-time.After(time.Second):
+		t.Fatal("follower not released after leader done")
+	}
+	l4, d4, _ := f.begin("k")
+	if !l4 {
+		t.Fatal("key not reclaimed after the flight ended")
+	}
+	d4()
+}
+
+// TestSingleFlightCoalesces: concurrent identical cache misses share one
+// compilation — the slow pass runs once for a storm of five requests, the
+// followers are served the leader's cached artifact byte-identically.
+func TestSingleFlightCoalesces(t *testing.T) {
+	_, c := startServer(t, Config{})
+	req := &driver.Request{Source: fibSrc, Spec: "cleanup,pe,srv-slow,cleanup,closure"}
+
+	const followers = 4
+	var wg sync.WaitGroup
+	results := make([]*CompileResponse, 1+followers)
+	errs := make([]error, 1+followers)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], _, errs[0] = c.Compile(req)
+	}()
+	// Let the leader reach the pipeline (it sleeps 300ms inside), then
+	// storm it with identical requests.
+	time.Sleep(100 * time.Millisecond)
+	for i := 1; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = c.Compile(req)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Key != results[0].Key {
+			t.Errorf("request %d keyed to %s, want %s", i, results[i].Key, results[0].Key)
+		}
+		if !bytes.Equal(results[i].Artifact, results[0].Artifact) {
+			t.Errorf("request %d artifact differs from the leader's", i)
+		}
+	}
+
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Passes["srv-slow"].Runs; got != 1 {
+		t.Errorf("srv-slow ran %d times across %d identical requests, want 1", got, 1+followers)
+	}
+	if m.OK != 1+followers || m.CacheHits != followers {
+		t.Errorf("metrics ok=%d hits=%d, want %d/%d", m.OK, m.CacheHits, 1+followers, followers)
+	}
+	if m.Coalesced == 0 {
+		t.Error("no request reported as coalesced")
 	}
 }
 
