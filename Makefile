@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci fuzz-smoke fuzz crashers loadtest bench bench-diff bench-full bench-passes tables
+.PHONY: all build test race vet fmt ci fuzz-smoke fuzz crashers loadtest modules bench bench-diff bench-full bench-passes tables
 
 all: build test
 
@@ -27,7 +27,14 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt vet build race fuzz-smoke fuzz crashers loadtest bench bench-diff
+ci: fmt vet build race modules fuzz-smoke fuzz crashers loadtest bench bench-diff
+
+# modules compiles and runs the shipped three-module example (a imports b,
+# b imports and re-exports c) through the separate-compilation CLI path in
+# both link modes; main(4) must print 34 either way.
+modules:
+	$(GO) run ./cmd/thorinc -run examples/modules/a.imp examples/modules/b.imp examples/modules/c.imp 4 | grep -qx 'result: 34'
+	$(GO) run ./cmd/thorinc -link=mangle -run examples/modules/a.imp examples/modules/b.imp examples/modules/c.imp 4 | grep -qx 'result: 34'
 
 # fuzz-smoke gives the integer-fold fuzzer (seeded with the signed-overflow
 # and division edge cases) a short budget; it fails fast on any fold panic.
@@ -53,7 +60,7 @@ crashers:
 # daemon's hit/miss counters reconcile exactly with the request
 # arithmetic, and that shutdown drains cleanly.
 loadtest:
-	$(GO) test -run TestLoadTestSmoke -count=1 ./internal/bench
+	$(GO) test -run 'TestLoadTestSmoke|TestModLoadSmoke' -count=1 ./internal/bench
 
 # bench is the allocation-regression gate: a single-iteration smoke run of
 # every throughput benchmark (catches benchmarks that crash or regress into
@@ -65,6 +72,7 @@ bench:
 	$(GO) run ./cmd/thorin-bench -alloc -o BENCH_pr4.json
 	$(GO) run ./cmd/thorin-bench -incremental -fast -o BENCH_pr5.json
 	$(GO) run ./cmd/thorin-bench -loadtest -o BENCH_pr6.json
+	$(GO) run ./cmd/thorin-bench -modload -o BENCH_pr7.json
 
 # bench-diff is the incremental-rewrite regression gate: re-measure the
 # incremental-vs-full fixpoint workload (at the same fast scale the committed

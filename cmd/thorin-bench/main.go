@@ -19,6 +19,7 @@
 //	thorin-bench -incremental -o BENCH_pr5.json   # incremental vs full pipeline work
 //	thorin-bench -incremental -diff BENCH_pr5.json   # fail on >10% optimize regression
 //	thorin-bench -loadtest -o BENCH_pr6.json      # thorind cold vs warm-cache latency
+//	thorin-bench -modload -o BENCH_pr7.json       # separate compilation: single-leaf edits on a warm daemon
 package main
 
 import (
@@ -41,6 +42,9 @@ func main() {
 		loadtest = flag.Bool("loadtest", false, "load-test an in-process thorind (N clients × bench corpus, cold vs warm cache) and emit JSON")
 		clients  = flag.Int("clients", 8, "with -loadtest: concurrent clients in the warm phase")
 		rounds   = flag.Int("rounds", 5, "with -loadtest: warm sweeps over the corpus per client")
+		modload  = flag.Bool("modload", false, "load-test thorind's separate-compilation path (shared-import module set, single-leaf edits on a warm cache) and emit JSON")
+		leaves   = flag.Int("leaves", 16, "with -modload: leaf modules importing the shared util module")
+		edits    = flag.Int("edits", 8, "with -modload: single-leaf edit requests after the cold build")
 		diffFile = flag.String("diff", "", "with -incremental: compare against this committed report and fail on a >10% optimize ns/op regression instead of writing")
 		outFile  = flag.String("o", "", "with -alloc/-incremental: write the JSON report to this file (default stdout); for -alloc an existing report's baseline (or, failing that, its current numbers) is carried forward as the baseline")
 	)
@@ -62,6 +66,13 @@ func main() {
 	}
 	if *loadtest {
 		if err := runLoadTest(*outFile, *clients, *rounds, *fast); err != nil {
+			fmt.Fprintln(os.Stderr, "thorin-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *modload {
+		if err := runModLoad(*outFile, *leaves, *edits, *fast); err != nil {
 			fmt.Fprintln(os.Stderr, "thorin-bench:", err)
 			os.Exit(1)
 		}
@@ -192,6 +203,36 @@ func runLoadTest(outFile string, clients, rounds int, fast bool) error {
 	if outFile != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d programs, %d storm requests, %.1fx warm speedup)\n",
 			outFile, len(rep.Cases), rep.StormRequests, rep.SpeedupX)
+	}
+	return nil
+}
+
+// runModLoad runs the shared-import separate-compilation load test and
+// writes the JSON report (BENCH_pr7.json when committed). fast shrinks the
+// module set for smoke runs.
+func runModLoad(outFile string, leaves, edits int, fast bool) error {
+	if fast {
+		leaves, edits = 6, 3
+	}
+	rep, err := bench.MeasureModuleLoad(leaves, edits, fast)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := bench.WriteModLoadJSON(out, rep); err != nil {
+		return err
+	}
+	if outFile != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d modules, %d edits, %.1fx edit speedup over cold build)\n",
+			outFile, rep.Modules, rep.Edits, rep.EditSpeedupX)
 	}
 	return nil
 }

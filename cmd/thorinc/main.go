@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	thorinc [flags] file.imp [args...]
+//	thorinc [flags] file.imp [more.imp ...] [args...]
+//
+// Passing several .imp files (each opening with `module NAME;`) selects
+// separate compilation: every module is compiled into its own world and
+// the set is linked (-link picks trampoline or mangle resolution).
 //
 // Examples:
 //
 //	thorinc -run examples/fib.imp 30
+//	thorinc -run a.imp b.imp c.imp 10      # compile modules separately, link, run
+//	thorinc -link=mangle -run a.imp b.imp 10  # specialize across module boundaries
 //	thorinc -emit=thorin -O 0 prog.imp     # dump the unoptimized graph IR
 //	thorinc -emit=thorin prog.imp          # dump the optimized graph IR
 //	thorinc -emit=ssa prog.imp             # dump the baseline SSA module
@@ -44,6 +50,7 @@ import (
 	"thorin/internal/codegen"
 	"thorin/internal/driver"
 	"thorin/internal/ir"
+	"thorin/internal/link"
 	"thorin/internal/pm"
 	"thorin/internal/server"
 	"thorin/internal/transform"
@@ -64,6 +71,7 @@ func main() {
 		verifyEach  = flag.Bool("verify-each", false, "run ir.Verify after every pass and fail naming the offending pass")
 		jobs        = flag.Int("jobs", runtime.GOMAXPROCS(0), "worker count for the parallel analysis phase of scope-level passes (output is identical at every value)")
 		incremental = flag.String("incremental", "on", "journal-driven incremental re-running: on | off (output is identical either way; off re-runs every pass)")
+		linkMode    = flag.String("link", "trampoline", "cross-module resolution for multi-module compiles: trampoline (forwarding stubs) | mangle (whole-program specialization across module boundaries)")
 		run         = flag.Bool("run", false, "execute main with the trailing integer arguments")
 		stats       = flag.Bool("stats", false, "print compilation and execution statistics")
 		schedule    = flag.String("schedule", "smart", "primop schedule: early | late | smart")
@@ -111,22 +119,43 @@ func main() {
 		return
 	}
 
-	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: thorinc [flags] file.imp [args...]")
+	// Leading positionals naming source files are inputs (several .imp
+	// files form a multi-module compile); the rest are integer program
+	// arguments for -run.
+	rest := flag.Args()
+	var srcFiles []string
+	for len(rest) > 0 && (strings.HasSuffix(rest[0], ".imp") || strings.HasSuffix(rest[0], ".thorin")) {
+		srcFiles = append(srcFiles, rest[0])
+		rest = rest[1:]
+	}
+	if len(srcFiles) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: thorinc [flags] file.imp [more.imp ...] [args...]")
 		flag.Usage()
 		stopProfiles()
 		os.Exit(2)
 	}
-	srcBytes, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	sources := make([]string, len(srcFiles))
+	for i, f := range srcFiles {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		sources[i] = string(b)
 	}
-	src := string(srcBytes)
+	src := sources[0]
 
 	var args []int64
-	for _, a := range flag.Args()[1:] {
+	for _, a := range rest {
 		v, err := strconv.ParseInt(a, 10, 64)
 		if err != nil {
+			// flag.Parse stops at the first positional, so a flag given
+			// after the source file lands here looking like a bad program
+			// argument. Name the actual mistake instead.
+			if strings.HasPrefix(a, "-") {
+				fmt.Fprintf(os.Stderr, "thorinc: flag %q after the source file: flags must precede the source file\n", a)
+				stopProfiles()
+				os.Exit(2)
+			}
 			fatal(fmt.Errorf("bad argument %q: %w", a, err))
 		}
 		args = append(args, v)
@@ -152,9 +181,28 @@ func main() {
 		spec = *passes
 	}
 
+	lm, err := link.ParseMode(*linkMode)
+	if err != nil {
+		fatal(err)
+	}
+	// Several source files — or a single one opening with a module
+	// declaration — select the separate-compilation path: each module is
+	// compiled into its own world and the set is linked (see internal/link).
+	moduleCompile := len(srcFiles) > 1 || isModuleSource(src)
+	if moduleCompile {
+		for _, f := range srcFiles {
+			if strings.HasSuffix(f, ".thorin") {
+				fatal(fmt.Errorf("textual IR (%s) cannot join a multi-module compile", f))
+			}
+		}
+		if *pipeline == "ssa" {
+			fatal(fmt.Errorf("-pipeline=ssa does not support multi-module compiles"))
+		}
+	}
+
 	// Files ending in .thorin contain textual IR (the Print format) and
 	// bypass the frontend.
-	if strings.HasSuffix(flag.Arg(0), ".thorin") {
+	if strings.HasSuffix(srcFiles[0], ".thorin") {
 		if *serverAddr != "" {
 			fatal(fmt.Errorf("-server only compiles Impala sources (the daemon's frontend is the cache key's hash domain), not textual IR"))
 		}
@@ -230,6 +278,11 @@ func main() {
 				Budget:             *budgetSpec,
 				DisableIncremental: disableIncremental,
 			}
+			if moduleCompile {
+				req.Source = ""
+				req.Sources = sources
+				req.Link = *linkMode
+			}
 			c := &server.Client{Addr: *serverAddr}
 			resp, art, err := c.Compile(req)
 			if err != nil {
@@ -257,14 +310,21 @@ func main() {
 		default:
 			fatal(fmt.Errorf("bad -on-failure %q (want fail or degrade)", *onFailure))
 		}
-		res, err := driver.CompileSpec(src, spec, mode, driver.Config{
+		cfg := driver.Config{
 			VerifyEach:         *verifyEach,
 			Jobs:               *jobs,
 			OnPassFailure:      policy,
 			Budget:             budget,
 			CrashDir:           *crashDir,
 			DisableIncremental: disableIncremental,
-		})
+		}
+		var res *driver.Result
+		var err error
+		if moduleCompile {
+			res, err = driver.CompileModules(sources, spec, mode, lm, cfg)
+		} else {
+			res, err = driver.CompileSpec(src, spec, mode, cfg)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -316,8 +376,20 @@ func main() {
 	}
 }
 
+// isModuleSource reports whether a source opens with a module declaration
+// (module is a keyword, so no other program can start with it).
+func isModuleSource(src string) bool {
+	f := strings.Fields(src)
+	return len(f) > 0 && f[0] == "module"
+}
+
 // emitReport prints the pass-manager instrumentation when requested.
+// Multi-module compiles carry no whole-program report (each module ran its
+// own pipeline), so rep may be nil.
 func emitReport(rep *pm.Report, emit string) {
+	if rep == nil {
+		return
+	}
 	switch emit {
 	case "pass-report":
 		rep.WriteText(os.Stdout)

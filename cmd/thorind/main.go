@@ -14,11 +14,16 @@
 //	thorind -addr :7474 -cache-dir .thorind # persist artifacts across restarts
 //	thorind -cache-entries 1024 -jobs 8     # bigger LRU, 8 analysis workers
 //	thorinc -server localhost:7474 -run prog.imp 10   # compile remotely, run locally
+//	thorinc -server localhost:7474 -run a.imp b.imp c.imp 10  # separate compilation + link
 //	curl -s localhost:7474/metrics | jq .   # request/cache/pass counters
 //
 // Endpoints:
 //
 //	POST /compile   {"source": ..., "spec"/"opt", "schedule", "jobs", "on_failure", "budget"}
+//	                or {"sources": [...], "link": "trampoline"|"mangle", ...} for a
+//	                multi-module compile: each module is cached under its own key
+//	                (source + resolved import signatures), so editing one module
+//	                on a warm cache recompiles only that module's artifact
 //	GET  /metrics   request counts, cache hit/miss, per-pass timings, interning totals
 //	GET  /healthz   liveness probe
 //

@@ -1,0 +1,182 @@
+package bench
+
+// Shared-import load test for the separate-compilation path of thorind
+// (BENCH_pr7.json): one shared utility module imported by every leaf
+// module, a main module importing every leaf. The interesting number is
+// the edit phase — after touching a single leaf, a warm daemon recompiles
+// exactly one module artifact and relinks against cached ones, so the
+// request should cost a fraction of the cold full build.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"encoding/json"
+
+	"thorin/internal/driver"
+	"thorin/internal/server"
+)
+
+// GenModuleSet builds a multi-module program: a `util` module exporting
+// arithmetic helpers, `leaves` leaf modules each importing util and
+// exporting one function, and an `app` module whose main sums every leaf.
+// version lets callers mint edited variants of a single leaf: the body
+// constant changes, the import/export surface does not.
+func GenModuleSet(leaves int, editedLeaf, version int) []string {
+	srcs := make([]string, 0, leaves+2)
+	srcs = append(srcs, `module util;
+export fn add(a: i64, b: i64) -> i64 { a + b }
+export fn mul(a: i64, b: i64) -> i64 { a * b }
+`)
+	var mainImports, mainSum strings.Builder
+	for i := 0; i < leaves; i++ {
+		k := i + 1
+		if i == editedLeaf {
+			k += version * 100
+		}
+		srcs = append(srcs, fmt.Sprintf(`module leaf%d;
+import fn add(i64, i64) -> i64 from util;
+import fn mul(i64, i64) -> i64 from util;
+export fn f%d(x: i64) -> i64 { add(mul(x, %d), %d) }
+`, i, i, k, i))
+		fmt.Fprintf(&mainImports, "import fn f%d(i64) -> i64 from leaf%d;\n", i, i)
+		if i > 0 {
+			mainSum.WriteString(" + ")
+		}
+		fmt.Fprintf(&mainSum, "f%d(n)", i)
+	}
+	srcs = append(srcs, fmt.Sprintf("module app;\n%sfn main(n: i64) -> i64 { %s }\n",
+		mainImports.String(), mainSum.String()))
+	return srcs
+}
+
+// ModLoadReport is the serialized form of one shared-import load run.
+type ModLoadReport struct {
+	Note   string `json:"note"`
+	Fast   bool   `json:"fast,omitempty"`
+	Leaves int    `json:"leaves"`
+	// Modules is the total module count of the program (leaves + util + app).
+	Modules int `json:"modules"`
+	Edits   int `json:"edits"`
+	// ColdNs is the latency of the first request (every module compiles);
+	// WarmNs of the identical repeat (whole-program cache hit).
+	ColdNs int64 `json:"cold_ns"`
+	WarmNs int64 `json:"warm_ns"`
+	// EditMeanNs is the mean latency of a request after editing exactly one
+	// leaf on a warm cache: one module recompiles, the rest are cache hits,
+	// and the program relinks.
+	EditMeanNs int64 `json:"edit_mean_ns"`
+	// EditSpeedupX compares an incremental rebuild against the cold full
+	// build — the payoff of separate compilation on a warm daemon.
+	EditSpeedupX float64 `json:"edit_speedup_x"`
+	// EditModuleMisses and EditModuleHits aggregate the per-module cache
+	// tiers over all edit requests; misses must equal Edits (exactly one
+	// recompile per edit).
+	EditModuleMisses int64 `json:"edit_module_misses"`
+	EditModuleHits   int64 `json:"edit_module_hits"`
+}
+
+// MeasureModuleLoad runs the shared-import scenario against an in-process
+// daemon: cold build, warm repeat, then `edits` single-leaf edits.
+func MeasureModuleLoad(leaves, edits int, fast bool) (ModLoadReport, error) {
+	if leaves < 2 {
+		leaves = 2
+	}
+	if edits < 1 {
+		edits = 1
+	}
+	if edits > leaves {
+		edits = leaves
+	}
+	rep := ModLoadReport{
+		Note: "thorind shared-import load test: cold = full multi-module build; warm = identical repeat " +
+			"(whole-program key hit); edit = one leaf edited per request on a warm cache, so exactly one " +
+			"module artifact recompiles and the program relinks against cached ones",
+		Fast:    fast,
+		Leaves:  leaves,
+		Modules: leaves + 2,
+		Edits:   edits,
+	}
+
+	srv := server.New(server.Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rep, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer func() {
+		ctx, cancel := drainContext()
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveDone
+	}()
+	c := &server.Client{Addr: l.Addr().String()}
+
+	// Cold: every module compiles.
+	base := GenModuleSet(leaves, -1, 0)
+	start := time.Now()
+	resp, _, err := c.Compile(&driver.Request{Sources: base})
+	rep.ColdNs = time.Since(start).Nanoseconds()
+	if err != nil {
+		return rep, fmt.Errorf("cold: %w", err)
+	}
+	if resp.Cache != "miss" || len(resp.Modules) != rep.Modules {
+		return rep, fmt.Errorf("cold served cache=%q with %d modules, want miss with %d", resp.Cache, len(resp.Modules), rep.Modules)
+	}
+
+	// Warm: identical request, whole-program hit.
+	start = time.Now()
+	resp, _, err = c.Compile(&driver.Request{Sources: base})
+	rep.WarmNs = time.Since(start).Nanoseconds()
+	if err != nil {
+		return rep, fmt.Errorf("warm: %w", err)
+	}
+	if resp.Cache != "memory" {
+		return rep, fmt.Errorf("warm recompiled (cache=%q)", resp.Cache)
+	}
+
+	// Edits: touch one leaf per request; each rebuild must recompile
+	// exactly that leaf's artifact and hit every other module.
+	var editTotal int64
+	for e := 0; e < edits; e++ {
+		edited := GenModuleSet(leaves, e, 1)
+		start = time.Now()
+		resp, _, err = c.Compile(&driver.Request{Sources: edited})
+		editTotal += time.Since(start).Nanoseconds()
+		if err != nil {
+			return rep, fmt.Errorf("edit %d: %w", e, err)
+		}
+		if resp.Cache != "miss" {
+			return rep, fmt.Errorf("edit %d: whole-program key did not move (cache=%q)", e, resp.Cache)
+		}
+		misses := 0
+		for _, m := range resp.Modules {
+			if m.Cache == "miss" {
+				misses++
+				rep.EditModuleMisses++
+				if want := fmt.Sprintf("leaf%d", e); m.Name != want {
+					return rep, fmt.Errorf("edit %d recompiled %s, want %s", e, m.Name, want)
+				}
+			} else {
+				rep.EditModuleHits++
+			}
+		}
+		if misses != 1 {
+			return rep, fmt.Errorf("edit %d recompiled %d modules, want exactly 1", e, misses)
+		}
+	}
+	rep.EditMeanNs = editTotal / int64(edits)
+	rep.EditSpeedupX = float64(rep.ColdNs) / float64(rep.EditMeanNs)
+	return rep, nil
+}
+
+// WriteModLoadJSON serializes a shared-import load report.
+func WriteModLoadJSON(w io.Writer, rep ModLoadReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

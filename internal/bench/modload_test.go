@@ -1,0 +1,28 @@
+package bench
+
+import "testing"
+
+// TestModLoadSmoke is the `make loadtest` gate for the separate-compilation
+// path: a shared-import module set builds cold, repeats warm, and each
+// single-leaf edit recompiles exactly one module artifact against a warm
+// cache. MeasureModuleLoad fails internally when any of that goes wrong;
+// the assertions here check the report's arithmetic.
+func TestModLoadSmoke(t *testing.T) {
+	const leaves, edits = 4, 2
+	rep, err := MeasureModuleLoad(leaves, edits, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Modules != leaves+2 {
+		t.Errorf("modules=%d, want %d", rep.Modules, leaves+2)
+	}
+	if rep.EditModuleMisses != edits {
+		t.Errorf("edit module misses=%d, want %d (one per edit)", rep.EditModuleMisses, edits)
+	}
+	if want := int64(edits * (leaves + 1)); rep.EditModuleHits != want {
+		t.Errorf("edit module hits=%d, want %d", rep.EditModuleHits, want)
+	}
+	if rep.ColdNs <= 0 || rep.WarmNs <= 0 || rep.EditMeanNs <= 0 {
+		t.Errorf("non-positive latencies: %+v", rep)
+	}
+}

@@ -3,6 +3,7 @@ package driver
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 
 	"thorin/internal/analysis"
@@ -31,8 +32,17 @@ func diffArms(src string, arg int64) (string, error) {
 		return "", err
 	}
 	ref, err := in.Run(arg)
+	// A reference trap on division/remainder by zero is a judgeable verdict,
+	// not corpus rot: every compiled arm must trap too. Any other reference
+	// failure (out of fuel, internal error) stays unjudgeable.
+	refTrap := false
 	if err != nil {
-		return "", fmt.Errorf("reference: %w", err)
+		if strings.Contains(err.Error(), "division by zero") ||
+			strings.Contains(err.Error(), "remainder by zero") {
+			refTrap = true
+		} else {
+			return "", fmt.Errorf("reference: %w", err)
+		}
 	}
 	for _, arm := range []struct {
 		name string
@@ -55,6 +65,20 @@ func diffArms(src string, arg int64) (string, error) {
 		// that spins where the reference finished shows up as an
 		// ErrStepLimit finding instead of hanging the run.
 		got, _, err := ExecSteps(res.Program, &out, 500_000_000, arg)
+		if refTrap {
+			// The reference trapped; the compiled arm must trap as well.
+			// Partial output is not compared: the trapping division is not
+			// mem-threaded, so the schedule may legally place it before or
+			// after neighboring prints.
+			if err == nil {
+				return fmt.Sprintf("%s: result %d, but reference trapped on division by zero", arm.name, got), nil
+			}
+			if !strings.Contains(err.Error(), "division by zero") &&
+				!strings.Contains(err.Error(), "remainder by zero") {
+				return fmt.Sprintf("%s: failed with %v, but reference trapped on division by zero", arm.name, err), nil
+			}
+			continue
+		}
 		if err != nil {
 			return fmt.Sprintf("%s: execution failed: %v", arm.name, err), nil
 		}

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"strings"
 	"testing"
 
 	"thorin/internal/fuzzgen"
@@ -29,11 +30,19 @@ func TestFuzzExtended(t *testing.T) {
 			t.Fatalf("seed %d interp: %v\n%s", seed, err, src)
 		}
 		ref, err := in.Run(arg)
-		if err != nil {
+		refTrap := err != nil && strings.Contains(err.Error(), "by zero")
+		if err != nil && !refTrap {
 			t.Fatalf("seed %d interp: %v\n%s", seed, err, src)
 		}
 		for _, opts := range []transform.Options{transform.OptAll(), transform.OptNone()} {
 			got, _, err := Run(src, opts, nil, arg)
+			if refTrap {
+				if err == nil || !strings.Contains(err.Error(), "by zero") {
+					t.Fatalf("seed %d: got (%d, %v), reference trapped on division by zero\n%s",
+						seed, got, err, src)
+				}
+				continue
+			}
 			if err != nil {
 				t.Fatalf("seed %d: %v\n%s", seed, err, src)
 			}
@@ -42,6 +51,13 @@ func TestFuzzExtended(t *testing.T) {
 			}
 		}
 		got, _, err := RunSSA(src, nil, arg)
+		if refTrap {
+			if err == nil || !strings.Contains(err.Error(), "by zero") {
+				t.Fatalf("seed %d ssa: got (%d, %v), reference trapped on division by zero\n%s",
+					seed, got, err, src)
+			}
+			continue
+		}
 		if err != nil {
 			t.Fatalf("seed %d ssa: %v\n%s", seed, err, src)
 		}

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"strings"
 	"testing"
 
 	"thorin/internal/fuzzgen"
@@ -32,7 +33,8 @@ func TestFuzzDifferential(t *testing.T) {
 			t.Fatalf("seed %d: interp: %v\n%s", seed, err, src)
 		}
 		ref, err := in.Run(arg)
-		if err != nil {
+		refTrap := err != nil && strings.Contains(err.Error(), "by zero")
+		if err != nil && !refTrap {
 			t.Fatalf("seed %d: interp: %v\n%s", seed, err, src)
 		}
 
@@ -54,6 +56,15 @@ func TestFuzzDifferential(t *testing.T) {
 			}},
 		} {
 			got, err := arm.run()
+			if refTrap {
+				// The reference trapped on division by zero; every arm
+				// must trap too.
+				if err == nil || !strings.Contains(err.Error(), "by zero") {
+					t.Fatalf("seed %d %s: got (%d, %v), reference trapped on division by zero\n%s",
+						seed, arm.name, got, err, src)
+				}
+				continue
+			}
 			if err != nil {
 				t.Fatalf("seed %d %s: %v\n%s", seed, arm.name, err, src)
 			}

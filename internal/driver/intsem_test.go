@@ -3,8 +3,10 @@ package driver
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
+	"thorin/internal/impala"
 	"thorin/internal/transform"
 )
 
@@ -37,12 +39,9 @@ func TestFolderVMIntegerAgreement(t *testing.T) {
 	}
 	for _, tc := range tests {
 		t.Run(fmt.Sprintf("%d%s%d", tc.a, tc.op, tc.b), func(t *testing.T) {
-			// MinInt64 cannot be written as a single literal (the frontend
-			// sees unary minus applied to an overflowing magnitude).
+			// MinInt64 prints as a plain literal: the parser folds unary
+			// minus into the magnitude, so -9223372036854775808 parses.
 			lit := func(v int64) string {
-				if v == math.MinInt64 {
-					return fmt.Sprintf("(%d - 1)", math.MinInt64+1)
-				}
 				return fmt.Sprintf("(%d)", v)
 			}
 			runtimeSrc := fmt.Sprintf("fn main(x: i64, y: i64) -> i64 { x %s y }", tc.op)
@@ -74,6 +73,95 @@ func TestDivisionByZeroErrors(t *testing.T) {
 		src := fmt.Sprintf("fn main(x: i64, y: i64) -> i64 { x %s y }", op)
 		if _, _, err := Run(src, transform.OptNone(), nil, 1, 0); err == nil {
 			t.Errorf("x %s 0 must fail at runtime", op)
+		}
+	}
+}
+
+// TestConstDivisionByZeroTraps pins the folder/VM/interpreter agreement on
+// division by a *constant* zero: `10 / 0` used to fold to ⊥ and execute as
+// 0 while `10 / n` (n=0) trapped. All three layers must now trap.
+func TestConstDivisionByZeroTraps(t *testing.T) {
+	for _, op := range []string{"/", "%"} {
+		src := fmt.Sprintf("fn main() -> i64 { 10 %s 0 }", op)
+
+		prog, err := impala.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := impala.Check(prog); err != nil {
+			t.Fatal(err)
+		}
+		in, err := impala.NewInterp(prog, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.Run(); err == nil {
+			t.Errorf("interp: 10 %s 0 must error", op)
+		}
+
+		for _, opts := range []transform.Options{transform.OptNone(), transform.OptAll()} {
+			if got, _, err := Run(src, opts, nil); err == nil {
+				t.Errorf("vm: 10 %s 0 returned %d, must trap", op, got)
+			} else if !strings.Contains(err.Error(), "by zero") {
+				t.Errorf("vm: 10 %s 0 failed with %v, want a division-by-zero trap", op, err)
+			}
+		}
+	}
+}
+
+// TestMinInt64Literal pins that the most negative i64 is writable as a
+// literal (the parser folds unary minus into the magnitude) and that the
+// interpreter and both VM arms agree on its value and arithmetic.
+func TestMinInt64Literal(t *testing.T) {
+	cases := []struct {
+		name, src string
+		args      []int64
+		want      int64
+	}{
+		{"literal", "fn main() -> i64 { -9223372036854775808 }", nil, math.MinInt64},
+		{"arith", "fn main() -> i64 { -9223372036854775808 + 1 }", nil, math.MinInt64 + 1},
+		{"div-neg-one", "fn main(n: i64) -> i64 { -9223372036854775808 / (n - 1) }", []int64{0}, math.MinInt64},
+		{"cast", "fn main() -> i64 { (-9223372036854775808 as f64) as i64 }", nil, math.MinInt64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := impala.Parse(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := impala.Check(prog); err != nil {
+				t.Fatal(err)
+			}
+			in, err := impala.NewInterp(prog, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := in.Run(tc.args...)
+			if err != nil {
+				t.Fatalf("interp: %v", err)
+			}
+			if ref.I != tc.want {
+				t.Fatalf("interp: got %d, want %d", ref.I, tc.want)
+			}
+			for _, opts := range []transform.Options{transform.OptNone(), transform.OptAll()} {
+				got, _, err := Run(tc.src, opts, nil, tc.args...)
+				if err != nil {
+					t.Fatalf("vm: %v", err)
+				}
+				if got != tc.want {
+					t.Errorf("vm: got %d, want %d", got, tc.want)
+				}
+			}
+		})
+	}
+	// Magnitudes past 2^63 still fail cleanly, and the positive 2^63
+	// literal (no minus to fold) stays unrepresentable.
+	for _, bad := range []string{
+		"fn main() -> i64 { -9223372036854775809 }",
+		"fn main() -> i64 { 9223372036854775808 }",
+	} {
+		if _, err := impala.Parse(bad); err == nil {
+			t.Errorf("parse accepted %q", bad)
 		}
 	}
 }

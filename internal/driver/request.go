@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"thorin/internal/analysis"
+	"thorin/internal/link"
 	"thorin/internal/pm"
 	"thorin/internal/transform"
 )
@@ -14,7 +15,7 @@ import (
 // bytecode format — must bump it, because a content-addressed artifact
 // cache (internal/server) includes it in every key: bumping the version
 // invalidates every cached artifact at once.
-const Version = "thorin-go/6"
+const Version = "thorin-go/7"
 
 // Request is the wire-shaped form of one compilation: everything a client
 // can ask for, expressed in plain strings and integers so it serializes to
@@ -22,8 +23,17 @@ const Version = "thorin-go/6"
 // `thorinc -server` both speak this type; Resolve turns it into the
 // concrete spec/mode/Config triple CompileSpec consumes.
 type Request struct {
-	// Source is the Impala program text.
+	// Source is the Impala program text. Exactly one of Source and Sources
+	// must be set.
 	Source string `json:"source"`
+	// Sources are the module sources of a separate compilation: each must
+	// open with `module NAME;`, module names must be unique, and exactly
+	// one module must define main. The set is compiled per-module and
+	// linked (see internal/link); order does not matter.
+	Sources []string `json:"sources,omitempty"`
+	// Link is the cross-module resolution mode for Sources: "trampoline"
+	// (default) or "mangle". Ignored for single-source requests.
+	Link string `json:"link,omitempty"`
 	// Spec is an explicit pass-pipeline spec. When empty, Opt selects the
 	// canonical spec (transform.SpecFor), mirroring thorinc's -passes/-O.
 	Spec string `json:"spec,omitempty"`
@@ -67,6 +77,14 @@ func (r *Request) ResolvedSpec() (string, error) {
 		return transform.SpecFor(transform.OptAll()), nil
 	}
 	return "", fmt.Errorf("driver: bad opt level %d (want 0, 1 or 2)", opt)
+}
+
+// ResolvedLinkMode returns the link mode for a multi-source request.
+func (r *Request) ResolvedLinkMode() (link.Mode, error) {
+	if r.Link == "" {
+		return link.Trampoline, nil
+	}
+	return link.ParseMode(r.Link)
 }
 
 // ResolvedSchedule returns the schedule mode and its canonical name.
@@ -114,8 +132,11 @@ func (r *Request) Config(crashDir string) (Config, error) {
 // handled per the request's on_failure policy and, with crashDir set, leave
 // a reproduction bundle exactly like a thorinc run would.
 func CompileRequest(req *Request, crashDir string) (*Result, error) {
-	if req.Source == "" {
+	if req.Source == "" && len(req.Sources) == 0 {
 		return nil, fmt.Errorf("driver: request has no source")
+	}
+	if req.Source != "" && len(req.Sources) > 0 {
+		return nil, fmt.Errorf("driver: request has both source and sources")
 	}
 	spec, err := req.ResolvedSpec()
 	if err != nil {
@@ -128,6 +149,13 @@ func CompileRequest(req *Request, crashDir string) (*Result, error) {
 	cfg, err := req.Config(crashDir)
 	if err != nil {
 		return nil, err
+	}
+	if len(req.Sources) > 0 {
+		linkMode, err := req.ResolvedLinkMode()
+		if err != nil {
+			return nil, err
+		}
+		return CompileModules(req.Sources, spec, mode, linkMode, cfg)
 	}
 	return CompileSpec(req.Source, spec, mode, cfg)
 }

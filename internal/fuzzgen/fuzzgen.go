@@ -1,10 +1,13 @@
 // Package fuzzgen generates random well-typed Impala programs for the
-// differential pipeline fuzzer. Programs are total by construction — loops
-// have static bounds, divisions are guarded to nonzero denominators, array
-// indices are masked into range — so the reference interpreter, both Thorin
-// pipelines and the SSA baseline must all terminate and agree on every
-// generated program. A disagreement is always a compiler bug, never an
-// artifact of the input.
+// differential pipeline fuzzer. Programs terminate by construction — loops
+// have static bounds, array indices are masked into range — so the
+// reference interpreter, both Thorin pipelines and the SSA baseline must
+// all terminate and agree on every generated program. Divisions inside
+// expressions are guarded to nonzero denominators; the one deliberate
+// exception is a maybe-zero denominator some programs place in main's tail
+// expression, where a zero must trap identically in every arm (the
+// differential oracle judges traps). A disagreement is always a compiler
+// bug, never an artifact of the input.
 //
 // The generator is deterministic in its seed: the same seed yields the same
 // program on every platform, which is what lets a crash artifact reference
@@ -59,7 +62,17 @@ func Program(seed int64) string {
 	g.sb.WriteString("fn main(n: i64) -> i64 {\n")
 	g.vars = []string{"n"}
 	g.stmts(3, 3+g.r.Intn(4), "\t")
-	fmt.Fprintf(&g.sb, "\t(%s) + gcount\n}\n", g.expr(3))
+	tail := g.expr(3)
+	if g.r.Intn(4) == 0 {
+		// Maybe-zero denominator in the guaranteed-used tail: when it is
+		// zero at runtime, the interpreter, the VM and every optimization
+		// level must all trap (constant folding must not paper over it).
+		// Only the tail gets one — a discardable division could be
+		// legitimately dead-code-eliminated while the interpreter traps.
+		op := []string{"/", "%"}[g.r.Intn(2)]
+		tail = fmt.Sprintf("(%s) + ((%s) %s ((%s) & 1))", tail, g.expr(2), op, g.expr(2))
+	}
+	fmt.Fprintf(&g.sb, "\t(%s) + gcount\n}\n", tail)
 	return g.sb.String()
 }
 

@@ -1,9 +1,41 @@
 package impala
 
-// Program is a parsed compilation unit.
+// Program is a parsed compilation unit. A unit that opens with
+// `module NAME;` is a module: it may import functions from other modules
+// and export its own (see ImportDecl, ReexportDecl and FuncDecl.Exported);
+// modules are stitched into one program by internal/link.
 type Program struct {
-	Funcs   []*FuncDecl
-	Statics []*StaticDecl
+	// Module is the unit's module name; "" for a plain single-file program.
+	Module    string
+	ModulePos Pos
+	Funcs     []*FuncDecl
+	Statics   []*StaticDecl
+	Imports   []*ImportDecl
+	Reexports []*ReexportDecl
+}
+
+// ImportDecl declares a function implemented by another module:
+//
+//	import fn name(T, ...) [-> R] from other;
+//
+// The signature is the importer's link-time expectation; the linker checks
+// it against the exporter's actual type and rejects mismatches with an
+// "incompatible import type" error naming both modules.
+type ImportDecl struct {
+	Pos    Pos
+	Name   string
+	Params []TypeExpr
+	Ret    TypeExpr // nil means unit
+	From   string   // exporting module name
+}
+
+// ReexportDecl re-exports an imported (or locally defined) function under
+// this module's own export surface:
+//
+//	export name;
+type ReexportDecl struct {
+	Pos  Pos
+	Name string
 }
 
 // FuncDecl is a top-level function.
@@ -14,6 +46,9 @@ type FuncDecl struct {
 	Ret    TypeExpr // nil means unit
 	Body   *BlockExpr
 	Extern bool
+	// Exported marks `export fn` declarations: the function is part of the
+	// module's link-time export surface.
+	Exported bool
 	// ForceInline marks functions declared with '@' — the paper's
 	// partial-evaluation annotation: calls are specialized unconditionally.
 	ForceInline bool

@@ -22,8 +22,34 @@ type varInfo struct {
 	mut bool
 }
 
-// Check type-checks prog, annotating the AST in place.
+// Check type-checks a whole-program unit, annotating the AST in place.
+// Module units (a `module` header, imports or re-exports) must go through
+// CheckModule instead: their imports are only resolvable at link time.
 func Check(prog *Program) error {
+	if prog.Module != "" {
+		return errf(prog.ModulePos, "module %q requires module-aware compilation (compile all module sources together)", prog.Module)
+	}
+	if len(prog.Imports) > 0 {
+		return errf(prog.Imports[0].Pos, "import requires a module declaration and module-aware compilation")
+	}
+	if len(prog.Reexports) > 0 {
+		return errf(prog.Reexports[0].Pos, "export requires a module declaration")
+	}
+	return checkProgram(prog, true)
+}
+
+// CheckModule type-checks one module unit. Imported functions join the
+// function namespace under their declared signatures (trusted here, verified
+// against the exporter at link time); main is not required — the linked
+// program needs one, an individual module does not.
+func CheckModule(prog *Program) error {
+	if prog.Module == "" {
+		return errf(Pos{1, 1}, "missing module declaration (module NAME;)")
+	}
+	return checkProgram(prog, false)
+}
+
+func checkProgram(prog *Program, requireMain bool) error {
 	c := &checker{
 		funcs:   map[string]*Fn{},
 		decls:   map[string]*FuncDecl{},
@@ -40,6 +66,19 @@ func Check(prog *Program) error {
 		sd.Init.setTy(ty)
 		c.statics[sd.Name] = ty
 	}
+	for _, im := range prog.Imports {
+		if im.From == prog.Module {
+			return errf(im.Pos, "module %q imports itself", prog.Module)
+		}
+		if _, dup := c.funcs[im.Name]; dup {
+			return errf(im.Pos, "import %q redefined", im.Name)
+		}
+		sig, err := c.importSig(im)
+		if err != nil {
+			return err
+		}
+		c.funcs[im.Name] = sig
+	}
 	for _, f := range prog.Funcs {
 		if _, dup := c.funcs[f.Name]; dup {
 			return errf(f.Pos, "function %q redefined", f.Name)
@@ -51,8 +90,28 @@ func Check(prog *Program) error {
 		c.funcs[f.Name] = sig
 		c.decls[f.Name] = f
 	}
-	if _, ok := c.funcs["main"]; !ok {
-		return errf(Pos{1, 1}, "missing function main")
+	// The export surface: exported functions plus re-exports, no duplicates.
+	// A re-export must name something resolvable — an import (forwarding
+	// another module's function) or a local function.
+	exported := map[string]bool{}
+	for _, f := range prog.Funcs {
+		if f.Exported {
+			exported[f.Name] = true
+		}
+	}
+	for _, re := range prog.Reexports {
+		if _, ok := c.funcs[re.Name]; !ok {
+			return errf(re.Pos, "export %q does not name an import or function", re.Name)
+		}
+		if exported[re.Name] {
+			return errf(re.Pos, "export %q duplicated", re.Name)
+		}
+		exported[re.Name] = true
+	}
+	if requireMain {
+		if _, ok := c.funcs["main"]; !ok {
+			return errf(Pos{1, 1}, "missing function main")
+		}
 	}
 	for _, f := range prog.Funcs {
 		if err := c.checkFunc(f); err != nil {
@@ -60,6 +119,27 @@ func Check(prog *Program) error {
 		}
 	}
 	return nil
+}
+
+// importSig resolves an import declaration's parameter and return types
+// into the signature the importer compiles against.
+func (c *checker) importSig(im *ImportDecl) (*Fn, error) {
+	sig := &Fn{Ret: TyUnit}
+	for _, p := range im.Params {
+		ty, err := c.resolveType(p)
+		if err != nil {
+			return nil, err
+		}
+		sig.Params = append(sig.Params, ty)
+	}
+	if im.Ret != nil {
+		ty, err := c.resolveType(im.Ret)
+		if err != nil {
+			return nil, err
+		}
+		sig.Ret = ty
+	}
+	return sig, nil
 }
 
 // FuncType returns the checked signature of a declared function (valid

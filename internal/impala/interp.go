@@ -512,10 +512,18 @@ func (in *Interp) evalBinary(x *BinaryExpr, env *ienv) (IValue, control, error) 
 		if r.I == 0 {
 			return IValue{}, ctlNone, fmt.Errorf("impala: division by zero")
 		}
+		if r.I == -1 {
+			// x / -1 is -x with two's-complement wrapping; Go's native
+			// division panics on MinInt64 / -1.
+			return IValue{I: -l.I}, ctlNone, nil
+		}
 		return IValue{I: l.I / r.I}, ctlNone, nil
 	case "%":
 		if r.I == 0 {
 			return IValue{}, ctlNone, fmt.Errorf("impala: remainder by zero")
+		}
+		if r.I == -1 {
+			return IValue{I: 0}, ctlNone, nil
 		}
 		return IValue{I: l.I % r.I}, ctlNone, nil
 	case "&":

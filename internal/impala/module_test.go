@@ -1,0 +1,112 @@
+package impala
+
+import (
+	"strings"
+	"testing"
+)
+
+const modTestB = `module b;
+import fn add(i64, i64) -> i64 from c;
+export add;
+export fn twice(x: i64) -> i64 { add(x, x) }
+extern fn visible(x: i64) -> i64 { x }
+`
+
+func TestModuleParseAndSurface(t *testing.T) {
+	prog, err := Parse(modTestB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Module != "b" {
+		t.Fatalf("module name = %q, want b", prog.Module)
+	}
+	if err := CheckModule(prog); err != nil {
+		t.Fatal(err)
+	}
+	info, err := ModuleSurface(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Imports) != 1 || info.Imports[0].Name != "add" || info.Imports[0].From != "c" {
+		t.Fatalf("imports = %+v, want one: add from c", info.Imports)
+	}
+	if sig := info.Imports[0].Sig; sig != "fn(i64, i64) -> i64" {
+		t.Fatalf("import sig = %q", sig)
+	}
+	add, ok := info.Exports["add"]
+	if !ok || add.Forward != "c" {
+		t.Fatalf("export add = %+v, want forward to c", add)
+	}
+	twice, ok := info.Exports["twice"]
+	if !ok || twice.Forward != "" || twice.Sig != "fn(i64) -> i64" {
+		t.Fatalf("export twice = %+v", twice)
+	}
+	if len(info.Externs) != 1 || info.Externs[0] != "visible" {
+		t.Fatalf("externs = %v, want [visible]", info.Externs)
+	}
+}
+
+// TestModuleEmitStubs: imports lower to bodyless extern continuations, and
+// exported (including re-exported local) functions are extern so
+// per-module optimization keeps them as roots.
+func TestModuleEmitStubs(t *testing.T) {
+	w, _, err := CompileModule(modTestB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, c := range w.Externs() {
+		found[c.Name()] = true
+		if c.Name() == "add" && c.HasBody() {
+			t.Error("import stub add has a body")
+		}
+		if c.Name() == "twice" && !c.HasBody() {
+			t.Error("exported fn twice lost its body")
+		}
+	}
+	for _, name := range []string{"add", "twice", "visible"} {
+		if !found[name] {
+			t.Errorf("%s is not extern in the module world", name)
+		}
+	}
+}
+
+func TestCheckRejectsModuleUnits(t *testing.T) {
+	prog, err := Parse("module a;\nfn main(n: i64) -> i64 { n }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(prog); err == nil || !strings.Contains(err.Error(), "module-aware") {
+		t.Fatalf("Check on a module unit: %v, want module-aware error", err)
+	}
+	plain, err := Parse("fn main(n: i64) -> i64 { n }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckModule(plain); err == nil || !strings.Contains(err.Error(), "missing module declaration") {
+		t.Fatalf("CheckModule without header: %v", err)
+	}
+}
+
+func TestCheckModuleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"import self", "module a;\nimport fn f(i64) -> i64 from a;\n", "imports itself"},
+		{"import redefined", "module a;\nimport fn f(i64) -> i64 from b;\nimport fn f(i64) -> i64 from c;\n", "redefined"},
+		{"reexport unknown", "module a;\nexport nosuch;\n", "does not name an import or function"},
+		{"export duplicated", "module a;\nimport fn f(i64) -> i64 from b;\nexport f;\nexport f;\n", "duplicated"},
+		{"late module decl", "fn g(x: i64) -> i64 { x }\nmodule a;\n", "first declaration"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := Parse(tc.src)
+			if err == nil {
+				err = CheckModule(prog)
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}

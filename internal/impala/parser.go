@@ -16,22 +16,101 @@ func Parse(src string) (*Program, error) {
 	}
 	p := &parser{toks: toks}
 	prog := &Program{}
+	// `module NAME;` must open the unit: the name scopes every declaration
+	// after it, so a late module header would be ambiguous.
+	if p.atKeyword("module") {
+		start := p.advance()
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, errf(p.cur().Pos, "expected module name, found %s", p.cur())
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		prog.Module, prog.ModulePos = name.Text, start.Pos
+	}
 	for !p.at(TokEOF, "") {
-		if p.atKeyword("static") {
+		switch {
+		case p.atKeyword("module"):
+			return nil, errf(p.cur().Pos, "module declaration must be the first declaration")
+		case p.atKeyword("static"):
 			sd, err := p.parseStatic()
 			if err != nil {
 				return nil, err
 			}
 			prog.Statics = append(prog.Statics, sd)
-			continue
+		case p.atKeyword("import"):
+			id, err := p.parseImport()
+			if err != nil {
+				return nil, err
+			}
+			prog.Imports = append(prog.Imports, id)
+		case p.atKeyword("export") && p.peek().Kind == TokIdent:
+			// `export name;` re-exports an import or a local function.
+			start := p.advance()
+			name := p.advance()
+			if _, err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			prog.Reexports = append(prog.Reexports, &ReexportDecl{Pos: start.Pos, Name: name.Text})
+		default:
+			exported := p.accept(TokKeyword, "export")
+			fd, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			fd.Exported = exported
+			prog.Funcs = append(prog.Funcs, fd)
 		}
-		fd, err := p.parseFunc()
+	}
+	return prog, nil
+}
+
+// parseImport parses: import fn name(T, ...) [-> R] from module;
+func (p *parser) parseImport() (*ImportDecl, error) {
+	start := p.advance() // import
+	if _, err := p.expect(TokKeyword, "fn"); err != nil {
+		return nil, errf(p.cur().Pos, "expected 'fn' after 'import', found %s", p.cur())
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, errf(p.cur().Pos, "expected imported function name, found %s", p.cur())
+	}
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var params []TypeExpr
+	for !p.atPunct(")") {
+		if len(params) > 0 {
+			if _, err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		ty, err := p.parseType()
 		if err != nil {
 			return nil, err
 		}
-		prog.Funcs = append(prog.Funcs, fd)
+		params = append(params, ty)
 	}
-	return prog, nil
+	p.advance() // )
+	var ret TypeExpr
+	if p.accept(TokPunct, "->") {
+		ret, err = p.parseType()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokKeyword, "from"); err != nil {
+		return nil, errf(p.cur().Pos, "expected 'from MODULE' in import, found %s", p.cur())
+	}
+	from, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, errf(p.cur().Pos, "expected module name after 'from', found %s", p.cur())
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &ImportDecl{Pos: start.Pos, Name: name.Text, Params: params, Ret: ret, From: from.Text}, nil
 }
 
 // parseStatic parses: static name = literal;
@@ -455,6 +534,21 @@ func (p *parser) parseUnary() (Expr, error) {
 	t := p.cur()
 	if p.atPunct("-") || p.atPunct("!") {
 		p.advance()
+		// Fold `-` directly into an immediately following integer literal.
+		// Parsing the magnitude as uint64 is what makes MinInt64 writable:
+		// 9223372036854775808 overflows ParseInt but is exactly -MinInt64.
+		if t.Text == "-" && p.at(TokInt, "") {
+			lit := p.advance()
+			mag, err := strconv.ParseUint(lit.Text, 10, 64)
+			if err != nil || mag > 1<<63 {
+				return nil, errf(lit.Pos, "bad integer literal %q", "-"+lit.Text)
+			}
+			e := &IntLit{Value: -int64(mag)}
+			e.Pos = t.Pos
+			// The folded literal still takes postfix operators, so
+			// `-5 as f64` keeps meaning (-5) as f64.
+			return p.parsePostfixOps(e)
+		}
 		x, err := p.parseUnary()
 		if err != nil {
 			return nil, err
@@ -479,6 +573,11 @@ func (p *parser) parsePostfix() (Expr, error) {
 		// call. Parenthesize to call a conditional's result.
 		return x, nil
 	}
+	return p.parsePostfixOps(x)
+}
+
+// parsePostfixOps parses the postfix operator chain after x.
+func (p *parser) parsePostfixOps(x Expr) (Expr, error) {
 	for {
 		t := p.cur()
 		switch {

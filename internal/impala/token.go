@@ -19,7 +19,7 @@ const (
 	TokInt
 	TokFloat
 	TokPunct   // operators and delimiters
-	TokKeyword // fn let mut if else while for in return true false as break continue extern static
+	TokKeyword // fn let mut if else while for in return true false as break continue extern static module import export from
 )
 
 // Pos is a source position.
@@ -48,6 +48,7 @@ var keywords = map[string]bool{
 	"while": true, "for": true, "in": true, "return": true,
 	"true": true, "false": true, "as": true, "break": true,
 	"continue": true, "extern": true, "static": true,
+	"module": true, "import": true, "export": true, "from": true,
 }
 
 // Error is a frontend error with a source position.

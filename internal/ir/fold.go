@@ -93,12 +93,10 @@ func foldArith(w *World, kind OpKind, tag PrimTypeTag, a, b Def) Def {
 		case OpAnd, OpOr:
 			return a
 		case OpRem:
-			// x % x is 0 for every non-zero x and undefined for zero; a
-			// non-literal x may be zero at runtime, so only literals fold.
-			if v, ok := LitValue(a); ok {
-				if v == 0 {
-					return w.Bottom(w.PrimType(tag))
-				}
+			// x % x is 0 for every non-zero x and traps for zero; a
+			// non-literal x may be zero at runtime, so only non-zero
+			// literals fold (0 % 0 stays a node and traps).
+			if v, ok := LitValue(a); ok && v != 0 {
 				return w.Zero(tag)
 			}
 		}
@@ -117,7 +115,10 @@ func foldArithInt(w *World, kind OpKind, tag PrimTypeTag, a, b int64) Def {
 		r = a * b
 	case OpDiv:
 		if b == 0 {
-			return w.Bottom(w.PrimType(tag))
+			// Never fold division by zero: the node must be built so it
+			// traps at runtime, matching the VM and the reference
+			// interpreter (folding to ⊥ used to execute as 0).
+			return nil
 		}
 		if a == math.MinInt64 && b == -1 {
 			// -MinInt64 is unrepresentable; two's-complement division wraps
@@ -129,7 +130,8 @@ func foldArithInt(w *World, kind OpKind, tag PrimTypeTag, a, b int64) Def {
 		}
 	case OpRem:
 		if b == 0 {
-			return w.Bottom(w.PrimType(tag))
+			// Like OpDiv: remainder by zero is a runtime trap, not a fold.
+			return nil
 		}
 		if b == -1 {
 			// a % -1 is 0 for every a; computing it natively panics on

@@ -5,6 +5,11 @@ import (
 	"testing"
 )
 
+func isPrimOp(d Def) bool {
+	_, ok := d.(*PrimOp)
+	return ok
+}
+
 // litOrBottom folds kind over two integer literals of tag and classifies the
 // result: (value, false) for a folded literal, (0, true) for Bottom.
 func litOrBottom(t *testing.T, w *World, kind OpKind, tag PrimTypeTag, a, b int64) (int64, bool) {
@@ -41,10 +46,6 @@ func TestFoldIntEdgeCases(t *testing.T) {
 		{"7%-1", OpRem, PrimI64, 7, -1, 0, false},
 		{"plain-rem", OpRem, PrimI64, 7, 3, 1, false},
 		{"neg-rem", OpRem, PrimI64, -7, 3, -1, false},
-		// Division/remainder by zero is undefined (⊥), not a crash.
-		{"div0", OpDiv, PrimI64, 42, 0, 0, true},
-		{"rem0", OpRem, PrimI64, 42, 0, 0, true},
-		{"0rem0", OpRem, PrimI64, 0, 0, 0, true},
 		// Shifts mask the count to the 64-bit width.
 		{"shl64", OpShl, PrimI64, 1, 64, 1, false},
 		{"shl65", OpShl, PrimI64, 1, 65, 2, false},
@@ -67,15 +68,39 @@ func TestFoldIntEdgeCases(t *testing.T) {
 	}
 }
 
+// TestFoldDivZeroNotFolded pins the trap semantics: division and remainder
+// by a literal zero must NOT fold (previously they folded to ⊥, which
+// codegen materialized as 0 — diverging from the VM and interpreter, which
+// both trap). The node is built and traps at runtime.
+func TestFoldDivZeroNotFolded(t *testing.T) {
+	w := NewWorld()
+	for _, tc := range []struct {
+		name string
+		kind OpKind
+		a, b int64
+	}{
+		{"div0", OpDiv, 42, 0},
+		{"rem0", OpRem, 42, 0},
+		{"0div0", OpDiv, 0, 0},
+		{"0rem0", OpRem, 0, 0},
+	} {
+		d := w.Arith(tc.kind, w.LitI64(tc.a), w.LitI64(tc.b))
+		if _, ok := d.(*PrimOp); !ok {
+			t.Errorf("%s: %v(%d, %d) folded to %v; must stay a primop so it traps at runtime",
+				tc.name, tc.kind, tc.a, tc.b, d)
+		}
+	}
+}
+
 func TestFoldRemSelf(t *testing.T) {
 	w := NewWorld()
 	// Non-zero literal: x % x = 0.
 	if v, bottom := litOrBottom(t, w, OpRem, PrimI64, 7, 7); bottom || v != 0 {
 		t.Fatalf("7 %% 7 = (%d, bottom=%v), want 0", v, bottom)
 	}
-	// Zero literal: 0 % 0 is undefined.
-	if _, bottom := litOrBottom(t, w, OpRem, PrimI64, 0, 0); !bottom {
-		t.Fatal("0 % 0 must fold to bottom")
+	// Zero literal: 0 % 0 traps at runtime, so it must stay a node.
+	if d := w.Arith(OpRem, w.LitI64(0), w.LitI64(0)); !isPrimOp(d) {
+		t.Fatalf("0 %% 0 folded to %v; must stay a primop", d)
 	}
 	// Non-literal x: x may be zero at runtime, so x % x must NOT fold.
 	c := w.Continuation(w.FnType(w.PrimType(PrimI64)), "f")
@@ -107,12 +132,12 @@ func FuzzFoldArith(f *testing.F) {
 			d := w.Arith(kind, w.LitInt(tag, a), w.LitInt(tag, b))
 			l, ok := d.(*Literal)
 			if !ok {
+				if (kind == OpDiv || kind == OpRem) && w.LitInt(tag, b).I == 0 {
+					continue // x/0 and x%0 deliberately stay nodes (runtime trap)
+				}
 				t.Fatalf("%v over literals did not fold", kind)
 			}
 			if l.Bottom {
-				if (kind == OpDiv || kind == OpRem) && w.LitInt(tag, b).I == 0 {
-					continue // ⊥ is the defined result of x/0 and x%0
-				}
 				t.Fatalf("%v(%d, %d) folded to unexpected bottom", kind, a, b)
 			}
 			switch kind {

@@ -1,0 +1,268 @@
+// Package link stitches separately compiled module worlds into one
+// whole-program world. Each module arrives as an ir.World whose imports
+// are bodyless extern continuation stubs plus a ModuleInfo describing its
+// export/import surface; the linker resolves every import edge —
+// transitively through re-export chains — type-checks it against the
+// exporter's actual signature, and copies all module graphs into a fresh
+// world with the stubs rewired.
+//
+// Two resolution modes exist. Trampoline (the default) materializes each
+// import as a forwarding continuation that jumps to the exporter's
+// definition: modules keep the optimization boundaries they were compiled
+// under, and only a cleanup round runs after linking. Mangle maps the stub
+// directly onto the exporter's continuation so the full optimization
+// pipeline can specialize (lambda-mangle, inline) across the module
+// boundary — whole-program quality at the cost of relinking work.
+package link
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"thorin/internal/impala"
+	"thorin/internal/ir"
+)
+
+// Mode selects how resolved import edges are materialized.
+type Mode string
+
+// Modes.
+const (
+	// Trampoline resolves an import to a forwarding continuation that
+	// jumps to the exporter's definition.
+	Trampoline Mode = "trampoline"
+	// Mangle resolves an import directly to the exporter's continuation,
+	// allowing post-link passes to specialize across the module boundary.
+	Mangle Mode = "mangle"
+)
+
+// ParseMode validates a -link flag value.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case Trampoline, Mangle:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("link: unknown mode %q (want trampoline or mangle)", s)
+}
+
+// Module is one linker input: a per-module world (imports still stubs)
+// and its link surface.
+type Module struct {
+	World *ir.World
+	Info  *impala.ModuleInfo
+}
+
+// Link resolves every import edge across mods and returns the stitched
+// whole-program world. Exactly one module must define main. Modules are
+// processed in name order, so the output is independent of input order.
+func Link(mods []*Module, mode Mode) (*ir.World, error) {
+	byName := map[string]*Module{}
+	infoByName := map[string]*impala.ModuleInfo{}
+	sorted := append([]*Module(nil), mods...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Info.Name < sorted[j].Info.Name })
+	for _, m := range sorted {
+		if _, dup := byName[m.Info.Name]; dup {
+			return nil, fmt.Errorf("link: module %q provided twice", m.Info.Name)
+		}
+		byName[m.Info.Name] = m
+		infoByName[m.Info.Name] = m.Info
+	}
+
+	// Resolve every import edge up front: all link-time type errors are
+	// reported before any graph surgery happens.
+	type edge struct {
+		importer *Module
+		imp      impala.ImportSig
+		target   *Module // defining module
+	}
+	var edges []edge
+	for _, m := range sorted {
+		for _, imp := range m.Info.Imports {
+			final, _, err := resolveExport(infoByName, m.Info.Name, imp)
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, edge{importer: m, imp: imp, target: byName[final]})
+		}
+	}
+
+	mainMod := ""
+	for _, m := range sorted {
+		if findExtern(m.World, "main") != nil {
+			if mainMod != "" {
+				return nil, fmt.Errorf("link: both %q and %q define main", mainMod, m.Info.Name)
+			}
+			mainMod = m.Info.Name
+		}
+	}
+	if mainMod == "" {
+		return nil, fmt.Errorf("link: no module defines main")
+	}
+
+	cp := newCopier(ir.NewWorld())
+
+	// Pass 1: create destination continuations for every defining
+	// continuation (import stubs excluded — they resolve to edges).
+	stubs := map[*Module]map[string]*ir.Continuation{}
+	for _, m := range sorted {
+		stubs[m] = map[string]*ir.Continuation{}
+		for _, imp := range m.Info.Imports {
+			if c := findExtern(m.World, imp.Name); c != nil && !c.HasBody() {
+				stubs[m][imp.Name] = c
+			}
+		}
+		conts := m.World.Continuations()
+		sort.Slice(conts, func(i, j int) bool { return conts[i].GID() < conts[j].GID() })
+		for _, c := range conts {
+			if c.IsIntrinsic() || stubs[m][c.Name()] == c {
+				continue
+			}
+			cp.declare(c)
+		}
+	}
+
+	// Pass 2: rewire each stub per the mode. The defining continuation of
+	// an edge is the extern of the target module named by the import (the
+	// re-export chain has already been collapsed by resolveExport).
+	for _, e := range edges {
+		stub := stubs[e.importer][e.imp.Name]
+		if stub == nil {
+			// The stub was optimized away (nothing in the module ever
+			// called the import); the edge is still type-checked above.
+			continue
+		}
+		def := findExtern(e.target.World, e.imp.Name)
+		if def == nil || !def.HasBody() {
+			return nil, fmt.Errorf("link: module %q exports %q without defining it", e.target.Info.Name, e.imp.Name)
+		}
+		targetDst := cp.contMap[def]
+		switch mode {
+		case Mangle:
+			cp.defMap[stub] = targetDst
+		default:
+			// A forwarding continuation with the stub's type and name; the
+			// jump is filled in now (params forward 1:1).
+			tramp := cp.dst.Continuation(cp.copyType(stub.Type()).(*ir.FnType), stub.Name())
+			args := make([]ir.Def, tramp.NumParams())
+			for i := range args {
+				args[i] = tramp.Param(i)
+			}
+			tramp.Jump(targetDst, args...)
+			cp.defMap[stub] = tramp
+		}
+	}
+
+	// Pass 3: copy bodies in deterministic order.
+	for _, m := range sorted {
+		conts := m.World.Continuations()
+		sort.Slice(conts, func(i, j int) bool { return conts[i].GID() < conts[j].GID() })
+		for _, c := range conts {
+			if c.IsIntrinsic() || stubs[m][c.Name()] == c || !c.HasBody() {
+				continue
+			}
+			if err := cp.copyBody(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Pass 4: visibility. Export markers served their purpose (per-module
+	// optimization roots); in the linked program only main and genuine
+	// `extern fn` declarations stay externally visible.
+	for _, m := range sorted {
+		keep := map[string]bool{}
+		for _, n := range m.Info.Externs {
+			keep[n] = true
+		}
+		for src, dst := range cp.contMap {
+			if src.World() == m.World {
+				dst.SetExtern(src.IsExtern() && keep[src.Name()])
+			}
+		}
+	}
+
+	if err := ir.Verify(cp.dst); err != nil {
+		return nil, fmt.Errorf("link: internal error: linked world is invalid: %w", err)
+	}
+	return cp.dst, nil
+}
+
+// ResolveImports resolves every import edge across the given module
+// surfaces — no compiled worlds needed — and returns, per module name, the
+// sorted descriptors of its resolved imports ("name from final as sig").
+// The compile server folds these into per-module cache keys: a change in
+// where an import lands, or in the exporter's signature, re-keys the
+// importer. All link-time type errors (including incompatible import
+// types through re-export chains) surface here.
+func ResolveImports(infos []*impala.ModuleInfo) (map[string][]string, error) {
+	byName := map[string]*impala.ModuleInfo{}
+	for _, info := range infos {
+		if _, dup := byName[info.Name]; dup {
+			return nil, fmt.Errorf("link: module %q provided twice", info.Name)
+		}
+		byName[info.Name] = info
+	}
+	out := map[string][]string{}
+	for _, info := range infos {
+		resolved := []string{}
+		for _, imp := range info.Imports {
+			final, sig, err := resolveExport(byName, info.Name, imp)
+			if err != nil {
+				return nil, err
+			}
+			resolved = append(resolved, fmt.Sprintf("%s from %s as %s", imp.Name, final, sig))
+		}
+		sort.Strings(resolved)
+		out[info.Name] = resolved
+	}
+	return out, nil
+}
+
+// resolveExport resolves one import edge to its defining module name and
+// actual signature, following re-export forwards with cycle detection, and
+// checks the importer's declared signature against the exporter's actual
+// one.
+func resolveExport(byName map[string]*impala.ModuleInfo, importer string, imp impala.ImportSig) (string, string, error) {
+	chain := []string{importer}
+	seen := map[string]bool{importer: true}
+	cur := imp.From
+	for {
+		m, ok := byName[cur]
+		if !ok {
+			return "", "", fmt.Errorf("link: module %q (imported by %q) not found", cur, chain[len(chain)-1])
+		}
+		if seen[cur] {
+			return "", "", fmt.Errorf("link: re-export cycle resolving %s.%s: %s", imp.From, imp.Name, strings.Join(append(chain, cur), " -> "))
+		}
+		seen[cur] = true
+		chain = append(chain, cur)
+		ex, ok := m.Exports[imp.Name]
+		if !ok {
+			return "", "", fmt.Errorf("link: module %q does not export %q (imported by %q)", cur, imp.Name, chain[len(chain)-2])
+		}
+		if ex.Forward != "" {
+			cur = ex.Forward
+			continue
+		}
+		if ex.Sig != imp.Sig {
+			via := ""
+			if len(chain) > 2 {
+				via = fmt.Sprintf(" (via re-export chain %s)", strings.Join(chain[1:], " -> "))
+			}
+			return "", "", fmt.Errorf("link: incompatible import type: module %q imports %s from %q as %s, but %q exports it as %s%s",
+				importer, imp.Name, imp.From, imp.Sig, cur, ex.Sig, via)
+		}
+		return cur, ex.Sig, nil
+	}
+}
+
+// findExtern returns the extern continuation named name, or nil.
+func findExtern(w *ir.World, name string) *ir.Continuation {
+	for _, c := range w.Externs() {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}

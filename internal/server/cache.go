@@ -8,9 +8,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
+	"thorin/internal/driver"
 	"thorin/internal/pm"
 )
 
@@ -46,6 +49,51 @@ func CacheKey(version, source, spec, schedule string, fixIters int) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// ModuleCacheKey derives the content address of one module compilation in
+// a separate-compilation request: a digest over (marker, compiler version,
+// the module's own source, the per-module pipeline spec, the fixpoint
+// bound, and the module's resolved import descriptors). The descriptors —
+// one "name from module as sig" string per import edge, sorted, as
+// produced by link.ResolveImports — stand in for the structural identity
+// of everything the module links against: changing an exporter's
+// signature or re-routing a re-export chain re-keys every importer, while
+// editing only a dependency's function bodies leaves the importer's key
+// (and its cached artifact) untouched, so a warm cache relinks without
+// recompiling it. The leading marker field domain-separates module keys
+// from CacheKey's whole-program keys. The schedule mode does not enter
+// the key: module artifacts carry textual IR, not bytecode, and primop
+// scheduling happens after linking.
+func ModuleCacheKey(version, source, moduleSpec string, fixIters int, resolvedImports []string) string {
+	h := sha256.New()
+	var frame [8]byte
+	fields := make([]string, 0, 5+len(resolvedImports))
+	fields = append(fields, "module-artifact", version, source, moduleSpec, strconv.Itoa(fixIters))
+	fields = append(fields, resolvedImports...)
+	for _, field := range fields {
+		binary.LittleEndian.PutUint64(frame[:], uint64(len(field)))
+		h.Write(frame[:])
+		h.Write([]byte(field))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// MultiSourceKeyInput flattens a multi-module request's sources into the
+// single source field of the whole-program CacheKey: a domain marker
+// carrying the link mode, followed by each module source length-framed, in
+// sorted order. Sorting makes the final key input-order independent,
+// matching the linker's own order independence; framing prevents
+// concatenation collisions between different source splits.
+func MultiSourceKeyInput(sources []string, linkMode string) string {
+	srt := append([]string(nil), sources...)
+	sort.Strings(srt)
+	var b strings.Builder
+	fmt.Fprintf(&b, "modules:link=%s", linkMode)
+	for _, s := range srt {
+		fmt.Fprintf(&b, "\x00%d\x00%s", len(s), s)
+	}
+	return b.String()
+}
+
 // effectiveFixIters normalizes a budget's fixpoint bound for cache keying.
 // The pipeline runs every fix group to pm.DefaultMaxFixIters when no iters
 // budget is set, so "no budget" and an explicit iters= of exactly that
@@ -69,7 +117,7 @@ type Cache struct {
 	entries  map[string]*list.Element
 	dir      string // "" disables the disk tier
 
-	hits, misses, diskHits, evictions int64
+	hits, misses, diskHits, evictions, diskCorrupt int64
 }
 
 type cacheEntry struct {
@@ -108,11 +156,24 @@ func (c *Cache) Get(key string) (data []byte, tier string) {
 
 	if c.dir != "" {
 		if data, err := os.ReadFile(c.diskPath(key)); err == nil {
+			// Never promote unvalidated bytes: a truncated write or a
+			// foreign file under the cache dir would otherwise enter the
+			// LRU and be re-served on every future hit. A corrupt file is
+			// deleted (the slot recompiles and rewrites it) and the Get
+			// counts as a miss.
+			if validArtifact(data) {
+				c.mu.Lock()
+				c.diskHits++
+				c.insertLocked(key, data)
+				c.mu.Unlock()
+				return data, "disk"
+			}
+			os.Remove(c.diskPath(key))
 			c.mu.Lock()
-			c.diskHits++
-			c.insertLocked(key, data)
+			c.diskCorrupt++
+			c.misses++
 			c.mu.Unlock()
-			return data, "disk"
+			return nil, ""
 		}
 	}
 
@@ -120,6 +181,20 @@ func (c *Cache) Get(key string) (data []byte, tier string) {
 	c.misses++
 	c.mu.Unlock()
 	return nil, ""
+}
+
+// validArtifact reports whether data decodes as an artifact this compiler
+// build can serve: a whole-program driver.Artifact or a per-module
+// artifact. Only disk reads are validated — in-memory entries were
+// validated (or produced) on the way in.
+func validArtifact(data []byte) bool {
+	if _, err := driver.DecodeArtifact(data); err == nil {
+		return true
+	}
+	if _, err := driver.DecodeModuleArtifact(data); err == nil {
+		return true
+	}
+	return false
 }
 
 // Put stores the artifact bytes under key in memory and, when the disk
@@ -195,6 +270,9 @@ type CacheStats struct {
 	Misses    int64 `json:"misses"`
 	DiskHits  int64 `json:"disk_hits,omitempty"`
 	Evictions int64 `json:"evictions,omitempty"`
+	// DiskCorrupt counts disk files that failed artifact validation on
+	// promotion; each was deleted and its Get served as a miss.
+	DiskCorrupt int64 `json:"disk_corrupt,omitempty"`
 }
 
 // Stats snapshots the cache counters. A Get that falls through to the
@@ -203,11 +281,12 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:   c.order.Len(),
-		Capacity:  c.capacity,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		DiskHits:  c.diskHits,
-		Evictions: c.evictions,
+		Entries:     c.order.Len(),
+		Capacity:    c.capacity,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		DiskHits:    c.diskHits,
+		Evictions:   c.evictions,
+		DiskCorrupt: c.diskCorrupt,
 	}
 }

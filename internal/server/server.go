@@ -9,6 +9,11 @@
 // byte-identical artifacts. Concurrent identical misses are single-flighted:
 // one request compiles, the rest wait and are served from the cache.
 //
+// Multi-module requests (sources + link mode) additionally cache one
+// artifact per module, keyed on the module's own source and the resolved
+// signatures of its imports (ModuleCacheKey): a warm daemon recompiles
+// only the edited module and relinks against cached artifacts of the rest.
+//
 // Request-level containment reuses the driver's fault-tolerance end to
 // end: a poisoned request degrades per its policy or fails with a
 // structured error naming the pass and the replayable crash bundle, and
@@ -30,6 +35,8 @@ import (
 	"time"
 
 	"thorin/internal/driver"
+	"thorin/internal/impala"
+	"thorin/internal/link"
 	"thorin/internal/pm"
 )
 
@@ -104,6 +111,20 @@ type CompileResponse struct {
 	CrashBundle  string   `json:"crash_bundle,omitempty"`
 	// Artifact is the encoded driver.Artifact.
 	Artifact json.RawMessage `json:"artifact"`
+	// Modules reports, for a multi-module request that missed the
+	// whole-program key, how each per-module artifact was served (request
+	// order). Whole-program cache hits skip module compilation entirely
+	// and carry no per-module info.
+	Modules []ModuleCacheInfo `json:"modules,omitempty"`
+}
+
+// ModuleCacheInfo reports how one module of a separate compilation was
+// served: its per-module cache key and tier ("memory", "disk", or "miss"
+// when it was compiled this request).
+type ModuleCacheInfo struct {
+	Name  string `json:"name"`
+	Key   string `json:"key"`
+	Cache string `json:"cache"`
 }
 
 // ErrorResponse is the structured failure body (HTTP 4xx/5xx).
@@ -200,15 +221,23 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "bad request: " + err.Error()})
 		return
 	}
-	if req.Source == "" {
+	if req.Source == "" && len(req.Sources) == 0 {
 		s.metrics.failed()
 		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "request has no source"})
+		return
+	}
+	if req.Source != "" && len(req.Sources) > 0 {
+		s.metrics.failed()
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "request has both source and sources"})
 		return
 	}
 	spec, err := req.ResolvedSpec()
 	var cfg driver.Config
 	if err == nil {
 		_, _, err = req.ResolvedSchedule()
+	}
+	if err == nil {
+		_, err = req.ResolvedLinkMode()
 	}
 	if err == nil {
 		cfg, err = req.Config("")
@@ -223,7 +252,15 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		req.Jobs = s.cfg.DefaultJobs
 	}
 
-	key := CacheKey(driver.Version, req.Source, spec, schedule, effectiveFixIters(cfg.Budget))
+	// A multi-module request is keyed over its full sorted source set plus
+	// the link mode; per-module keys are consulted separately on a miss
+	// (see compileModules).
+	keySource := req.Source
+	if len(req.Sources) > 0 {
+		linkMode, _ := req.ResolvedLinkMode()
+		keySource = MultiSourceKeyInput(req.Sources, string(linkMode))
+	}
+	key := CacheKey(driver.Version, keySource, spec, schedule, effectiveFixIters(cfg.Budget))
 	if data, tier := s.cache.Get(key); data != nil {
 		s.metrics.hit()
 		s.logf("compile %s: %s hit (%d bytes)", key[:12], tier, len(data))
@@ -257,7 +294,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	res, err := driver.CompileRequest(&req, s.cfg.CrashDir)
+	var res *driver.Result
+	var modTiers []ModuleCacheInfo
+	if len(req.Sources) > 0 {
+		res, modTiers, err = s.compileModules(&req, spec)
+	} else {
+		res, err = driver.CompileRequest(&req, s.cfg.CrashDir)
+	}
 	if err != nil {
 		s.metrics.failed()
 		resp := ErrorResponse{Error: err.Error()}
@@ -301,7 +344,91 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		FailedPasses: res.FailedPasses,
 		CrashBundle:  res.CrashBundle,
 		Artifact:     json.RawMessage(data),
+		Modules:      modTiers,
 	})
+}
+
+// compileModules runs the separate-compilation path of a /compile miss:
+// each module is fetched from the cache under its ModuleCacheKey or
+// compiled and stored, then the set is linked and finished into a
+// whole-program result. Cold compiles are round-tripped through their
+// encoded artifact before linking, so the linker receives bit-identical
+// inputs whether a module came from the cache or was built this request —
+// cold and warm requests produce byte-identical programs. Module compiles
+// are fail-fast (never degraded), so every module artifact is cacheable.
+func (s *Server) compileModules(req *driver.Request, spec string) (*driver.Result, []ModuleCacheInfo, error) {
+	schedMode, _, err := req.ResolvedSchedule()
+	if err != nil {
+		return nil, nil, err
+	}
+	linkMode, err := req.ResolvedLinkMode()
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg, err := req.Config(s.cfg.CrashDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	units, err := driver.ParseModules(req.Sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	infos := make([]*impala.ModuleInfo, len(units))
+	for i, u := range units {
+		infos[i] = u.Info
+	}
+	// Resolving the import graph up front surfaces link-time type errors
+	// before any pipeline work, and yields the per-module import
+	// descriptors the cache keys depend on.
+	resolved, err := link.ResolveImports(infos)
+	if err != nil {
+		return nil, nil, err
+	}
+	moduleSpec := driver.ModuleSpec(spec)
+	fixIters := effectiveFixIters(cfg.Budget)
+	mods := make([]*link.Module, len(units))
+	tiers := make([]ModuleCacheInfo, len(units))
+	for i, u := range units {
+		mkey := ModuleCacheKey(driver.Version, u.Source, moduleSpec, fixIters, resolved[u.Name()])
+		tiers[i] = ModuleCacheInfo{Name: u.Name(), Key: mkey, Cache: "miss"}
+		if data, tier := s.cache.Get(mkey); data != nil {
+			if art, err := driver.DecodeModuleArtifact(data); err == nil {
+				if m, err := art.Module(); err == nil {
+					mods[i] = m
+					tiers[i].Cache = tier
+				}
+			}
+			// An undecodable in-memory entry (version skew cannot reach
+			// here, but defense in depth) falls through to a recompile
+			// that overwrites it.
+		}
+		if mods[i] != nil {
+			continue
+		}
+		m, err := driver.CompileModuleUnit(u, spec, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		data, err := driver.NewModuleArtifact(m, moduleSpec).Encode()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := s.cache.Put(mkey, data); err != nil {
+			s.logf("module %s %s: cache store: %v", u.Name(), mkey[:12], err)
+		}
+		art, err := driver.DecodeModuleArtifact(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		if mods[i], err = art.Module(); err != nil {
+			return nil, nil, err
+		}
+	}
+	res, err := driver.LinkCompiled(mods, spec, linkMode, schedMode, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tiers, nil
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

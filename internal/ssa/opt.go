@@ -93,14 +93,22 @@ func fold(in *Value) bool {
 		r = a.I >> (uint64(b.I) & 63)
 	case OpDiv:
 		if b.I == 0 {
-			return false
+			return false // traps at runtime; must not fold away
 		}
-		r = a.I / b.I
+		if b.I == -1 {
+			r = -a.I // wraps MinInt64 like the VM; native / panics on it
+		} else {
+			r = a.I / b.I
+		}
 	case OpRem:
 		if b.I == 0 {
-			return false
+			return false // traps at runtime; must not fold away
 		}
-		r = a.I % b.I
+		if b.I == -1 {
+			r = 0
+		} else {
+			r = a.I % b.I
+		}
 	case OpEq:
 		r = b2i(a.I == b.I)
 	case OpNe:
