@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci fuzz-smoke fuzz crashers loadtest modules bench bench-diff bench-full bench-passes tables
+.PHONY: all build test race vet fmt ci fuzz-smoke fuzz crashers loadtest modules chaos bench bench-diff bench-full bench-passes tables
 
 all: build test
 
@@ -27,7 +27,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt vet build race modules fuzz-smoke fuzz crashers loadtest bench bench-diff
+ci: fmt vet build race modules fuzz-smoke fuzz crashers loadtest chaos bench bench-diff
 
 # modules compiles and runs the shipped three-module example (a imports b,
 # b imports and re-exports c) through the separate-compilation CLI path in
@@ -60,7 +60,17 @@ crashers:
 # daemon's hit/miss counters reconcile exactly with the request
 # arithmetic, and that shutdown drains cleanly.
 loadtest:
-	$(GO) test -run 'TestLoadTestSmoke|TestModLoadSmoke' -count=1 ./internal/bench
+	$(GO) test -run 'TestLoadTestSmoke|TestModLoadSmoke|TestOverloadSmoke' -count=1 ./internal/bench
+
+# chaos is the deterministic fault-injection gate: the seeded chaos suite
+# (injected disk/pass/transport faults against a live daemon; asserts the
+# daemon survives, corrupt artifacts are never served, every counter
+# reconciles exactly with the injected-fault counts, and surviving results
+# are byte-identical to a fault-free run), plus a race-detector smoke of
+# the storm. Override the seed with THORIN_CHAOS_SEED=N.
+chaos:
+	$(GO) test -run 'TestChaos' -count=1 ./internal/server
+	$(GO) test -race -run 'TestChaosStorm' -count=1 ./internal/server
 
 # bench is the allocation-regression gate: a single-iteration smoke run of
 # every throughput benchmark (catches benchmarks that crash or regress into
@@ -73,6 +83,7 @@ bench:
 	$(GO) run ./cmd/thorin-bench -incremental -fast -o BENCH_pr5.json
 	$(GO) run ./cmd/thorin-bench -loadtest -o BENCH_pr6.json
 	$(GO) run ./cmd/thorin-bench -modload -o BENCH_pr7.json
+	$(GO) run ./cmd/thorin-bench -overload -o BENCH_pr8.json
 
 # bench-diff is the incremental-rewrite regression gate: re-measure the
 # incremental-vs-full fixpoint workload (at the same fast scale the committed

@@ -20,6 +20,7 @@
 //	thorin-bench -incremental -diff BENCH_pr5.json   # fail on >10% optimize regression
 //	thorin-bench -loadtest -o BENCH_pr6.json      # thorind cold vs warm-cache latency
 //	thorin-bench -modload -o BENCH_pr7.json       # separate compilation: single-leaf edits on a warm daemon
+//	thorin-bench -overload -o BENCH_pr8.json      # shed/retry storm: clients > compile slots
 package main
 
 import (
@@ -45,6 +46,9 @@ func main() {
 		modload  = flag.Bool("modload", false, "load-test thorind's separate-compilation path (shared-import module set, single-leaf edits on a warm cache) and emit JSON")
 		leaves   = flag.Int("leaves", 16, "with -modload: leaf modules importing the shared util module")
 		edits    = flag.Int("edits", 8, "with -modload: single-leaf edit requests after the cold build")
+		overload = flag.Bool("overload", false, "storm thorind with more retrying clients than compile slots, record shed rate and p50/p99 latency, and emit JSON")
+		stormers = flag.Int("stormers", 8, "with -overload: concurrent retrying clients")
+		perEach  = flag.Int("per-client", 3, "with -overload: distinct cold compiles per client")
 		diffFile = flag.String("diff", "", "with -incremental: compare against this committed report and fail on a >10% optimize ns/op regression instead of writing")
 		outFile  = flag.String("o", "", "with -alloc/-incremental: write the JSON report to this file (default stdout); for -alloc an existing report's baseline (or, failing that, its current numbers) is carried forward as the baseline")
 	)
@@ -73,6 +77,13 @@ func main() {
 	}
 	if *modload {
 		if err := runModLoad(*outFile, *leaves, *edits, *fast); err != nil {
+			fmt.Fprintln(os.Stderr, "thorin-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *overload {
+		if err := runOverload(*outFile, *stormers, *perEach, *fast); err != nil {
 			fmt.Fprintln(os.Stderr, "thorin-bench:", err)
 			os.Exit(1)
 		}
@@ -233,6 +244,35 @@ func runModLoad(outFile string, leaves, edits int, fast bool) error {
 	if outFile != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d modules, %d edits, %.1fx edit speedup over cold build)\n",
 			outFile, rep.Modules, rep.Edits, rep.EditSpeedupX)
+	}
+	return nil
+}
+
+// runOverload runs the shed/retry storm and writes the JSON report
+// (BENCH_pr8.json when committed). fast shrinks the storm for smoke runs.
+func runOverload(outFile string, clients, perClient int, fast bool) error {
+	if fast {
+		clients, perClient = 6, 2
+	}
+	rep, err := bench.MeasureOverload(clients, perClient, fast)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := bench.WriteOverloadJSON(out, rep); err != nil {
+		return err
+	}
+	if outFile != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d clients vs %d slots: %.0f%% shed rate, %d retries, p99 %.0fms)\n",
+			outFile, rep.Clients, rep.MaxInFlight, 100*rep.ShedRate, rep.Retries, float64(rep.P99Ns)/1e6)
 	}
 	return nil
 }

@@ -80,6 +80,9 @@ func main() {
 		crashDir    = flag.String("crash-dir", ".thorin-crash", "directory for crash reproduction bundles (empty disables)")
 		replay      = flag.String("replay", "", "re-run the compilation recorded in a crash bundle directory and exit")
 		serverAddr  = flag.String("server", "", "compile on a thorind daemon at this address instead of in-process (host:port or http://host:port)")
+		retries     = flag.Int("retries", 3, "with -server: how many times to retry a shed (429), draining (503) or unreachable daemon, under capped exponential backoff")
+		retryBudget = flag.Duration("retry-budget", 0, "with -server: total wall-clock bound across all retry attempts and backoff sleeps (0 = no bound)")
+		deadline    = flag.Duration("deadline", 0, "with -server: per-request compile deadline enforced by the daemon, including queue time (0 = none)")
 		allowDegr   = flag.Bool("allow-degraded", false, "exit 0 instead of 3 when the compile finished via graceful degradation")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (go tool pprof)")
 		memProfile  = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
@@ -283,7 +286,14 @@ func main() {
 				req.Sources = sources
 				req.Link = *linkMode
 			}
-			c := &server.Client{Addr: *serverAddr}
+			if *deadline > 0 {
+				req.DeadlineMs = deadline.Milliseconds()
+			}
+			c := &server.Client{
+				Addr:        *serverAddr,
+				Retries:     *retries,
+				RetryBudget: *retryBudget,
+			}
 			resp, art, err := c.Compile(req)
 			if err != nil {
 				fatal(err)

@@ -13,6 +13,7 @@
 //	thorind -addr :7474                     # serve on port 7474
 //	thorind -addr :7474 -cache-dir .thorind # persist artifacts across restarts
 //	thorind -cache-entries 1024 -jobs 8     # bigger LRU, 8 analysis workers
+//	thorind -max-inflight 4 -max-queue 8 -queue-wait 500ms  # explicit load-shedding gate
 //	thorinc -server localhost:7474 -run prog.imp 10   # compile remotely, run locally
 //	thorinc -server localhost:7474 -run a.imp b.imp c.imp 10  # separate compilation + link
 //	curl -s localhost:7474/metrics | jq .   # request/cache/pass counters
@@ -25,7 +26,10 @@
 //	                (source + resolved import signatures), so editing one module
 //	                on a warm cache recompiles only that module's artifact
 //	GET  /metrics   request counts, cache hit/miss, per-pass timings, interning totals
-//	GET  /healthz   liveness probe
+//	GET  /healthz   liveness probe: "ok", "degraded: cache-disk" (disk cache
+//	                faulted, memory-only until the recovery probe succeeds),
+//	                "degraded: overloaded" (all compile slots busy, queue
+//	                occupied), or 503 "draining" during shutdown
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight compiles (bounded by -drain-timeout), and exits 0.
@@ -54,6 +58,9 @@ func main() {
 		crashDir     = flag.String("crash-dir", ".thorin-crash", "directory for crash reproduction bundles (empty disables)")
 		jobs         = flag.Int("jobs", 0, "default analysis worker count for requests that do not set jobs (0 = driver default)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight compiles")
+		maxInFlight  = flag.Int("max-inflight", 0, "concurrently executing compiles before new requests queue (0 = 2x GOMAXPROCS, negative disables admission control)")
+		maxQueue     = flag.Int("max-queue", 0, "requests allowed to wait for a compile slot before being shed with 429 (0 = 4x max-inflight, negative sheds immediately when full)")
+		queueWait    = flag.Duration("queue-wait", 0, "longest a queued request waits for a compile slot before being shed (0 = 1s)")
 		quiet        = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Parse()
@@ -73,6 +80,9 @@ func main() {
 		CacheDir:     *cacheDir,
 		CrashDir:     *crashDir,
 		DefaultJobs:  *jobs,
+		MaxInFlight:  *maxInFlight,
+		MaxQueue:     *maxQueue,
+		QueueWait:    *queueWait,
 		Log:          srvLog,
 	})
 
@@ -105,6 +115,6 @@ func main() {
 	}
 
 	m := srv.Metrics()
-	logger.Printf("drained cleanly: %d requests (%d ok, %d errors, %d cache hits)",
-		m.Requests, m.OK, m.Errors, m.CacheHits)
+	logger.Printf("drained cleanly: %d requests (%d ok, %d errors, %d cache hits, %d shed, %d canceled/deadline)",
+		m.Requests, m.OK, m.Errors, m.CacheHits, m.Sheds, m.Canceled+m.DeadlineExceeded)
 }

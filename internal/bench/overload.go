@@ -1,0 +1,272 @@
+package bench
+
+// Overload/shed/retry storm harness for thorind (BENCH_pr8.json): more
+// retrying clients than the daemon has compile slots hammer a deliberately
+// tiny admission gate with distinct (cold) compiles. The daemon sheds the
+// overflow with 429 + Retry-After; clients back off under seeded jitter
+// and re-send. The measurement records the shed rate, the retry volume and
+// the end-to-end latency distribution (p50/p99 — the p99 is dominated by
+// backoff waits, which is the honest cost of being shed), and asserts that
+// every request eventually succeeds and that the daemon's shed/retry
+// counters reconcile exactly with what the clients observed.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"thorin/internal/driver"
+	"thorin/internal/server"
+)
+
+// OverloadReport is the serialized form of one shed/retry storm run.
+type OverloadReport struct {
+	Note string `json:"note"`
+	Fast bool   `json:"fast,omitempty"`
+	// Shape of the storm: Clients concurrent retrying clients, each
+	// compiling RequestsPerClient distinct programs, against MaxInFlight
+	// compile slots and a MaxQueue-deep admission queue.
+	Clients           int   `json:"clients"`
+	RequestsPerClient int   `json:"requests_per_client"`
+	MaxInFlight       int   `json:"max_in_flight"`
+	MaxQueue          int   `json:"max_queue"`
+	QueueWaitMs       int64 `json:"queue_wait_ms"`
+	// Outcomes: every request must eventually succeed (Succeeded ==
+	// Clients × RequestsPerClient) or the measurement itself fails.
+	Succeeded int64 `json:"succeeded"`
+	// Sheds is the number of 429 refusals observed (== the daemon's sheds
+	// counter); ShedRate normalizes it over all attempts.
+	Sheds    int64   `json:"sheds"`
+	ShedRate float64 `json:"shed_rate"`
+	// Retries is the number of re-sends clients performed (== the daemon's
+	// retries_observed counter).
+	Retries int64 `json:"retries"`
+	// End-to-end per-request latency including queueing and backoff.
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	// ThroughputRps is the aggregate completed-request rate over the storm
+	// wall time.
+	ThroughputRps float64 `json:"throughput_rps"`
+	// Daemon-side counters after the run.
+	ServerSheds           int64 `json:"server_sheds"`
+	ServerRetriesObserved int64 `json:"server_retries_observed"`
+	ServerOK              int64 `json:"server_ok"`
+	PeakQueueDepth        int64 `json:"peak_queue_depth"`
+}
+
+// percentile returns the p-th percentile of ns (ns is reordered).
+func percentile(ns []int64, p float64) int64 {
+	if len(ns) == 0 {
+		return 0
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	idx := int(p * float64(len(ns)-1))
+	return ns[idx]
+}
+
+// overloadSrc generates the i-th distinct program of the storm corpus: a
+// chain of small functions wide enough that a cold compile takes a few
+// milliseconds (so concurrent arrivals actually collide on the scarce
+// compile slots), distinct enough that every request is a cold compile
+// (cache hits would let the daemon absorb the storm without ever
+// shedding).
+func overloadSrc(i int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fn f0(n: i64) -> i64 { if n < 2 { n + %d } else { f0(n - 1) + f0(n - 2) } }\n", i)
+	// The chain length is tuned so a cold compile runs tens of
+	// milliseconds — well past the Go scheduler's preemption quantum, so
+	// that even on a single-CPU machine concurrent requests genuinely
+	// overlap at the admission gate instead of draining one per quantum.
+	const chain = 120
+	for k := 1; k <= chain; k++ {
+		fmt.Fprintf(&b, "fn f%d(n: i64) -> i64 { f%d(n) + %d }\n", k, k-1, k)
+	}
+	fmt.Fprintf(&b, "fn main(n: i64) -> i64 { f%d(n) }\n", chain)
+	return b.String()
+}
+
+// MeasureOverload runs the shed/retry storm against an in-process thorind
+// with deliberately scarce compile slots and returns the report. Every
+// client uses its index as its backoff-jitter seed, so the storm is as
+// reproducible as a concurrent measurement can be.
+func MeasureOverload(clients, perClient int, fast bool) (OverloadReport, error) {
+	if clients < 2 {
+		clients = 2
+	}
+	if perClient < 1 {
+		perClient = 1
+	}
+	const (
+		maxInFlight = 2
+		maxQueue    = 2
+	)
+	queueWait := 50 * time.Millisecond
+
+	srv := server.New(server.Config{
+		MaxInFlight: maxInFlight,
+		MaxQueue:    maxQueue,
+		QueueWait:   queueWait,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return OverloadReport{}, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer func() {
+		ctx, cancel := drainContext()
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	rep := OverloadReport{
+		Note: "thorind shed/retry storm: clients > compile slots, every request a distinct cold compile; " +
+			"sheds answer 429 + Retry-After, clients retry under capped exponential backoff with seeded jitter; " +
+			"p99 includes backoff waits (the cost of being shed); every request must eventually succeed",
+		Fast:              fast,
+		Clients:           clients,
+		RequestsPerClient: perClient,
+		MaxInFlight:       maxInFlight,
+		MaxQueue:          maxQueue,
+		QueueWaitMs:       queueWait.Milliseconds(),
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []int64
+		sheds     int64
+		retries   int64
+		succeeded int64
+		peakDepth int64
+		firstErr  error
+	)
+	countShed := func(cause error) {
+		var re *server.RemoteError
+		if errors.As(cause, &re) && re.Status == http.StatusTooManyRequests {
+			sheds++
+		}
+	}
+
+	// Sample the queue-depth gauge while the storm runs.
+	sampleDone := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-sampleDone:
+				return
+			case <-time.After(5 * time.Millisecond):
+				if d := srv.Metrics().QueueDepth; d > peakDepth {
+					mu.Lock()
+					if d > peakDepth {
+						peakDepth = d
+					}
+					mu.Unlock()
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	stormStart := time.Now()
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c := &server.Client{
+				Addr:           l.Addr().String(),
+				Retries:        16,
+				RetryBaseDelay: 10 * time.Millisecond,
+				RetryMaxDelay:  200 * time.Millisecond,
+				Seed:           int64(ci),
+				OnRetry: func(_ int, cause error, _ time.Duration) {
+					mu.Lock()
+					retries++
+					countShed(cause)
+					mu.Unlock()
+				},
+			}
+			for j := 0; j < perClient; j++ {
+				req := &driver.Request{Source: overloadSrc(ci*perClient + j)}
+				start := time.Now()
+				resp, _, err := c.Compile(req)
+				elapsed := time.Since(start).Nanoseconds()
+				mu.Lock()
+				if err != nil {
+					countShed(err)
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d request %d never succeeded: %w", ci, j, err)
+					}
+				} else {
+					succeeded++
+					latencies = append(latencies, elapsed)
+					_ = resp
+				}
+				mu.Unlock()
+			}
+		}(ci)
+	}
+	wg.Wait()
+	stormWall := time.Since(stormStart)
+	close(sampleDone)
+
+	if firstErr != nil {
+		return rep, firstErr
+	}
+	total := int64(clients * perClient)
+	if succeeded != total {
+		return rep, fmt.Errorf("only %d of %d requests succeeded", succeeded, total)
+	}
+
+	rep.Succeeded = succeeded
+	rep.Sheds = sheds
+	rep.Retries = retries
+	attempts := total + retries
+	rep.ShedRate = float64(sheds) / float64(attempts)
+	rep.P50Ns = percentile(latencies, 0.50)
+	rep.P99Ns = percentile(latencies, 0.99)
+	rep.ThroughputRps = float64(total) / stormWall.Seconds()
+	rep.PeakQueueDepth = peakDepth
+
+	c := &server.Client{Addr: l.Addr().String()}
+	m, err := c.Metrics()
+	if err != nil {
+		return rep, err
+	}
+	rep.ServerSheds = m.Sheds
+	rep.ServerRetriesObserved = m.RetriesObserved
+	rep.ServerOK = m.OK
+	if m.Sheds != sheds {
+		return rep, fmt.Errorf("daemon counted %d sheds, clients observed %d", m.Sheds, sheds)
+	}
+	if m.RetriesObserved != retries {
+		return rep, fmt.Errorf("daemon observed %d retries, clients performed %d", m.RetriesObserved, retries)
+	}
+	if m.OK != total {
+		return rep, fmt.Errorf("daemon served %d OK, want %d", m.OK, total)
+	}
+	return rep, nil
+}
+
+// WriteOverloadJSON serializes an overload report.
+func WriteOverloadJSON(w io.Writer, rep OverloadReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadOverloadReport parses a serialized overload report.
+func ReadOverloadReport(r io.Reader) (OverloadReport, error) {
+	var rep OverloadReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("bench: bad overload report: %w", err)
+	}
+	return rep, nil
+}

@@ -1,0 +1,36 @@
+package bench
+
+import "testing"
+
+// TestOverloadSmoke is the CI gate for the shed/retry storm: more
+// retrying clients than compile slots against a deliberately tiny
+// admission gate. MeasureOverload fails internally if any request never
+// succeeds or if the daemon's shed/retry counters disagree with what the
+// clients observed, so the assertions here check the report's shape and
+// that the storm actually overloaded the daemon (a storm with zero sheds
+// would mean the gate never saturated and the measurement proved nothing).
+func TestOverloadSmoke(t *testing.T) {
+	const clients, perClient = 6, 2
+	rep, err := MeasureOverload(clients, perClient, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(clients * perClient); rep.Succeeded != want {
+		t.Fatalf("succeeded=%d, want %d", rep.Succeeded, want)
+	}
+	if rep.Sheds == 0 {
+		t.Error("storm produced no sheds: admission gate never saturated")
+	}
+	if rep.Retries < rep.Sheds {
+		t.Errorf("retries=%d < sheds=%d: a shed mid-budget must be retried", rep.Retries, rep.Sheds)
+	}
+	if rep.ShedRate <= 0 || rep.ShedRate >= 1 {
+		t.Errorf("shed rate %.3f out of (0,1)", rep.ShedRate)
+	}
+	if rep.P50Ns <= 0 || rep.P99Ns < rep.P50Ns {
+		t.Errorf("degenerate latency percentiles: p50=%d p99=%d", rep.P50Ns, rep.P99Ns)
+	}
+	if rep.ThroughputRps <= 0 {
+		t.Errorf("throughput %.2f rps", rep.ThroughputRps)
+	}
+}

@@ -1,0 +1,73 @@
+package driver
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thorin/internal/analysis"
+	"thorin/internal/pm"
+)
+
+// unwritableCrashDir returns a CrashDir that cannot be created: a path
+// whose parent is a regular file, so MkdirAll fails on every platform and
+// under every umask (unlike permission tricks, which root ignores).
+func unwritableCrashDir(t *testing.T) string {
+	t.Helper()
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(f, "crashes")
+}
+
+// TestBundleWriteFailureKeepsPassError: when the crash bundle cannot be
+// written, the fail-fast error must still be the pass failure — attributed
+// to the pass, matched by pm.FailedPass — with the write failure reported
+// alongside, never instead.
+func TestBundleWriteFailureKeepsPassError(t *testing.T) {
+	_, err := CompileSpec(failureSrc, faultySpec, analysis.ScheduleSmart, Config{
+		CrashDir: unwritableCrashDir(t),
+	})
+	if err == nil {
+		t.Fatal("expected the compile to fail")
+	}
+	var bwe *BundleWriteError
+	if !errors.As(err, &bwe) {
+		t.Fatalf("want BundleWriteError, got %T: %v", err, err)
+	}
+	if pass, ok := pm.FailedPass(err); !ok || pass != "d-panic" {
+		t.Fatalf("pass failure masked by bundle-write failure: FailedPass = %q/%v from %v", pass, ok, err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "d-panic") {
+		t.Errorf("error does not name the failing pass: %v", msg)
+	}
+	if !strings.Contains(msg, "crash bundle could not be written") {
+		t.Errorf("error does not report the bundle-write failure: %v", msg)
+	}
+}
+
+// TestDegradeSurfacesBundleWriteFailure: graceful degradation with an
+// unwritable crash dir still succeeds and reports the write failure on the
+// result instead of silently dropping the bundle.
+func TestDegradeSurfacesBundleWriteFailure(t *testing.T) {
+	res, err := CompileSpec(failureSrc, faultySpec, analysis.ScheduleSmart, Config{
+		CrashDir:      unwritableCrashDir(t),
+		OnPassFailure: Degrade,
+	})
+	if err != nil {
+		t.Fatalf("degradation failed: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("result not marked degraded")
+	}
+	if res.CrashBundle != "" {
+		t.Errorf("CrashBundle = %q for a failed bundle write", res.CrashBundle)
+	}
+	if res.CrashBundleErr == "" {
+		t.Error("CrashBundleErr empty: the failed bundle write was silently dropped")
+	}
+}

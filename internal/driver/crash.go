@@ -41,6 +41,24 @@ func (e *BundledError) Error() string {
 
 func (e *BundledError) Unwrap() error { return e.Err }
 
+// BundleWriteError is a fail-fast pass failure whose crash bundle could
+// not be written (read-only crash dir, full disk). The original pass
+// failure stays first-class — it wraps Err so pm.FailedPass and
+// errors.Is/As keep working — and the write failure rides along instead of
+// masking it.
+type BundleWriteError struct {
+	// Err is the pass failure the bundle was meant to record.
+	Err error
+	// WriteErr is why the bundle could not be written.
+	WriteErr error
+}
+
+func (e *BundleWriteError) Error() string {
+	return fmt.Sprintf("%v (crash bundle could not be written: %v)", e.Err, e.WriteErr)
+}
+
+func (e *BundleWriteError) Unwrap() error { return e.Err }
+
 // CrashBundle returns the replayable crash-bundle path recorded in err's
 // chain, if any.
 func CrashBundle(err error) (string, bool) {

@@ -5,6 +5,7 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime/debug"
@@ -42,6 +43,10 @@ type Result struct {
 	// CrashBundle is the path of the reproduction bundle written for the
 	// first failure, if Config.CrashDir was set.
 	CrashBundle string
+	// CrashBundleErr reports why the bundle could not be written when the
+	// write failed (CrashBundle is then empty); the pass failure that
+	// triggered the bundle is never masked by it.
+	CrashBundleErr string
 }
 
 // FailurePolicy selects how CompileSpec reacts when an optimizer pass
@@ -91,6 +96,13 @@ type Config struct {
 	// way; this is the escape hatch (and the reference mode the differential
 	// tests compare against). thorinc exposes it as -incremental=off.
 	DisableIncremental bool
+	// Ctx, when non-nil, cancels the compile cooperatively: the pipeline
+	// stops at the next pass boundary (or between parallel analysis
+	// targets) with pm.ErrCanceled when the context is canceled, or
+	// pm.ErrDeadline when it timed out. The compile server derives this
+	// from the HTTP request context, so a disconnected client stops
+	// consuming workers.
+	Ctx context.Context
 }
 
 // IRStats summarizes the IR after a pipeline run.
@@ -122,14 +134,23 @@ func CompileSpec(src, spec string, mode analysis.Mode, cfg Config) (*Result, err
 		return nil, err
 	}
 	var bundle string
+	var bundleErr error
 	if cfg.CrashDir != "" {
+		// A failed bundle write (read-only dir, full disk) must not mask
+		// the pass failure it was meant to record: both errors are
+		// reported, the original one first.
 		if p, werr := WriteCrashBundle(cfg.CrashDir, src, spec, cfg, pass, err); werr == nil {
 			bundle = p
+		} else {
+			bundleErr = werr
 		}
 	}
 	if cfg.OnPassFailure != Degrade {
 		if bundle != "" {
 			return nil, &BundledError{Err: err, Bundle: bundle}
+		}
+		if bundleErr != nil {
+			return nil, &BundleWriteError{Err: err, WriteErr: bundleErr}
 		}
 		return nil, err
 	}
@@ -143,6 +164,11 @@ func CompileSpec(src, spec string, mode analysis.Mode, cfg Config) (*Result, err
 	var failed []string
 	cur := spec
 	for attempt := 0; attempt < 8; attempt++ {
+		// An abandoned request (canceled context) gains nothing from
+		// retries: every recompile would stop at its first pass boundary.
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			return nil, fmt.Errorf("driver: graceful degradation abandoned: %w", err)
+		}
 		if p, ok := pm.FailedPass(err); ok && !tried[p] {
 			tried[p] = true
 			failed = append(failed, p)
@@ -164,6 +190,9 @@ func CompileSpec(src, spec string, mode analysis.Mode, cfg Config) (*Result, err
 			res.Degraded = true
 			res.FailedPasses = failed
 			res.CrashBundle = bundle
+			if bundleErr != nil {
+				res.CrashBundleErr = bundleErr.Error()
+			}
 			return res, nil
 		}
 		err = rerr
@@ -185,6 +214,7 @@ func compileOnce(src, spec string, mode analysis.Mode, cfg Config) (*Result, err
 	ctx := pm.NewContext(w)
 	ctx.VerifyEach = cfg.VerifyEach
 	ctx.Budget = cfg.Budget
+	ctx.Ctx = cfg.Ctx
 	if cfg.Jobs > 0 {
 		ctx.Jobs = cfg.Jobs
 	}

@@ -1,7 +1,9 @@
 package driver
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"thorin/internal/analysis"
 	"thorin/internal/link"
@@ -53,6 +55,13 @@ type Request struct {
 	OnFailure string `json:"on_failure,omitempty"`
 	// Budget is a pm.ParseBudget spec, e.g. "iters=8,nodes=200000,time=30s".
 	Budget string `json:"budget,omitempty"`
+	// DeadlineMs, when positive, bounds the request's wall-clock compile
+	// time in milliseconds: the compile is run under a context with this
+	// timeout and stops cooperatively at the next pass boundary when it
+	// expires (pm.ErrDeadline; the server answers 504). Like the nodes/time
+	// budgets it never enters the cache key — a deadline can only fail a
+	// compile, never change a successful one's output.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 	// DisableIncremental turns off journal-driven pass skipping. Like
 	// Jobs it never enters the cache key: output is identical either way.
 	DisableIncremental bool `json:"disable_incremental,omitempty"`
@@ -132,6 +141,15 @@ func (r *Request) Config(crashDir string) (Config, error) {
 // handled per the request's on_failure policy and, with crashDir set, leave
 // a reproduction bundle exactly like a thorinc run would.
 func CompileRequest(req *Request, crashDir string) (*Result, error) {
+	return CompileRequestCtx(context.Background(), req, crashDir)
+}
+
+// CompileRequestCtx is CompileRequest under a caller context: the compile
+// observes ctx (and the request's own deadline_ms, whichever is tighter)
+// cooperatively, stopping at the next pass boundary with pm.ErrCanceled or
+// pm.ErrDeadline. The compile server passes the HTTP request context here,
+// which is how a disconnected client's compile frees its workers.
+func CompileRequestCtx(ctx context.Context, req *Request, crashDir string) (*Result, error) {
 	if req.Source == "" && len(req.Sources) == 0 {
 		return nil, fmt.Errorf("driver: request has no source")
 	}
@@ -150,6 +168,12 @@ func CompileRequest(req *Request, crashDir string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if req.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+		defer cancel()
+	}
+	cfg.Ctx = ctx
 	if len(req.Sources) > 0 {
 		linkMode, err := req.ResolvedLinkMode()
 		if err != nil {

@@ -1,0 +1,208 @@
+// Package faultinject is a deterministic fault-injection harness: a set of
+// named injection points armed with seeded rules that decide, per hit,
+// whether the point faults. Production code threads an *Injector through
+// the seams it wants testable (disk I/O in the artifact cache, pass
+// execution, the HTTP transport) and asks Fail(point) at each; a nil
+// Injector answers nil everywhere at negligible cost, so the seams are free
+// in production.
+//
+// Determinism is the whole point: every random decision comes from one
+// seeded PRNG owned by the Injector, so a chaos run is replayable from its
+// seed alone, and the per-point hit/fired counters let a test reconcile
+// observed failures exactly against injected ones ("metrics never lie").
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Rule decides whether one hit of an injection point faults. Rules are
+// evaluated under the Injector's lock, in arming order, with the injector's
+// seeded PRNG; the first rule that fires wins.
+type Rule struct {
+	// Prob fires with this probability per hit (0 disables, 1 always).
+	Prob float64
+	// Nth fires on every Nth hit (1-based: Nth=3 fires hits 3, 6, 9, ...).
+	// 0 disables.
+	Nth int
+	// First and Count fire on hits [First, First+Count) (1-based). Count 0
+	// disables. Use First=1, Count=n for "the first n hits".
+	First, Count int
+	// Err is the error the point returns when the rule fires. A firing
+	// rule with a nil Err still counts as fired — callers that need only a
+	// boolean decision (e.g. "tear this write") arm rules without errors
+	// and test Fail's second return.
+	Err error
+}
+
+// Always returns a rule that fires on every hit with err.
+func Always(err error) Rule { return Rule{Prob: 1, Err: err} }
+
+// Prob returns a rule that fires with probability p per hit.
+func Prob(p float64, err error) Rule { return Rule{Prob: p, Err: err} }
+
+// Times returns a rule that fires on the first n hits only.
+func Times(n int, err error) Rule { return Rule{First: 1, Count: n, Err: err} }
+
+// Nth returns a rule that fires on every nth hit (1-based).
+func Nth(n int, err error) Rule { return Rule{Nth: n, Err: err} }
+
+// Count is one point's evaluation record.
+type Count struct {
+	// Hits is how many times the point was evaluated (Fail called).
+	Hits int64
+	// Fired is how many of those evaluations faulted.
+	Fired int64
+}
+
+// Injector is a seeded fault plan. The zero value is not usable; create
+// with New. All methods are safe for concurrent use, and all methods are
+// nil-safe: a nil *Injector never faults and counts nothing, so production
+// code can call through it unconditionally.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  map[string][]Rule
+	counts map[string]*Count
+}
+
+// New creates an Injector whose probabilistic decisions derive from seed.
+// The same seed and the same sequence of Fail calls produce the same
+// faults.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		rules:  make(map[string][]Rule),
+		counts: make(map[string]*Count),
+	}
+}
+
+// Arm adds a rule to point. Multiple rules on one point are evaluated in
+// arming order; the first that fires decides the hit.
+func (in *Injector) Arm(point string, r Rule) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[point] = append(in.rules[point], r)
+}
+
+// Disarm removes every rule from point (its counters survive).
+func (in *Injector) Disarm(point string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.rules, point)
+}
+
+// Fail evaluates one hit of point. fired reports whether a rule fired; err
+// is that rule's error (which may be nil even when fired — see Rule.Err).
+// On a nil Injector it reports (nil, false) without counting.
+func (in *Injector) Fail(point string) (err error, fired bool) {
+	if in == nil {
+		return nil, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c := in.counts[point]
+	if c == nil {
+		c = &Count{}
+		in.counts[point] = c
+	}
+	c.Hits++
+	for _, r := range in.rules[point] {
+		if in.firesLocked(r, c.Hits) {
+			c.Fired++
+			return r.Err, true
+		}
+	}
+	return nil, false
+}
+
+// Err is Fail for callers that only want the error: it returns the armed
+// error when a rule fires and nil otherwise. A fired rule with a nil error
+// is indistinguishable from no fault here; use Fail for decision-only
+// points.
+func (in *Injector) Err(point string) error {
+	err, _ := in.Fail(point)
+	return err
+}
+
+// firesLocked evaluates one rule against the current (1-based) hit number.
+func (in *Injector) firesLocked(r Rule, hit int64) bool {
+	if r.Count > 0 && hit >= int64(r.First) && hit < int64(r.First+r.Count) {
+		return true
+	}
+	if r.Nth > 0 && hit%int64(r.Nth) == 0 {
+		return true
+	}
+	if r.Prob > 0 && in.rng.Float64() < r.Prob {
+		return true
+	}
+	return false
+}
+
+// Hits returns how many times point was evaluated.
+func (in *Injector) Hits(point string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if c := in.counts[point]; c != nil {
+		return c.Hits
+	}
+	return 0
+}
+
+// Fired returns how many evaluations of point faulted.
+func (in *Injector) Fired(point string) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if c := in.counts[point]; c != nil {
+		return c.Fired
+	}
+	return 0
+}
+
+// Counts snapshots every point's evaluation record.
+func (in *Injector) Counts() map[string]Count {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]Count, len(in.counts))
+	for p, c := range in.counts {
+		out[p] = *c
+	}
+	return out
+}
+
+// String renders the counters in sorted point order (for test logs).
+func (in *Injector) String() string {
+	if in == nil {
+		return "faultinject: disabled"
+	}
+	counts := in.Counts()
+	points := make([]string, 0, len(counts))
+	for p := range counts {
+		points = append(points, p)
+	}
+	sort.Strings(points)
+	s := "faultinject:"
+	for _, p := range points {
+		c := counts[p]
+		s += fmt.Sprintf(" %s=%d/%d", p, c.Fired, c.Hits)
+	}
+	return s
+}

@@ -1,0 +1,138 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+var errBoom = errors.New("boom")
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	in.Arm("p", Always(errBoom)) // must not panic
+	if err, fired := in.Fail("p"); err != nil || fired {
+		t.Errorf("nil injector faulted: %v %v", err, fired)
+	}
+	if in.Err("p") != nil || in.Hits("p") != 0 || in.Fired("p") != 0 {
+		t.Error("nil injector counted something")
+	}
+	if in.Counts() != nil {
+		t.Error("nil injector returned counts")
+	}
+}
+
+func TestTimesAndNth(t *testing.T) {
+	in := New(1)
+	in.Arm("first2", Times(2, errBoom))
+	in.Arm("every3", Nth(3, errBoom))
+	var first2, every3 []bool
+	for i := 0; i < 9; i++ {
+		_, f := in.Fail("first2")
+		first2 = append(first2, f)
+		_, g := in.Fail("every3")
+		every3 = append(every3, g)
+	}
+	wantFirst2 := []bool{true, true, false, false, false, false, false, false, false}
+	wantEvery3 := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range wantFirst2 {
+		if first2[i] != wantFirst2[i] {
+			t.Errorf("Times(2) hit %d fired=%v, want %v", i+1, first2[i], wantFirst2[i])
+		}
+		if every3[i] != wantEvery3[i] {
+			t.Errorf("Nth(3) hit %d fired=%v, want %v", i+1, every3[i], wantEvery3[i])
+		}
+	}
+	if in.Hits("first2") != 9 || in.Fired("first2") != 2 {
+		t.Errorf("first2 counts %d/%d, want 9/2", in.Hits("first2"), in.Fired("first2"))
+	}
+	if in.Fired("every3") != 3 {
+		t.Errorf("every3 fired %d, want 3", in.Fired("every3"))
+	}
+}
+
+// TestProbDeterministic: the same seed and call sequence produce the same
+// fault pattern — the property the chaos suite's replayability rests on.
+func TestProbDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := New(seed)
+		in.Arm("p", Prob(0.3, errBoom))
+		var out []bool
+		for i := 0; i < 200; i++ {
+			_, f := in.Fail("p")
+			out = append(out, f)
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i+1)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("Prob(0.3) fired %d/200 — rule not probabilistic", fired)
+	}
+}
+
+func TestDisarmAndErr(t *testing.T) {
+	in := New(7)
+	in.Arm("p", Always(errBoom))
+	if err := in.Err("p"); !errors.Is(err, errBoom) {
+		t.Fatalf("armed point returned %v", err)
+	}
+	in.Disarm("p")
+	if err := in.Err("p"); err != nil {
+		t.Fatalf("disarmed point returned %v", err)
+	}
+	if in.Hits("p") != 2 {
+		t.Errorf("hits %d, want 2 (counters survive Disarm)", in.Hits("p"))
+	}
+}
+
+// TestFiredWithoutError: decision-only rules (nil Err) still report fired,
+// which is how the cache expresses "tear this write" without an error.
+func TestFiredWithoutError(t *testing.T) {
+	in := New(7)
+	in.Arm("tear", Times(1, nil))
+	err, fired := in.Fail("tear")
+	if err != nil || !fired {
+		t.Errorf("decision-only rule: err=%v fired=%v, want nil/true", err, fired)
+	}
+}
+
+// TestConcurrentCounts: hits from many goroutines all land; total
+// reconciles exactly.
+func TestConcurrentCounts(t *testing.T) {
+	in := New(3)
+	in.Arm("p", Nth(10, errBoom))
+	var wg sync.WaitGroup
+	const workers, per = 8, 250
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				in.Fail("p")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Hits("p"); got != workers*per {
+		t.Errorf("hits %d, want %d", got, workers*per)
+	}
+	if got := in.Fired("p"); got != workers*per/10 {
+		t.Errorf("fired %d, want %d", got, workers*per/10)
+	}
+	want := fmt.Sprintf("faultinject: p=%d/%d", workers*per/10, workers*per)
+	if in.String() != want {
+		t.Errorf("String() = %q, want %q", in.String(), want)
+	}
+}

@@ -1,6 +1,7 @@
 package pm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -31,12 +32,26 @@ type Budget struct {
 // ErrNodeBudget is returned (wrapped) when the world outgrows Budget.MaxNodes.
 var ErrNodeBudget = errors.New("pm: node budget exceeded")
 
-// ErrDeadline is returned (wrapped) when Budget.Deadline passes mid-pipeline.
+// ErrDeadline is returned (wrapped) when Budget.Deadline passes mid-pipeline,
+// or when the run's Context.Ctx reaches its deadline.
 var ErrDeadline = errors.New("pm: compilation deadline exceeded")
+
+// ErrCanceled is returned (wrapped) when the run's Context.Ctx is canceled
+// mid-pipeline — e.g. a compile-server client disconnected and the request
+// context was torn down. The pipeline stops cooperatively at the next check
+// seam (between passes, between fixpoint iterations, between parallel
+// analysis targets) so an abandoned compile frees its workers instead of
+// running to completion into the void.
+var ErrCanceled = errors.New("pm: compilation canceled")
 
 // check validates the world against the budget between passes. label names
 // the pipeline position being charged ("start", or the pass that just ran).
+// It is also the cancellation seam: a canceled or expired Context.Ctx stops
+// the pipeline here with ErrCanceled/ErrDeadline.
 func (b Budget) check(ctx *Context, label string) error {
+	if err := ctx.interrupted(label); err != nil {
+		return err
+	}
 	if !b.Deadline.IsZero() && time.Now().After(b.Deadline) {
 		return fmt.Errorf("%w at %s", ErrDeadline, label)
 	}
@@ -45,6 +60,24 @@ func (b Budget) check(ctx *Context, label string) error {
 			ErrNodeBudget, label, ctx.World.Generation(), b.MaxNodes)
 	}
 	return nil
+}
+
+// interrupted maps the run context's state to the budget error vocabulary:
+// a context that timed out reads as a deadline overrun, an explicit cancel
+// (client disconnect, server drain) as ErrCanceled. A nil Ctx never
+// interrupts.
+func (c *Context) interrupted(label string) error {
+	if c.Ctx == nil {
+		return nil
+	}
+	switch err := c.Ctx.Err(); {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w at %s", ErrDeadline, label)
+	default:
+		return fmt.Errorf("%w at %s", ErrCanceled, label)
+	}
 }
 
 // ParseBudget parses the -budget flag syntax: comma-separated key=value

@@ -84,9 +84,17 @@ func runScoped(ctx *Context, sr ScopeRewriter) (res Result, parallelism int, sta
 	errs := make([]error, len(targets))
 	stats = make([]WorkerStat, jobs)
 
+	// Cancellation seam for the analysis phase: each worker re-checks the
+	// run context between targets, so an abandoned request stops consuming
+	// the pool after at most one in-flight Analyze per worker.
+	cancelLabel := "pass " + sr.Name() + " analyze"
 	if jobs == 1 {
 		start := time.Now()
 		for i, c := range targets {
+			if cerr := ctx.interrupted(cancelLabel); cerr != nil {
+				errs[i] = cerr
+				break
+			}
 			plans[i], scopes[i], hits[i], errs[i] = analyzeOne(ctx, sr, c, memo)
 		}
 		stats[0] = WorkerStat{Worker: 0, Targets: len(targets), Time: time.Since(start)}
@@ -104,6 +112,10 @@ func runScoped(ctx *Context, sr ScopeRewriter) (res Result, parallelism int, sta
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(targets) {
+						break
+					}
+					if cerr := ctx.interrupted(cancelLabel); cerr != nil {
+						errs[i] = cerr
 						break
 					}
 					plans[i], scopes[i], hits[i], errs[i] = analyzeOne(ctx, sr, targets[i], memo)
@@ -128,6 +140,12 @@ func runScoped(ctx *Context, sr ScopeRewriter) (res Result, parallelism int, sta
 	}
 	for i, c := range targets {
 		c := c
+		// A canceled request stops between commits too: the half-committed
+		// world is only ever discarded (the request is abandoned, or the
+		// degrade path recompiles on a fresh world), never served.
+		if cerr := ctx.interrupted("pass " + sr.Name() + " commit"); cerr != nil {
+			return total, jobs, stats, memoHits, cerr
+		}
 		var cres Result
 		err := guard(sr.Name(), c.Name(), func() error {
 			var cerr error

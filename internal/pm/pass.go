@@ -11,6 +11,7 @@
 package pm
 
 import (
+	"context"
 	"os"
 	"strconv"
 
@@ -94,6 +95,13 @@ type Context struct {
 	// Budget bounds the run's fixpoint iterations, IR size and wall-clock
 	// time. The zero value imposes no extra limits.
 	Budget Budget
+	// Ctx, when non-nil, cancels the run cooperatively: the pipeline checks
+	// it at every budget seam — before and after each pass (hence between
+	// fixpoint iterations) and between targets inside the parallel analysis
+	// phase — and stops with ErrCanceled (or ErrDeadline when the context
+	// timed out). This is how an abandoned compile-server request frees its
+	// jobs-pool workers instead of compiling into the void.
+	Ctx context.Context
 	// Incremental enables journal-driven work skipping (see incremental.go):
 	// self-fixpointing passes whose input has not changed since they last ran
 	// are recorded as Skipped instead of executed, and ScopeRewriter analysis

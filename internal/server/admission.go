@@ -1,0 +1,108 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// admitResult is the outcome of one admission attempt.
+type admitResult int
+
+const (
+	// admitOK grants a compile slot; the caller must release it.
+	admitOK admitResult = iota
+	// admitShed refuses the request: the in-flight limit is reached and
+	// either the wait queue is full or the bounded wait timed out. The
+	// caller answers 429 with Retry-After.
+	admitShed
+	// admitGone means the request's context ended while it was queued; the
+	// caller classifies it as canceled or deadline-exceeded.
+	admitGone
+)
+
+// admission is the daemon's load-shedding gate: a bounded in-flight
+// semaphore fronted by a short bounded wait queue. A request either takes
+// a compile slot immediately, parks briefly in the queue for one to free
+// up, or is shed — the daemon degrades by answering fast 429s instead of
+// stacking unbounded goroutines until compile latency collapses for
+// everyone.
+//
+// Compiles are CPU-bound, so the slot count is sized to the machine
+// (DefaultMaxInFlight) rather than to connection counts; the queue exists
+// only to absorb sub-second bursts, not to buffer sustained overload.
+type admission struct {
+	slots chan struct{} // in-flight semaphore; nil means unlimited
+	queue chan struct{} // queue occupancy; bounds how many may wait
+	wait  time.Duration // longest a request may park in the queue
+	depth atomic.Int64  // live queue depth gauge
+}
+
+// newAdmission builds the gate. maxInFlight <= 0 disables admission
+// entirely (every request is admitted). maxQueue < 0 disables the queue
+// (full slots shed immediately); wait <= 0 likewise sheds without parking.
+func newAdmission(maxInFlight, maxQueue int, wait time.Duration) *admission {
+	if maxInFlight <= 0 {
+		return &admission{}
+	}
+	a := &admission{wait: wait}
+	a.slots = make(chan struct{}, maxInFlight)
+	if maxQueue > 0 {
+		a.queue = make(chan struct{}, maxQueue)
+	}
+	return a
+}
+
+// acquire attempts to admit one request under ctx. On admitOK the caller
+// owns a slot and must call release exactly once.
+func (a *admission) acquire(ctx context.Context) admitResult {
+	if a.slots == nil {
+		return admitOK
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return admitOK
+	default:
+	}
+	if a.queue == nil || a.wait <= 0 {
+		return admitShed
+	}
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return admitShed // queue full: shed without waiting
+	}
+	a.depth.Add(1)
+	defer func() {
+		a.depth.Add(-1)
+		<-a.queue
+	}()
+	timer := time.NewTimer(a.wait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return admitOK
+	case <-timer.C:
+		return admitShed
+	case <-ctx.Done():
+		return admitGone
+	}
+}
+
+// release frees the slot taken by a successful acquire.
+func (a *admission) release() {
+	if a.slots != nil {
+		<-a.slots
+	}
+}
+
+// queueDepth is the number of requests currently parked in the queue.
+func (a *admission) queueDepth() int64 {
+	return a.depth.Load()
+}
+
+// saturated reports whether the gate is currently refusing or parking new
+// work: every slot is taken and at least one request is waiting.
+func (a *admission) saturated() bool {
+	return a.slots != nil && len(a.slots) == cap(a.slots) && a.depth.Load() > 0
+}

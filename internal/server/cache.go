@@ -5,15 +5,19 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"thorin/internal/driver"
+	"thorin/internal/faultinject"
 	"thorin/internal/pm"
 )
 
@@ -106,10 +110,39 @@ func effectiveFixIters(b pm.Budget) int {
 	return pm.DefaultMaxFixIters
 }
 
+// Fault-injection points the cache consults when an Injector is attached
+// (see SetInjector). Points with errors fail the corresponding disk
+// operation; decision-only points (nil Rule.Err) alter its behavior.
+const (
+	// FaultDiskWrite fails the temp-file write of a disk Put (ENOSPC-style).
+	FaultDiskWrite = "cache.disk.write"
+	// FaultDiskTorn tears a disk Put: only half the artifact bytes reach
+	// the final file (decision-only). Read-time validation must catch it.
+	FaultDiskTorn = "cache.disk.torn"
+	// FaultDiskRead fails a disk Get's read.
+	FaultDiskRead = "cache.disk.read"
+	// FaultDiskRename fails the temp→final rename of a disk Put.
+	FaultDiskRename = "cache.disk.rename"
+	// FaultDiskAbandon abandons a disk Put after the temp write
+	// (decision-only): the temp file is left behind unrenamed, simulating a
+	// crash mid-write. Startup cleanup collects such leftovers.
+	FaultDiskAbandon = "cache.disk.abandon"
+)
+
+// defaultDiskProbeInterval is how often a disk-degraded cache retries the
+// disk tier (see probeDiskLocked).
+const defaultDiskProbeInterval = 5 * time.Second
+
 // Cache is the content-addressed artifact store: an in-memory LRU over
 // encoded artifact bytes, optionally backed by an on-disk directory that
 // survives daemon restarts. Entries are immutable once stored; the disk
 // tier is written through on Put and promoted into memory on Get.
+//
+// The disk tier is self-healing: any disk I/O failure (write, read,
+// rename) degrades the cache to memory-only — artifacts keep being served,
+// restarts just lose persistence — and a periodic recovery probe re-enables
+// the tier once the disk answers again. Degradation and recovery are
+// counted in Stats and surfaced by /healthz.
 type Cache struct {
 	mu       sync.Mutex
 	capacity int
@@ -117,7 +150,16 @@ type Cache struct {
 	entries  map[string]*list.Element
 	dir      string // "" disables the disk tier
 
+	inj *faultinject.Injector // nil in production: every Fail answers no
+
+	// Disk-tier health: diskDown set on the first I/O fault, cleared by a
+	// successful probe. lastProbe rate-limits probing to probeEvery.
+	diskDown   bool
+	probeEvery time.Duration
+	lastProbe  time.Time
+
 	hits, misses, diskHits, evictions, diskCorrupt int64
+	diskFaults, diskRecoveries, tempCleaned        int64
 }
 
 type cacheEntry struct {
@@ -127,17 +169,116 @@ type cacheEntry struct {
 
 // NewCache builds a cache holding at most capacity in-memory entries
 // (minimum 1). dir, when non-empty, enables the on-disk tier; it is
-// created on first use.
+// created on first use. Leftover temp files from torn temp+rename writes
+// of a previous (crashed) daemon are removed up front — they are
+// unreachable garbage that would otherwise accumulate forever.
 func NewCache(capacity int, dir string) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Cache{
-		capacity: capacity,
-		order:    list.New(),
-		entries:  make(map[string]*list.Element),
-		dir:      dir,
+	c := &Cache{
+		capacity:   capacity,
+		order:      list.New(),
+		entries:    make(map[string]*list.Element),
+		dir:        dir,
+		probeEvery: defaultDiskProbeInterval,
 	}
+	if dir != "" {
+		if stale, err := filepath.Glob(filepath.Join(dir, ".tmp-*")); err == nil {
+			for _, f := range stale {
+				if os.Remove(f) == nil {
+					c.tempCleaned++
+				}
+			}
+		}
+	}
+	return c
+}
+
+// SetInjector attaches a fault-injection plan to the disk tier (tests
+// only; nil detaches). See the Fault* point constants.
+func (c *Cache) SetInjector(inj *faultinject.Injector) {
+	c.mu.Lock()
+	c.inj = inj
+	c.mu.Unlock()
+}
+
+// SetDiskProbeInterval overrides how often a degraded disk tier is
+// re-probed (tests use 0 to probe on every operation).
+func (c *Cache) SetDiskProbeInterval(d time.Duration) {
+	c.mu.Lock()
+	c.probeEvery = d
+	c.mu.Unlock()
+}
+
+// injector snapshots the attached injector under the lock.
+func (c *Cache) injector() *faultinject.Injector {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inj
+}
+
+// diskFault records one disk I/O failure and degrades the tier to
+// memory-only until a probe succeeds.
+func (c *Cache) diskFault() {
+	c.mu.Lock()
+	c.diskFaults++
+	c.diskDown = true
+	c.mu.Unlock()
+}
+
+// diskAvailable reports whether the disk tier should be used right now.
+// While degraded it runs the recovery probe at most once per probeEvery:
+// write, read back and remove a probe file (through the injector, so a
+// still-armed fault plan keeps the tier down deterministically). A
+// successful probe re-enables the tier.
+func (c *Cache) diskAvailable() bool {
+	c.mu.Lock()
+	if c.dir == "" {
+		c.mu.Unlock()
+		return false
+	}
+	if !c.diskDown {
+		c.mu.Unlock()
+		return true
+	}
+	if time.Since(c.lastProbe) < c.probeEvery {
+		c.mu.Unlock()
+		return false
+	}
+	c.lastProbe = time.Now()
+	inj := c.inj
+	dir := c.dir
+	c.mu.Unlock()
+
+	probe := filepath.Join(dir, ".thorind-probe")
+	ok := func() bool {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return false
+		}
+		if err := inj.Err(FaultDiskWrite); err != nil {
+			return false
+		}
+		if err := os.WriteFile(probe, []byte("ok"), 0o644); err != nil {
+			return false
+		}
+		if err := inj.Err(FaultDiskRead); err != nil {
+			return false
+		}
+		if _, err := os.ReadFile(probe); err != nil {
+			return false
+		}
+		return true
+	}()
+	os.Remove(probe)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ok && c.diskDown {
+		c.diskDown = false
+		c.diskRecoveries++
+	}
+	return ok
 }
 
 // Get returns the artifact bytes stored under key. tier reports where the
@@ -154,8 +295,13 @@ func (c *Cache) Get(key string) (data []byte, tier string) {
 	}
 	c.mu.Unlock()
 
-	if c.dir != "" {
-		if data, err := os.ReadFile(c.diskPath(key)); err == nil {
+	if c.diskAvailable() {
+		data, err := os.ReadFile(c.diskPath(key))
+		if err == nil {
+			err = c.injector().Err(FaultDiskRead)
+		}
+		switch {
+		case err == nil:
 			// Never promote unvalidated bytes: a truncated write or a
 			// foreign file under the cache dir would otherwise enter the
 			// LRU and be re-served on every future hit. A corrupt file is
@@ -174,6 +320,13 @@ func (c *Cache) Get(key string) (data []byte, tier string) {
 			c.misses++
 			c.mu.Unlock()
 			return nil, ""
+		case errors.Is(err, fs.ErrNotExist):
+			// An absent file is an ordinary miss, not a disk fault.
+		default:
+			// An I/O error (bad sector, injected read fault) degrades the
+			// tier: the Get falls through to a miss and the slot recompiles,
+			// which is always safe for a content-addressed store.
+			c.diskFault()
 		}
 	}
 
@@ -198,16 +351,29 @@ func validArtifact(data []byte) bool {
 }
 
 // Put stores the artifact bytes under key in memory and, when the disk
-// tier is enabled, on disk (atomically, via rename). A disk write failure
-// is reported but does not affect the in-memory store.
+// tier is enabled and healthy, on disk (atomically, via rename). A disk
+// failure is reported and degrades the tier to memory-only, but never
+// affects the in-memory store: the artifact is still served, persistence
+// is what is lost.
 func (c *Cache) Put(key string, data []byte) error {
 	c.mu.Lock()
 	c.insertLocked(key, data)
 	c.mu.Unlock()
 
-	if c.dir == "" {
+	if !c.diskAvailable() {
 		return nil
 	}
+	if err := c.putDisk(key, data); err != nil {
+		c.diskFault()
+		return err
+	}
+	return nil
+}
+
+// putDisk is the disk half of Put: temp write + rename, with the
+// fault-injection points threaded through each step.
+func (c *Cache) putDisk(key string, data []byte) error {
+	inj := c.injector()
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return fmt.Errorf("server: cache dir: %w", err)
 	}
@@ -216,12 +382,34 @@ func (c *Cache) Put(key string, data []byte) error {
 	if err != nil {
 		return fmt.Errorf("server: cache write: %w", err)
 	}
+	if err := inj.Err(FaultDiskWrite); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: cache write: %w", err)
+	}
+	if _, torn := inj.Fail(FaultDiskTorn); torn {
+		// A torn write: half the bytes land and the file is still renamed
+		// into place, as if the machine lost power after the rename was
+		// queued. Read-time validation must refuse to serve it.
+		data = data[:len(data)/2]
+	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("server: cache write: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("server: cache write: %w", err)
+	}
+	if _, abandon := inj.Fail(FaultDiskAbandon); abandon {
+		// Simulated crash between write and rename: the temp file stays
+		// behind for the next daemon's startup cleanup to collect. Not a
+		// fault from the caller's point of view — the artifact simply never
+		// persisted.
+		return nil
+	}
+	if err := inj.Err(FaultDiskRename); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("server: cache write: %w", err)
 	}
@@ -273,6 +461,17 @@ type CacheStats struct {
 	// DiskCorrupt counts disk files that failed artifact validation on
 	// promotion; each was deleted and its Get served as a miss.
 	DiskCorrupt int64 `json:"disk_corrupt,omitempty"`
+	// DiskFaults counts disk I/O failures; each degraded the tier to
+	// memory-only until a recovery probe succeeded.
+	DiskFaults int64 `json:"disk_faults,omitempty"`
+	// DiskRecoveries counts successful recovery probes that re-enabled a
+	// degraded disk tier.
+	DiskRecoveries int64 `json:"disk_recoveries,omitempty"`
+	// DiskDegraded reports whether the disk tier is currently down
+	// (memory-only operation).
+	DiskDegraded bool `json:"disk_degraded,omitempty"`
+	// TempCleaned counts leftover temp files removed at startup.
+	TempCleaned int64 `json:"temp_cleaned,omitempty"`
 }
 
 // Stats snapshots the cache counters. A Get that falls through to the
@@ -281,12 +480,24 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:     c.order.Len(),
-		Capacity:    c.capacity,
-		Hits:        c.hits,
-		Misses:      c.misses,
-		DiskHits:    c.diskHits,
-		Evictions:   c.evictions,
-		DiskCorrupt: c.diskCorrupt,
+		Entries:        c.order.Len(),
+		Capacity:       c.capacity,
+		Hits:           c.hits,
+		Misses:         c.misses,
+		DiskHits:       c.diskHits,
+		Evictions:      c.evictions,
+		DiskCorrupt:    c.diskCorrupt,
+		DiskFaults:     c.diskFaults,
+		DiskRecoveries: c.diskRecoveries,
+		DiskDegraded:   c.diskDown,
+		TempCleaned:    c.tempCleaned,
 	}
+}
+
+// DiskDegraded reports whether the disk tier is currently degraded to
+// memory-only operation (healthz surfaces this).
+func (c *Cache) DiskDegraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.diskDown
 }

@@ -1,0 +1,409 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"thorin/internal/driver"
+	"thorin/internal/faultinject"
+	"thorin/internal/pm"
+)
+
+// The chaos suite drives the daemon through deterministic injected faults
+// — disk failures, torn writes, transient HTTP faults, flaky passes,
+// overload — and asserts the resilience invariants:
+//
+//  1. the daemon never dies: every request is answered, /healthz answers
+//     at the end;
+//  2. a corrupt or truncated artifact is never served: every 200 response
+//     carries bytes identical to a fault-free compile of the same request;
+//  3. the metrics reconcile exactly with the injected fault counts and
+//     client-side observations;
+//  4. disk faults degrade the cache to memory-only and a recovery probe
+//     restores it.
+//
+// `make chaos` runs it seeded (THORIN_CHAOS_SEED) plus a -race smoke.
+
+// FaultPassFlaky is the pass-pipeline injection point: the srv-flaky test
+// pass fails with the rule's error when it fires.
+const FaultPassFlaky = "pass.flaky"
+
+// chaosPassInj is consulted by srv-flaky; nil (the default) never fires,
+// so other suites can use the pass as a no-op. Guarded for -race.
+var (
+	chaosPassMu  sync.Mutex
+	chaosPassInj *faultinject.Injector
+)
+
+type srvFlakyPass struct{}
+
+func (srvFlakyPass) Name() string { return "srv-flaky" }
+func (srvFlakyPass) Run(*pm.Context) (pm.Result, error) {
+	chaosPassMu.Lock()
+	inj := chaosPassInj
+	chaosPassMu.Unlock()
+	if err, fired := inj.Fail(FaultPassFlaky); fired {
+		return pm.Result{}, err
+	}
+	return pm.Result{}, nil
+}
+
+func init() { pm.Register(srvFlakyPass{}) }
+
+const flakySpec = "cleanup,srv-flaky,cleanup,closure"
+
+// chaosSeed returns the suite's deterministic seed, overridable via
+// THORIN_CHAOS_SEED so CI can rotate seeds without a code change.
+func chaosSeed(t *testing.T) int64 {
+	if s := os.Getenv("THORIN_CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad THORIN_CHAOS_SEED %q: %v", s, err)
+		}
+		return n
+	}
+	return 1
+}
+
+func chaosSrc(i int) string {
+	return fmt.Sprintf(`
+fn work(n: i64) -> i64 { if n < 2 { n + %d } else { work(n - 1) + work(n - 2) } }
+fn main(n: i64) -> i64 { work(n) }
+`, i)
+}
+
+// compileInProcess runs one request through a server's handler without a
+// socket and returns (status, decoded response or error body).
+func compileInProcess(t *testing.T, s *Server, req *driver.Request) (int, *CompileResponse) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, compilePost(t, req))
+	if rec.Code != http.StatusOK {
+		return rec.Code, nil
+	}
+	var resp CompileResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad /compile body: %v", err)
+	}
+	return rec.Code, &resp
+}
+
+// TestChaosStorm is the end-to-end chaos run: retrying clients hammer an
+// overload-prone daemon while pass faults, transient HTTP faults and a
+// disk fault fire on deterministic schedules, and every counter must
+// reconcile exactly afterwards.
+func TestChaosStorm(t *testing.T) {
+	seed := chaosSeed(t)
+	const (
+		nClients  = 8
+		nSources  = 6
+		httpFires = 3 // injected transient 503s
+		passFires = 4 // injected pass failures
+		diskFires = 1 // injected disk write failure
+	)
+
+	// Fault-free baseline: the artifact bytes every chaos-run success must
+	// match, per (source, spec) pair.
+	baseSrv := New(Config{})
+	baseline := make(map[string][]byte)
+	for i := 0; i < nSources; i++ {
+		for _, spec := range []string{"", flakySpec} {
+			code, resp := compileInProcess(t, baseSrv, &driver.Request{Source: chaosSrc(i), Spec: spec})
+			if code != http.StatusOK {
+				t.Fatalf("baseline compile %d/%q: HTTP %d", i, spec, code)
+			}
+			baseline[chaosSrc(i)+"\x00"+spec] = resp.Artifact
+		}
+	}
+
+	errENOSPC := errors.New("injected: no space left on device")
+	inj := faultinject.New(seed)
+	inj.Arm(FaultHTTPResponse, faultinject.Times(httpFires, errors.New("injected transient fault")))
+	inj.Arm(FaultDiskWrite, faultinject.Times(diskFires, errENOSPC))
+
+	passInj := faultinject.New(seed + 1)
+	passInj.Arm(FaultPassFlaky, faultinject.Times(passFires, errors.New("injected pass fault")))
+	chaosPassMu.Lock()
+	chaosPassInj = passInj
+	chaosPassMu.Unlock()
+	defer func() {
+		chaosPassMu.Lock()
+		chaosPassInj = nil
+		chaosPassMu.Unlock()
+	}()
+
+	srv, c := startServer(t, Config{
+		MaxInFlight:   2,
+		MaxQueue:      2,
+		QueueWait:     100 * time.Millisecond,
+		CacheDir:      t.TempDir(),
+		CacheEntries:  64,
+		FaultInjector: inj,
+	})
+	srv.cache.SetDiskProbeInterval(0)
+
+	var (
+		mu           sync.Mutex
+		okCount      int
+		passFailures int
+		observed429  int64
+		observed503  int64
+		retries      int64
+		compileCalls int64
+		transportErr []string
+	)
+	countCause := func(cause error) {
+		var re *RemoteError
+		switch {
+		case errors.As(cause, &re) && re.Status == http.StatusTooManyRequests:
+			observed429++
+		case errors.As(cause, &re) && re.Status == http.StatusServiceUnavailable:
+			observed503++
+		case errors.As(cause, &re):
+			// counted by the caller from the final error
+		default:
+			transportErr = append(transportErr, cause.Error())
+		}
+	}
+
+	var wg sync.WaitGroup
+	for ci := 0; ci < nClients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cc := &Client{
+				Addr:           c.Addr,
+				Retries:        12,
+				RetryBaseDelay: 5 * time.Millisecond,
+				RetryMaxDelay:  40 * time.Millisecond,
+				Seed:           int64(ci),
+				OnRetry: func(_ int, cause error, _ time.Duration) {
+					mu.Lock()
+					retries++
+					countCause(cause)
+					mu.Unlock()
+				},
+			}
+			for j := 0; j < nSources; j++ {
+				spec := ""
+				if j%3 == 0 {
+					spec = flakySpec
+				}
+				src := chaosSrc(j)
+				resp, _, err := cc.Compile(&driver.Request{Source: src, Spec: spec})
+				mu.Lock()
+				compileCalls++
+				if err != nil {
+					var re *RemoteError
+					if errors.As(err, &re) && re.Status == http.StatusUnprocessableEntity && re.Pass == "srv-flaky" {
+						passFailures++
+					} else {
+						countCause(err)
+						t.Errorf("client %d request %d: unrecoverable: %v", ci, j, err)
+					}
+				} else {
+					okCount++
+					if !bytes.Equal(resp.Artifact, baseline[src+"\x00"+spec]) {
+						t.Errorf("client %d request %d: artifact differs from fault-free baseline — a faulted compile leaked corrupt bytes", ci, j)
+					}
+				}
+				mu.Unlock()
+			}
+		}(ci)
+	}
+	wg.Wait()
+
+	// One quiet sweep after the storm: it exercises the cache recovery
+	// probe (the injected disk fault is dry by now) and proves the daemon
+	// is still fully serving.
+	if resp, _, err := c.Compile(&driver.Request{Source: chaosSrc(nSources)}); err != nil || resp == nil {
+		t.Fatalf("post-storm sweep compile failed: %v", err)
+	}
+	if !c.Healthy() {
+		t.Fatal("daemon unhealthy after the storm")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(transportErr) > 0 {
+		t.Fatalf("transport errors during the storm (the daemon dropped connections): %v", transportErr)
+	}
+
+	// Exact reconciliation against the injector schedules.
+	if fired := passInj.Fired(FaultPassFlaky); fired != passFires {
+		t.Errorf("pass faults fired %d times, want %d (hits=%d)", fired, passFires, passInj.Hits(FaultPassFlaky))
+	}
+	if passFailures != passFires {
+		t.Errorf("clients observed %d pass failures, want exactly the %d injected", passFailures, passFires)
+	}
+	if fired := inj.Fired(FaultHTTPResponse); fired != httpFires {
+		t.Errorf("HTTP faults fired %d times, want %d", fired, httpFires)
+	}
+	if observed503 != httpFires {
+		t.Errorf("clients observed %d transient 503s, want exactly the %d injected", observed503, httpFires)
+	}
+
+	m := srv.Metrics()
+	checkPartition(t, m)
+	if m.Errors != int64(passFires+httpFires) {
+		t.Errorf("server errors=%d, want %d injected pass faults + %d injected HTTP faults", m.Errors, passFires, httpFires)
+	}
+	if m.Sheds != observed429 {
+		t.Errorf("server sheds=%d but clients observed %d 429s", m.Sheds, observed429)
+	}
+	if m.RetriesObserved != retries {
+		t.Errorf("server observed %d retries, clients performed %d", m.RetriesObserved, retries)
+	}
+	wantRequests := compileCalls + retries + 1 // +1 for the sweep
+	if m.Requests != wantRequests {
+		t.Errorf("server requests=%d, want %d (%d calls + %d retries + sweep)", m.Requests, wantRequests, compileCalls, retries)
+	}
+	if m.Canceled != 0 || m.DeadlineExceeded != 0 || m.DrainRefused != 0 {
+		t.Errorf("unexpected outcomes: canceled=%d deadline=%d drain=%d, want all 0",
+			m.Canceled, m.DeadlineExceeded, m.DrainRefused)
+	}
+
+	// The injected disk fault degraded the tier exactly once, and the
+	// recovery probe brought it back.
+	if m.Cache.DiskFaults != diskFires {
+		t.Errorf("disk faults=%d, want %d", m.Cache.DiskFaults, diskFires)
+	}
+	if m.Cache.DiskRecoveries < 1 {
+		t.Error("the degraded disk tier never recovered")
+	}
+	if m.Cache.DiskDegraded {
+		t.Error("disk tier still degraded after the faults dried up")
+	}
+}
+
+// TestChaosTornWriteNeverServed: an artifact torn in half on disk (power
+// loss after rename) is detected on the next daemon's first read, deleted,
+// recompiled — and the recompile's bytes match the original.
+func TestChaosTornWriteNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(chaosSeed(t))
+	inj.Arm(FaultDiskTorn, faultinject.Times(1, nil))
+
+	s1 := New(Config{CacheDir: dir, FaultInjector: inj})
+	req := &driver.Request{Source: chaosSrc(0)}
+	code, first := compileInProcess(t, s1, req)
+	if code != http.StatusOK {
+		t.Fatalf("first compile: HTTP %d", code)
+	}
+	if fired := inj.Fired(FaultDiskTorn); fired != 1 {
+		t.Fatalf("torn-write fault fired %d times, want 1", fired)
+	}
+	// The torn file is on disk and shorter than the artifact.
+	onDisk, err := os.ReadFile(s1.cache.diskPath(first.Key))
+	if err != nil {
+		t.Fatalf("torn artifact missing from disk: %v", err)
+	}
+	if len(onDisk) >= len(first.Artifact) {
+		t.Fatalf("disk file is %d bytes, expected a torn (shorter) write of %d", len(onDisk), len(first.Artifact))
+	}
+
+	// A fresh daemon over the same disk must refuse the torn bytes.
+	s2 := New(Config{CacheDir: dir})
+	code, second := compileInProcess(t, s2, req)
+	if code != http.StatusOK {
+		t.Fatalf("recompile after torn write: HTTP %d", code)
+	}
+	if second.Cache != "miss" {
+		t.Errorf("torn artifact served from %q, want a recompile (miss)", second.Cache)
+	}
+	if !bytes.Equal(first.Artifact, second.Artifact) {
+		t.Error("recompiled artifact differs from the original")
+	}
+	if st := s2.cache.Stats(); st.DiskCorrupt != 1 {
+		t.Errorf("disk_corrupt=%d, want 1", st.DiskCorrupt)
+	}
+	// The repaired artifact replaced the torn file with a validating one
+	// (disk bytes are the encoder's form, not the response's compacted
+	// JSON, so compare by validity and size rather than byte equality).
+	repaired, err := os.ReadFile(s2.cache.diskPath(second.Key))
+	if err != nil {
+		t.Fatalf("repaired artifact missing from disk: %v", err)
+	}
+	if !validArtifact(repaired) {
+		t.Error("disk copy still invalid after recompile")
+	}
+	if len(repaired) <= len(onDisk) {
+		t.Errorf("repaired disk copy (%d bytes) no larger than the torn one (%d)", len(repaired), len(onDisk))
+	}
+}
+
+// TestChaosDiskDegradeAndRecover: a disk write failure degrades the cache
+// to memory-only — the request still succeeds — and the recovery probe
+// restores the tier once the disk answers again.
+func TestChaosDiskDegradeAndRecover(t *testing.T) {
+	inj := faultinject.New(chaosSeed(t))
+	inj.Arm(FaultDiskWrite, faultinject.Times(1, errors.New("injected: no space left on device")))
+
+	s := New(Config{CacheDir: t.TempDir(), FaultInjector: inj})
+	s.cache.SetDiskProbeInterval(0)
+
+	code, a := compileInProcess(t, s, &driver.Request{Source: chaosSrc(0)})
+	if code != http.StatusOK {
+		t.Fatalf("compile during disk fault: HTTP %d — a disk fault must not fail the request", code)
+	}
+	st := s.cache.Stats()
+	if st.DiskFaults != 1 || !st.DiskDegraded {
+		t.Fatalf("after faulted put: faults=%d degraded=%v, want 1 and true", st.DiskFaults, st.DiskDegraded)
+	}
+	if _, err := os.Stat(s.cache.diskPath(a.Key)); err == nil {
+		t.Error("faulted artifact landed on disk anyway")
+	}
+	// Memory still serves it.
+	if code, hit := compileInProcess(t, s, &driver.Request{Source: chaosSrc(0)}); code != http.StatusOK || hit.Cache != "memory" {
+		t.Fatalf("degraded cache: HTTP %d cache=%q, want 200 from memory", code, hit.Cache)
+	}
+
+	// Next write probes, recovers and persists.
+	code, b := compileInProcess(t, s, &driver.Request{Source: chaosSrc(1)})
+	if code != http.StatusOK {
+		t.Fatalf("compile after recovery: HTTP %d", code)
+	}
+	st = s.cache.Stats()
+	if st.DiskRecoveries != 1 || st.DiskDegraded {
+		t.Fatalf("after recovery: recoveries=%d degraded=%v, want 1 and false", st.DiskRecoveries, st.DiskDegraded)
+	}
+	if _, err := os.Stat(s.cache.diskPath(b.Key)); err != nil {
+		t.Errorf("artifact not persisted after recovery: %v", err)
+	}
+}
+
+// TestChaosStartupTempCleanup: a daemon that crashed between temp write
+// and rename leaves a .tmp-* file; the next daemon removes it at startup
+// and counts the cleanup.
+func TestChaosStartupTempCleanup(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(chaosSeed(t))
+	inj.Arm(FaultDiskAbandon, faultinject.Always(nil))
+
+	s1 := New(Config{CacheDir: dir, FaultInjector: inj})
+	if code, _ := compileInProcess(t, s1, &driver.Request{Source: chaosSrc(0)}); code != http.StatusOK {
+		t.Fatalf("compile: HTTP %d", code)
+	}
+	stale, _ := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if len(stale) != 1 {
+		t.Fatalf("abandoned put left %d temp files, want 1", len(stale))
+	}
+
+	s2 := New(Config{CacheDir: dir})
+	if st := s2.cache.Stats(); st.TempCleaned != 1 {
+		t.Errorf("temp_cleaned=%d, want 1", st.TempCleaned)
+	}
+	if stale, _ := filepath.Glob(filepath.Join(dir, ".tmp-*")); len(stale) != 0 {
+		t.Errorf("%d temp files survived startup cleanup", len(stale))
+	}
+}

@@ -4,15 +4,31 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"thorin/internal/driver"
 )
 
+// AttemptHeader carries the zero-based retry attempt number of a Compile
+// send. The daemon counts requests with a non-zero attempt in its
+// retries_observed metric, which is how the chaos suite reconciles
+// client-side retries against server-side observations.
+const AttemptHeader = "X-Thorin-Attempt"
+
 // Client talks to a thorind daemon. It is what `thorinc -server=ADDR` and
 // the load-test harness use.
+//
+// With Retries > 0 the client retries shed (429), unavailable (503) and
+// transport-failed sends under capped exponential backoff with seeded
+// jitter. Retrying a compile is always safe: artifacts are
+// content-addressed and identical in-flight compiles are single-flighted
+// server-side, so a re-send either hits the cache or joins the running
+// compile — it never duplicates semantic work.
 type Client struct {
 	// Addr is the daemon base URL ("http://host:port"); a bare
 	// "host:port" is accepted and prefixed with http://.
@@ -21,12 +37,41 @@ type Client struct {
 	// timeout (compiles can be slow under load; budgets belong in the
 	// request, not the transport).
 	HTTP *http.Client
+	// Retries is the maximum number of re-sends after the first attempt.
+	// 0 disables retrying (one attempt, the prior behavior).
+	Retries int
+	// RetryBudget bounds the total wall-clock time spent across all
+	// attempts and backoff waits; 0 means bounded by Retries alone.
+	RetryBudget time.Duration
+	// RetryBaseDelay is the first backoff delay (doubled each retry, capped
+	// at RetryMaxDelay). 0 selects 100ms.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the backoff delay. 0 selects 5s.
+	RetryMaxDelay time.Duration
+	// Seed seeds the backoff jitter, making retry schedules reproducible;
+	// any fixed value (including 0) is deterministic. The chaos suite and
+	// the bench storm rely on this.
+	Seed int64
+	// ProbeTimeout bounds Metrics and Healthy probes, which must answer
+	// fast even when compiles are slow; 0 selects 2s. The probes never
+	// share the compile transport's 5-minute budget.
+	ProbeTimeout time.Duration
+	// OnRetry, when non-nil, observes every retry decision: the attempt
+	// number just failed (0-based), why, and the sleep before the next.
+	OnRetry func(attempt int, cause error, sleep time.Duration)
+
+	rngOnce sync.Once
+	rngMu   sync.Mutex
+	rng     *rand.Rand
 }
 
 // RemoteError is a structured compile failure relayed from the daemon.
 type RemoteError struct {
 	Status int
 	ErrorResponse
+	// RetryAfter echoes the Retry-After header of a shed (429) response,
+	// in seconds; 0 when absent.
+	RetryAfter int
 }
 
 func (e *RemoteError) Error() string {
@@ -38,6 +83,14 @@ func (e *RemoteError) Error() string {
 		msg += fmt.Sprintf(" (crash bundle on server: %s)", e.CrashBundle)
 	}
 	return msg
+}
+
+// Retryable reports whether the failure is worth re-sending: sheds and
+// transient unavailability are; compile failures, bad requests, blown
+// deadlines and client disconnects are not (re-sending cannot change
+// them).
+func (e *RemoteError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
 }
 
 func (c *Client) base() string {
@@ -55,14 +108,80 @@ func (c *Client) http() *http.Client {
 	return &http.Client{Timeout: 5 * time.Minute}
 }
 
+// probeHTTP is the transport for Metrics/Healthy: an explicit HTTP client
+// wins, otherwise a short ProbeTimeout one — a health probe that waits out
+// a 5-minute compile timeout is useless to its caller.
+func (c *Client) probeHTTP() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	d := c.ProbeTimeout
+	if d == 0 {
+		d = 2 * time.Second
+	}
+	return &http.Client{Timeout: d}
+}
+
 // Compile sends one request to the daemon and decodes the returned
-// artifact. Compile failures come back as *RemoteError.
+// artifact, retrying retryable failures per the client's retry policy.
+// Compile failures come back as *RemoteError.
 func (c *Client) Compile(req *driver.Request) (*CompileResponse, *driver.Artifact, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, nil, err
 	}
-	httpResp, err := c.http().Post(c.base()+"/compile", "application/json", bytes.NewReader(body))
+	base := c.RetryBaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxDelay := c.RetryMaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 5 * time.Second
+	}
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, art, err := c.compileOnce(body, attempt)
+		if err == nil {
+			return resp, art, nil
+		}
+		lastErr = err
+		if attempt >= c.Retries || !retryable(err) {
+			return nil, nil, lastErr
+		}
+		// Capped exponential backoff with half-jitter: delay/2 fixed plus a
+		// seeded-random half, so synchronized clients spread out while the
+		// schedule stays reproducible for a given seed.
+		delay := base << attempt
+		if delay > maxDelay || delay <= 0 {
+			delay = maxDelay
+		}
+		sleep := delay/2 + time.Duration(c.jitter(int64(delay/2)+1))
+		if ra := retryAfter(err); ra > sleep {
+			// The server's Retry-After is a floor, not a hint to ignore.
+			sleep = ra
+		}
+		if c.RetryBudget > 0 && time.Since(start)+sleep > c.RetryBudget {
+			return nil, nil, fmt.Errorf("server: retry budget %s exhausted after %d attempts: %w",
+				c.RetryBudget, attempt+1, lastErr)
+		}
+		if c.OnRetry != nil {
+			c.OnRetry(attempt, err, sleep)
+		}
+		time.Sleep(sleep)
+	}
+}
+
+// compileOnce is one POST /compile attempt. The attempt number rides in
+// AttemptHeader so the daemon can count observed retries.
+func (c *Client) compileOnce(body []byte, attempt int) (*CompileResponse, *driver.Artifact, error) {
+	httpReq, err := http.NewRequest(http.MethodPost, c.base()+"/compile", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpReq.Header.Set(AttemptHeader, strconv.Itoa(attempt))
+	httpResp, err := c.http().Do(httpReq)
 	if err != nil {
 		return nil, nil, fmt.Errorf("server: %w", err)
 	}
@@ -71,6 +190,9 @@ func (c *Client) Compile(req *driver.Request) (*CompileResponse, *driver.Artifac
 	dec := json.NewDecoder(httpResp.Body)
 	if httpResp.StatusCode != http.StatusOK {
 		re := &RemoteError{Status: httpResp.StatusCode}
+		if ra, err := strconv.Atoi(httpResp.Header.Get("Retry-After")); err == nil {
+			re.RetryAfter = ra
+		}
 		if derr := dec.Decode(&re.ErrorResponse); derr != nil {
 			re.ErrorResponse.Error = fmt.Sprintf("undecodable error body: %v", derr)
 		}
@@ -87,9 +209,44 @@ func (c *Client) Compile(req *driver.Request) (*CompileResponse, *driver.Artifac
 	return &resp, art, nil
 }
 
-// Metrics fetches the daemon's /metrics snapshot.
+// retryable classifies a Compile failure: shed/unavailable RemoteErrors
+// and transport errors (connection refused, reset — the daemon may be
+// restarting) are retryable; everything else is final.
+func retryable(err error) bool {
+	if re, ok := err.(*RemoteError); ok {
+		return re.Retryable()
+	}
+	// Non-RemoteError failures are transport-level: the request never got a
+	// structured answer.
+	return true
+}
+
+// retryAfter extracts a server-imposed minimum delay from a shed response.
+func retryAfter(err error) time.Duration {
+	if re, ok := err.(*RemoteError); ok && re.RetryAfter > 0 {
+		return time.Duration(re.RetryAfter) * time.Second
+	}
+	return 0
+}
+
+// jitter draws from [0, n) under the client's seeded source (n <= 0 yields
+// 0). The source is lazily built from Seed so a zero-value Client is
+// usable and a fixed Seed reproduces the full backoff schedule.
+func (c *Client) jitter(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	c.rngOnce.Do(func() { c.rng = rand.New(rand.NewSource(c.Seed)) })
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.rng.Int63n(n)
+}
+
+// Metrics fetches the daemon's /metrics snapshot. It answers on the probe
+// timeout, not the compile timeout: a monitoring poll must not hang for
+// minutes because compiles are slow.
 func (c *Client) Metrics() (Metrics, error) {
-	httpResp, err := c.http().Get(c.base() + "/metrics")
+	httpResp, err := c.probeHTTP().Get(c.base() + "/metrics")
 	if err != nil {
 		return Metrics{}, fmt.Errorf("server: %w", err)
 	}
@@ -104,9 +261,10 @@ func (c *Client) Metrics() (Metrics, error) {
 	return m, nil
 }
 
-// Healthy probes /healthz.
+// Healthy probes /healthz on the probe timeout. A degraded daemon still
+// answers 200 (it is serving); only draining or unreachable reads false.
 func (c *Client) Healthy() bool {
-	resp, err := c.http().Get(c.base() + "/healthz")
+	resp, err := c.probeHTTP().Get(c.base() + "/healthz")
 	if err != nil {
 		return false
 	}

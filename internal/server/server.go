@@ -31,10 +31,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"runtime"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"thorin/internal/driver"
+	"thorin/internal/faultinject"
 	"thorin/internal/impala"
 	"thorin/internal/link"
 	"thorin/internal/pm"
@@ -43,6 +46,17 @@ import (
 // MaxRequestBytes bounds the /compile request body; a source file larger
 // than this is rejected with 413 rather than buffered.
 const MaxRequestBytes = 32 << 20
+
+// StatusClientClosedRequest is the status recorded for a request whose
+// client disconnected mid-compile (the nginx 499 convention). The client
+// is gone, so the code is for logs and tests, not for the wire.
+const StatusClientClosedRequest = 499
+
+// FaultHTTPResponse is the HTTP-layer fault-injection point: when armed
+// and fired, a /compile that finished successfully answers 503 instead of
+// its result — a transient server fault for exercising client retries.
+// The compiled artifact still enters the cache, so the retry is cheap.
+const FaultHTTPResponse = "server.http.response"
 
 // Config parameterizes a daemon instance.
 type Config struct {
@@ -59,6 +73,22 @@ type Config struct {
 	// DefaultJobs is the analysis worker count used when a request does
 	// not set jobs itself. 0 keeps the driver default.
 	DefaultJobs int
+	// MaxInFlight bounds concurrently executing /compile requests. 0
+	// selects DefaultMaxInFlight (sized to the machine); negative disables
+	// admission control entirely.
+	MaxInFlight int
+	// MaxQueue bounds how many requests may wait for a compile slot beyond
+	// MaxInFlight; requests past the queue are shed immediately with 429.
+	// 0 selects 4×MaxInFlight; negative disables queueing (full slots shed
+	// at once).
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot before
+	// being shed. 0 selects DefaultQueueWait.
+	QueueWait time.Duration
+	// FaultInjector, when non-nil, arms deterministic fault injection in
+	// the cache disk tier and the HTTP response path (tests and the chaos
+	// suite; see internal/faultinject).
+	FaultInjector *faultinject.Injector
 	// Log receives request logs; nil silences them.
 	Log *log.Logger
 }
@@ -67,15 +97,34 @@ type Config struct {
 // Config.CacheEntries is zero.
 const DefaultCacheEntries = 256
 
+// DefaultQueueWait is the admission queue wait bound when Config.QueueWait
+// is zero: long enough to ride out a burst of short compiles, short enough
+// that a shed client learns quickly.
+const DefaultQueueWait = time.Second
+
+// DefaultMaxInFlight sizes the compile semaphore to the machine:
+// compilation is CPU-bound, so slots beyond the core count only add
+// scheduling pressure.
+func DefaultMaxInFlight() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
 // Server is one daemon instance. Create with New, attach to a listener
 // with Serve (or use Handler with an external http.Server), stop with
 // Shutdown.
 type Server struct {
-	cfg     Config
-	cache   *Cache
-	flights *flight
-	metrics *metrics
-	httpSrv *http.Server
+	cfg      Config
+	cache    *Cache
+	flights  *flight
+	metrics  *metrics
+	admit    *admission
+	inj      *faultinject.Injector
+	draining atomic.Bool
+	httpSrv  *http.Server
 }
 
 // New builds a Server. It does not listen yet.
@@ -83,12 +132,27 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = DefaultCacheEntries
 	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = DefaultMaxInFlight()
+	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = 4 * maxInFlight
+	}
+	queueWait := cfg.QueueWait
+	if queueWait == 0 {
+		queueWait = DefaultQueueWait
+	}
 	s := &Server{
 		cfg:     cfg,
 		cache:   NewCache(cfg.CacheEntries, cfg.CacheDir),
 		flights: newFlight(),
 		metrics: newMetrics(),
+		admit:   newAdmission(maxInFlight, maxQueue, queueWait),
+		inj:     cfg.FaultInjector,
 	}
+	s.cache.SetInjector(cfg.FaultInjector)
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	return s
 }
@@ -105,10 +169,12 @@ type CompileResponse struct {
 	// CompileNs is the wall time of the compilation; 0 on cache hits.
 	CompileNs time.Duration `json:"compile_ns"`
 	Degraded  bool          `json:"degraded,omitempty"`
-	// FailedPasses and CrashBundle mirror driver.Result for degraded
-	// compiles.
-	FailedPasses []string `json:"failed_passes,omitempty"`
-	CrashBundle  string   `json:"crash_bundle,omitempty"`
+	// FailedPasses, CrashBundle and CrashBundleErr mirror driver.Result for
+	// degraded compiles; CrashBundleErr reports a bundle that could not be
+	// written (the pass failure that wanted it is never masked).
+	FailedPasses   []string `json:"failed_passes,omitempty"`
+	CrashBundle    string   `json:"crash_bundle,omitempty"`
+	CrashBundleErr string   `json:"crash_bundle_err,omitempty"`
 	// Artifact is the encoded driver.Artifact.
 	Artifact json.RawMessage `json:"artifact"`
 	// Modules reports, for a multi-module request that missed the
@@ -166,23 +232,27 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(l)
 }
 
-// Shutdown gracefully drains the daemon: the listener closes immediately,
-// in-flight requests run to completion (bounded by ctx), and only then
-// does Shutdown return.
+// Shutdown gracefully drains the daemon: new and queued /compile requests
+// are refused with 503 from this point on, the listener closes, in-flight
+// requests run to completion (bounded by ctx), and only then does
+// Shutdown return.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	return s.httpSrv.Shutdown(ctx)
 }
 
 // Metrics snapshots the daemon's counters.
 func (s *Server) Metrics() Metrics {
-	return s.metrics.snapshot(s.cache.Stats())
+	return s.metrics.snapshot(s.cache.Stats(), s.admit.queueDepth())
 }
 
-// handleCompile serves POST /compile: resolve the request, consult the
-// content-addressed cache, compile on a miss, and answer with the
-// artifact. Every failure path — bad request, pass failure, even a panic
-// that escapes the driver's own containment — produces a structured JSON
-// error and leaves the daemon serving.
+// handleCompile serves POST /compile: admit the request past the
+// load-shedding gate, resolve it, consult the content-addressed cache,
+// compile on a miss under the request's context, and answer with the
+// artifact. Every failure path — bad request, shed, blown deadline, client
+// disconnect, pass failure, even a panic that escapes the driver's own
+// containment — produces a structured answer, increments exactly one
+// outcome counter, and leaves the daemon serving.
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
@@ -190,6 +260,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.begin()
 	defer s.metrics.end()
+	if r.Header.Get(AttemptHeader) != "" && r.Header.Get(AttemptHeader) != "0" {
+		s.metrics.retryObserved()
+	}
 
 	// The driver contains pass, frontend and codegen panics itself; this
 	// recover is the daemon's last line for bugs in the server layer.
@@ -201,6 +274,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 				ErrorResponse{Error: fmt.Sprintf("server: internal panic: %v", rec)})
 		}
 	}()
+
+	// Refuse before admitting: a draining daemon finishes what it has and
+	// takes nothing new, so clients fail over (or retry elsewhere) fast.
+	if s.draining.Load() {
+		s.metrics.drainRefusal()
+		s.writeError(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
+		return
+	}
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	if err != nil {
@@ -252,6 +333,33 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		req.Jobs = s.cfg.DefaultJobs
 	}
 
+	// The request context ends when the client disconnects; the request's
+	// own deadline_ms tightens it further, and covers the queue wait too —
+	// deadline spent waiting for a compile slot is spent.
+	ctx := r.Context()
+	if req.DeadlineMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+		defer cancel()
+		req.DeadlineMs = 0 // applied here; the driver must not re-apply it
+	}
+
+	// Admission: take a compile slot, park briefly in the bounded queue for
+	// one, or shed. Shedding answers a fast 429 so a retrying client backs
+	// off instead of stacking goroutines until latency collapses for all.
+	switch s.admit.acquire(ctx) {
+	case admitOK:
+		defer s.admit.release()
+	case admitShed:
+		s.metrics.shed()
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, ErrorResponse{Error: "server overloaded, retry later"})
+		return
+	case admitGone:
+		s.writeInterrupted(w, ctx.Err(), "queued")
+		return
+	}
+
 	// A multi-module request is keyed over its full sorted source set plus
 	// the link mode; per-module keys are consulted separately on a miss
 	// (see compileModules).
@@ -280,7 +388,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if leader {
 		defer flightDone()
 	} else {
-		<-wait
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			// The follower's client gave up (or its deadline expired) while
+			// the leader was still compiling; the leader is unaffected.
+			s.writeInterrupted(w, ctx.Err(), "coalesced")
+			return
+		}
 		if data, tier := s.cache.Get(key); data != nil {
 			s.metrics.coalescedHit()
 			s.logf("compile %s: coalesced into in-flight compile, %s hit (%d bytes)", key[:12], tier, len(data))
@@ -297,11 +412,18 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	var res *driver.Result
 	var modTiers []ModuleCacheInfo
 	if len(req.Sources) > 0 {
-		res, modTiers, err = s.compileModules(&req, spec)
+		res, modTiers, err = s.compileModules(ctx, &req, spec)
 	} else {
-		res, err = driver.CompileRequest(&req, s.cfg.CrashDir)
+		res, err = driver.CompileRequestCtx(ctx, &req, s.cfg.CrashDir)
 	}
 	if err != nil {
+		// A compile stopped by its context is an interruption, not a compile
+		// failure: the deadline/cancel counters own it, not Errors.
+		if errors.Is(err, pm.ErrDeadline) || errors.Is(err, pm.ErrCanceled) {
+			s.logf("compile %s: interrupted: %v", key[:12], err)
+			s.writeInterrupted(w, err, "compiling")
+			return
+		}
 		s.metrics.failed()
 		resp := ErrorResponse{Error: err.Error()}
 		if pass, ok := pm.FailedPass(err); ok {
@@ -323,7 +445,6 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
-	s.metrics.compiled(elapsed, res.Degraded, res.Report, res.World.InternStats())
 
 	tier := "uncached"
 	if !res.Degraded {
@@ -335,17 +456,51 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			s.logf("compile %s: cache store: %v", key[:12], err)
 		}
 	}
+	// The HTTP-layer fault point fires after the artifact is cached but
+	// before the outcome is recorded, so the request counts as exactly one
+	// error: the injected 503 is a transient wire fault, and the client's
+	// retry is served from the cache.
+	if ferr, fired := s.inj.Fail(FaultHTTPResponse); fired {
+		s.metrics.failed()
+		msg := "injected transient fault"
+		if ferr != nil {
+			msg = ferr.Error()
+		}
+		s.logf("compile %s: injected response fault", key[:12])
+		s.writeError(w, http.StatusServiceUnavailable, ErrorResponse{Error: msg})
+		return
+	}
+	s.metrics.compiled(elapsed, res.Degraded, res.Report, res.World.InternStats())
+
 	s.logf("compile %s: %s in %s (%d bytes, degraded=%v)", key[:12], tier, elapsed, len(data), res.Degraded)
 	s.writeJSON(w, http.StatusOK, CompileResponse{
-		Key:          key,
-		Cache:        tier,
-		CompileNs:    elapsed,
-		Degraded:     res.Degraded,
-		FailedPasses: res.FailedPasses,
-		CrashBundle:  res.CrashBundle,
-		Artifact:     json.RawMessage(data),
-		Modules:      modTiers,
+		Key:            key,
+		Cache:          tier,
+		CompileNs:      elapsed,
+		Degraded:       res.Degraded,
+		FailedPasses:   res.FailedPasses,
+		CrashBundle:    res.CrashBundle,
+		CrashBundleErr: res.CrashBundleErr,
+		Artifact:       json.RawMessage(data),
+		Modules:        modTiers,
 	})
+}
+
+// writeInterrupted answers a request ended by its context rather than by a
+// compile failure: a blown deadline gets 504 Gateway Timeout, a client
+// disconnect gets the 499 convention (nobody reads it; it keeps logs,
+// tests and the outcome partition honest). where names the phase the
+// interruption landed in, for the logs.
+func (s *Server) writeInterrupted(w http.ResponseWriter, err error, where string) {
+	if errors.Is(err, pm.ErrDeadline) || errors.Is(err, context.DeadlineExceeded) {
+		s.metrics.deadlined()
+		s.writeError(w, http.StatusGatewayTimeout,
+			ErrorResponse{Error: fmt.Sprintf("deadline exceeded while %s", where)})
+		return
+	}
+	s.metrics.canceledReq()
+	s.writeError(w, StatusClientClosedRequest,
+		ErrorResponse{Error: fmt.Sprintf("client disconnected while %s", where)})
 }
 
 // compileModules runs the separate-compilation path of a /compile miss:
@@ -356,7 +511,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 // inputs whether a module came from the cache or was built this request —
 // cold and warm requests produce byte-identical programs. Module compiles
 // are fail-fast (never degraded), so every module artifact is cacheable.
-func (s *Server) compileModules(req *driver.Request, spec string) (*driver.Result, []ModuleCacheInfo, error) {
+// ctx interrupts module compiles at pass boundaries like any other
+// compile; modules already built (and cached) before the interruption stay
+// cached.
+func (s *Server) compileModules(ctx context.Context, req *driver.Request, spec string) (*driver.Result, []ModuleCacheInfo, error) {
 	schedMode, _, err := req.ResolvedSchedule()
 	if err != nil {
 		return nil, nil, err
@@ -369,6 +527,7 @@ func (s *Server) compileModules(req *driver.Request, spec string) (*driver.Resul
 	if err != nil {
 		return nil, nil, err
 	}
+	cfg.Ctx = ctx
 	units, err := driver.ParseModules(req.Sources)
 	if err != nil {
 		return nil, nil, err
@@ -435,10 +594,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.Metrics())
 }
 
+// handleHealthz reports liveness with gradations: "ok" when fully healthy,
+// "degraded: ..." (still 200 — the daemon IS serving) when overloaded or
+// running memory-only after a cache-disk fault, and 503 "draining" during
+// shutdown so load balancers stop routing here.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	io.WriteString(w, "ok\n")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+	case s.cache.DiskDegraded():
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "degraded: cache-disk\n")
+	case s.admit.saturated():
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "degraded: overloaded\n")
+	default:
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	}
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
