@@ -84,13 +84,18 @@ bench:
 	$(GO) run ./cmd/thorin-bench -loadtest -o BENCH_pr6.json
 	$(GO) run ./cmd/thorin-bench -modload -o BENCH_pr7.json
 	$(GO) run ./cmd/thorin-bench -overload -o BENCH_pr8.json
+	$(GO) run ./cmd/thorin-bench -memory -fast -o BENCH_pr9.json
 
-# bench-diff is the incremental-rewrite regression gate: re-measure the
-# incremental-vs-full fixpoint workload (at the same fast scale the committed
-# report was taken at) and fail if any workload's incremental Optimize ns/op
-# regressed by more than 10% against BENCH_pr5.json.
+# bench-diff is the regression gate: re-measure the incremental-vs-full
+# fixpoint workload (at the same fast scale the committed report was taken
+# at) and fail if any workload's incremental Optimize ns/op regressed by
+# more than 10% against BENCH_pr5.json; then re-measure the effect-region
+# memory workload and fail if its VM instruction count regressed by more
+# than 10% against BENCH_pr9.json (the structural wins — promoted slots,
+# hoisted loads, split chains — are hard asserts inside the measurement).
 bench-diff:
 	$(GO) run ./cmd/thorin-bench -incremental -fast -diff BENCH_pr5.json
+	$(GO) run ./cmd/thorin-bench -memory -fast -diff BENCH_pr9.json
 
 # bench-full runs the whole evaluation harness at laptop scale.
 bench-full:

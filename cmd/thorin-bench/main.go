@@ -21,6 +21,8 @@
 //	thorin-bench -loadtest -o BENCH_pr6.json      # thorind cold vs warm-cache latency
 //	thorin-bench -modload -o BENCH_pr7.json       # separate compilation: single-leaf edits on a warm daemon
 //	thorin-bench -overload -o BENCH_pr8.json      # shed/retry storm: clients > compile slots
+//	thorin-bench -memory -o BENCH_pr9.json        # effect-region memory pipeline: before/after wins
+//	thorin-bench -memory -diff BENCH_pr9.json     # fail on a >10% VM-instruction regression
 package main
 
 import (
@@ -46,11 +48,12 @@ func main() {
 		modload  = flag.Bool("modload", false, "load-test thorind's separate-compilation path (shared-import module set, single-leaf edits on a warm cache) and emit JSON")
 		leaves   = flag.Int("leaves", 16, "with -modload: leaf modules importing the shared util module")
 		edits    = flag.Int("edits", 8, "with -modload: single-leaf edit requests after the cold build")
+		memory   = flag.Bool("memory", false, "measure the effect-region memory pipeline (promoted slots, hoisted loads, split threads, VM instructions) before/after and emit JSON")
 		overload = flag.Bool("overload", false, "storm thorind with more retrying clients than compile slots, record shed rate and p50/p99 latency, and emit JSON")
 		stormers = flag.Int("stormers", 8, "with -overload: concurrent retrying clients")
 		perEach  = flag.Int("per-client", 3, "with -overload: distinct cold compiles per client")
-		diffFile = flag.String("diff", "", "with -incremental: compare against this committed report and fail on a >10% optimize ns/op regression instead of writing")
-		outFile  = flag.String("o", "", "with -alloc/-incremental: write the JSON report to this file (default stdout); for -alloc an existing report's baseline (or, failing that, its current numbers) is carried forward as the baseline")
+		diffFile = flag.String("diff", "", "with -incremental/-memory: compare against this committed report and fail on a >10% regression instead of writing")
+		outFile  = flag.String("o", "", "with -alloc/-incremental/-memory: write the JSON report to this file (default stdout); for -alloc an existing report's baseline (or, failing that, its current numbers) is carried forward as the baseline")
 	)
 	flag.Parse()
 
@@ -77,6 +80,13 @@ func main() {
 	}
 	if *modload {
 		if err := runModLoad(*outFile, *leaves, *edits, *fast); err != nil {
+			fmt.Fprintln(os.Stderr, "thorin-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *memory {
+		if err := runMemory(*outFile, *diffFile, *fast); err != nil {
 			fmt.Fprintln(os.Stderr, "thorin-bench:", err)
 			os.Exit(1)
 		}
@@ -273,6 +283,53 @@ func runOverload(outFile string, clients, perClient int, fast bool) error {
 	if outFile != "" {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d clients vs %d slots: %.0f%% shed rate, %d retries, p99 %.0fms)\n",
 			outFile, rep.Clients, rep.MaxInFlight, 100*rep.ShedRate, rep.Retries, float64(rep.P99Ns)/1e6)
+	}
+	return nil
+}
+
+// runMemory measures the effect-region memory pipeline before/after
+// comparison (BENCH_pr9.json when committed). With diffFile set it acts as
+// a regression gate: the fresh measurement must stay within 10% of the
+// committed report's VM instruction count.
+func runMemory(outFile, diffFile string, fast bool) error {
+	rep, err := bench.MeasureMemory(fast)
+	if err != nil {
+		return err
+	}
+
+	if diffFile != "" {
+		f, err := os.Open(diffFile)
+		if err != nil {
+			return err
+		}
+		old, rerr := bench.ReadMemoryReport(f)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+		if err := bench.DiffMemory(old, rep, 10); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "memory bench within 10%% of %s (%d → %d VM instructions)\n",
+			diffFile, old.After.VMInstructions, rep.After.VMInstructions)
+		return nil
+	}
+
+	out := os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := bench.WriteMemoryJSON(out, rep); err != nil {
+		return err
+	}
+	if outFile != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (+%d promoted slots, %d hoisted loads, %d effect threads, %.1f%% fewer VM instructions)\n",
+			outFile, rep.PromotedSlotDelta, rep.After.HoistedLoads, rep.After.EffectThreads, rep.InstrSavedPct)
 	}
 	return nil
 }

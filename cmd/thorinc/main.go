@@ -230,7 +230,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		emitReport(rep, *emit)
+		emitReport(rep, transform.PipelineStats(ctx), *emit)
 		if *emit == "thorin" {
 			ir.Print(os.Stdout, w)
 		}
@@ -346,7 +346,7 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr)
 		}
-		emitReport(res.Report, *emit)
+		emitReport(res.Report, res.Stats, *emit)
 		if *emit == "thorin" {
 			ir.Print(os.Stdout, res.World)
 		}
@@ -371,6 +371,11 @@ func main() {
 				m.Continuations, m.PrimOps, m.HigherOrder,
 				st.CFF.Specialized, st.Mem2Reg.PromotedSlots, st.Mem2Reg.PhiParams,
 				st.Closure.Closures)
+			fmt.Fprintf(os.Stderr,
+				"thorin: m2r-skipped: escaped=%d interleaved=%d unpromotable-type=%d; effect-threads=%d dead-stores=%d\n",
+				st.Mem2Reg.SkippedEscaped, st.Mem2Reg.SkippedInterleaved,
+				st.Mem2Reg.SkippedUnpromotableType,
+				st.EffectSplit.Threads, st.Cleanup.DeadStores)
 		}
 	}
 
@@ -396,13 +401,24 @@ func isModuleSource(src string) bool {
 // emitReport prints the pass-manager instrumentation when requested.
 // Multi-module compiles carry no whole-program report (each module ran its
 // own pipeline), so rep may be nil.
-func emitReport(rep *pm.Report, emit string) {
+func emitReport(rep *pm.Report, st transform.Stats, emit string) {
 	if rep == nil {
 		return
 	}
 	switch emit {
 	case "pass-report":
 		rep.WriteText(os.Stdout)
+		// The mem2reg rewrites column counts promotions; break the slots it
+		// could NOT promote down by reason, and show the memory-dependence
+		// work of the other passes next to it.
+		fmt.Fprintf(os.Stdout,
+			"mem2reg skips: escaped=%d interleaved=%d unpromotable-type=%d\n",
+			st.Mem2Reg.SkippedEscaped, st.Mem2Reg.SkippedInterleaved,
+			st.Mem2Reg.SkippedUnpromotableType)
+		if st.EffectSplit.SplitChains > 0 || st.Cleanup.DeadStores > 0 {
+			fmt.Fprintf(os.Stdout, "effect threads: chains=%d threads=%d; dead stores removed: %d\n",
+				st.EffectSplit.SplitChains, st.EffectSplit.Threads, st.Cleanup.DeadStores)
+		}
 	case "pass-report-json":
 		if err := rep.WriteJSON(os.Stdout); err != nil {
 			fatal(err)

@@ -24,6 +24,13 @@ const (
 	ScheduleSmart
 )
 
+// HoistRegionLoads gates the region-pure load motion of ScheduleSmart:
+// loads from provably read-only, non-escaped alias regions are scheduled
+// like pure values (their mem operand ignored for placement), so the smart
+// walk can hoist them out of loops. The bit exists for before/after
+// measurement; production builds leave it on.
+var HoistRegionLoads = true
+
 // Block is one scheduled basic block: a CFG node plus its primops in
 // execution order.
 type Block struct {
@@ -39,8 +46,11 @@ type Schedule struct {
 	Dom    *DomTree
 	Loops  *LoopTree
 	Blocks []*Block // in reverse postorder
-	byNode map[*Node]*Block
-	place  map[*ir.PrimOp]*Node
+	// Hoisted counts region-pure loads that ScheduleSmart moved to a
+	// strictly smaller loop depth than their effect-chain position.
+	Hoisted int
+	byNode  map[*Node]*Block
+	place   map[*ir.PrimOp]*Node
 }
 
 // NewSchedule computes a schedule for s under the given mode.
@@ -110,6 +120,49 @@ func NewSchedule(s *Scope, mode Mode) *Schedule {
 			sched.place[p] = early[p]
 		}
 	} else {
+		// Region-pure loads (read-only, non-escaped alias region) may be
+		// scheduled as if they were pure: their mem operand only sequences
+		// them into the effect chain, it carries no dependence a read-only
+		// cell could observe. hoistBound maps each such load to its
+		// mem-blind early block (the ptr operand's block); the load and its
+		// value projection float between that bound and their uses, while
+		// the mem projection stays pinned at the original chain position so
+		// downstream effectful ops do not move.
+		hoistBound := map[*ir.PrimOp]*Node{}
+		if mode == ScheduleSmart && HoistRegionLoads {
+			regions := NewRegions(s)
+			for _, p := range primops {
+				if p.OpKind() != ir.OpLoad {
+					continue
+				}
+				ptr := p.Op(1)
+				// Lea-derived addresses are excluded: an out-of-bounds
+				// index must trap exactly where the original program
+				// traps, so array loads cannot run speculatively.
+				if po, ok := ptr.(*ir.PrimOp); ok && po.OpKind() == ir.OpLea {
+					continue
+				}
+				rid := regions.RegionOf(ptr)
+				if rid != RegionTop && regions.ReadOnly(rid) {
+					hoistBound[p] = defBlock(ptr)
+				}
+			}
+		}
+		// valueProj reports whether p is the value projection of a
+		// hoistable load (extract index 1) — the one mem-tuple extract
+		// that is allowed to float.
+		valueProj := func(p *ir.PrimOp) (*ir.PrimOp, bool) {
+			if p.OpKind() != ir.OpExtract {
+				return nil, false
+			}
+			src, ok := p.Op(0).(*ir.PrimOp)
+			if !ok || hoistBound[src] == nil {
+				return nil, false
+			}
+			i, ok := ir.LitValue(p.Op(1))
+			return src, ok && i == 1
+		}
+
 		// -- Final placement, users first. ----------------------------------
 		// ReachablePrimOps returns operands before users (post-order), so
 		// iterating in reverse sees every user's *final* position before the
@@ -118,7 +171,21 @@ func NewSchedule(s *Scope, mode Mode) *Schedule {
 		// in, not their theoretical latest positions.
 		for i := len(primops) - 1; i >= 0; i-- {
 			p := primops[i]
-			if p.OpKind().HasMemEffect() || isMemTuple(p) {
+			bound := early[p]
+			if src, ok := valueProj(p); ok {
+				bound = hoistBound[src]
+			} else if hoistBound[p] != nil {
+				// The load follows its value projection (already placed:
+				// users come first), or stays put when the value is unused.
+				sched.place[p] = early[p]
+				if ve := findValueProj(p, inSet); ve != nil {
+					sched.place[p] = sched.place[ve]
+				}
+				if loops.Depth(sched.place[p]) < loops.Depth(early[p]) {
+					sched.Hoisted++
+				}
+				continue
+			} else if p.OpKind().HasMemEffect() || isMemTuple(p) {
 				// Effectful ops are pinned to their mem chain's block.
 				sched.place[p] = early[p]
 				continue
@@ -148,8 +215,8 @@ func NewSchedule(s *Scope, mode Mode) *Schedule {
 				}
 				return true
 			})
-			if late == nil || !dom.Dominates(early[p], late) {
-				late = early[p] // users outside this scope: stay early
+			if late == nil || !dom.Dominates(bound, late) {
+				late = bound // users outside this scope: stay early
 			}
 			if mode == ScheduleLate {
 				sched.place[p] = late
@@ -162,7 +229,7 @@ func NewSchedule(s *Scope, mode Mode) *Schedule {
 				if loops.Depth(n) < loops.Depth(best) {
 					best = n
 				}
-				if n == early[p] {
+				if n == bound {
 					break
 				}
 			}
@@ -179,6 +246,24 @@ func NewSchedule(s *Scope, mode Mode) *Schedule {
 		sortTopological(b, sched.place)
 	}
 	return sched
+}
+
+// findValueProj returns the in-scope value projection extract(load, 1) of
+// a load, or nil.
+func findValueProj(load *ir.PrimOp, inSet map[*ir.PrimOp]bool) *ir.PrimOp {
+	var ve *ir.PrimOp
+	load.EachUse(func(u ir.Use) bool {
+		e, ok := u.Def.(*ir.PrimOp)
+		if !ok || e.OpKind() != ir.OpExtract || u.Index != 0 || !inSet[e] {
+			return true
+		}
+		if i, ok := ir.LitValue(e.Op(1)); ok && i == 1 {
+			ve = e
+			return false
+		}
+		return true
+	})
+	return ve
 }
 
 // isMemTuple reports whether p extracts from an effectful op's result

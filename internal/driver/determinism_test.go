@@ -45,9 +45,15 @@ func determinismCorpus(t *testing.T) map[string]string {
 	return srcs
 }
 
-func printedIR(t *testing.T, src string, jobs int, disableIncremental bool) string {
+// effectSplitDetSpec mirrors the fuzzer's opt-in effectsplit pipeline: the
+// O2 spec with the effect-split pass before the final cleanup. The
+// fork/join rewiring runs per scope in a deterministic order, so it must
+// hold the same byte-level determinism bar as the canonical spec.
+const effectSplitDetSpec = "cleanup,pe,fix(cff,contify,mem2reg,inline-once),effectsplit,cleanup,closure"
+
+func printedIR(t *testing.T, src, spec string, jobs int, disableIncremental bool) string {
 	t.Helper()
-	res, err := driver.CompileSpec(src, transform.SpecFor(transform.OptAll()),
+	res, err := driver.CompileSpec(src, spec,
 		analysis.ScheduleSmart, driver.Config{Jobs: jobs, DisableIncremental: disableIncremental})
 	if err != nil {
 		t.Fatalf("jobs=%d incremental=%v: %v", jobs, !disableIncremental, err)
@@ -60,21 +66,23 @@ func printedIR(t *testing.T, src string, jobs int, disableIncremental bool) stri
 func TestDeterministicIRAcrossJobsAndRuns(t *testing.T) {
 	for name, src := range determinismCorpus(t) {
 		t.Run(name, func(t *testing.T) {
-			ref := printedIR(t, src, 1, false)
-			if ref == "" {
-				t.Fatal("empty printed IR")
-			}
-			for _, jobs := range []int{1, 4, 8} {
-				for run := 0; run < 2; run++ {
-					if got := printedIR(t, src, jobs, false); got != ref {
-						t.Fatalf("jobs=%d run=%d: printed IR differs from first jobs=1 compile", jobs, run)
-					}
+			for _, spec := range []string{transform.SpecFor(transform.OptAll()), effectSplitDetSpec} {
+				ref := printedIR(t, src, spec, 1, false)
+				if ref == "" {
+					t.Fatal("empty printed IR")
 				}
-				// Incremental mode may only skip provably no-op work, never
-				// reorder rewrites, so turning it off must not change a byte
-				// at any jobs level.
-				if got := printedIR(t, src, jobs, true); got != ref {
-					t.Fatalf("jobs=%d: printed IR with -incremental=off differs from incremental compile", jobs)
+				for _, jobs := range []int{1, 4, 8} {
+					for run := 0; run < 2; run++ {
+						if got := printedIR(t, src, spec, jobs, false); got != ref {
+							t.Fatalf("spec=%s jobs=%d run=%d: printed IR differs from first jobs=1 compile", spec, jobs, run)
+						}
+					}
+					// Incremental mode may only skip provably no-op work, never
+					// reorder rewrites, so turning it off must not change a byte
+					// at any jobs level.
+					if got := printedIR(t, src, spec, jobs, true); got != ref {
+						t.Fatalf("spec=%s jobs=%d: printed IR with -incremental=off differs from incremental compile", spec, jobs)
+					}
 				}
 			}
 		})

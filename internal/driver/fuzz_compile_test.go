@@ -13,9 +13,14 @@ import (
 	"thorin/internal/transform"
 )
 
+// effectSplitSpec is the O2 pipeline with the effect-split pass wired in
+// before the final cleanup — the opt-in spec the fuzzer exercises so the
+// fork/join rewiring is differentially checked against the reference.
+const effectSplitSpec = "cleanup,pe,fix(cff,contify,mem2reg,inline-once),effectsplit,cleanup,closure"
+
 // diffArms runs the reference interpreter and every compiled arm (-O0 and
-// -O2, jobs 1 and 4) on src with one argument and reports the first
-// disagreement; "" means all arms agree. The error return flags inputs the
+// -O2, jobs 1 and 4, plus -O2 with effectsplit) on src with one argument
+// and reports the first disagreement; "" means all arms agree. The error return flags inputs the
 // oracle cannot judge (parse/check failure, reference out of fuel) — the
 // fuzzer skips those, the crasher regression treats them as corpus rot.
 func diffArms(src string, arg int64) (string, error) {
@@ -52,6 +57,8 @@ func diffArms(src string, arg int64) (string, error) {
 		{"O0/jobs=1", transform.SpecFor(transform.OptNone()), 1},
 		{"O2/jobs=1", transform.SpecFor(transform.OptAll()), 1},
 		{"O2/jobs=4", transform.SpecFor(transform.OptAll()), 4},
+		{"O2+effectsplit/jobs=1", effectSplitSpec, 1},
+		{"O2+effectsplit/jobs=4", effectSplitSpec, 4},
 	} {
 		res, err := CompileSpec(src, arm.spec, analysis.ScheduleSmart, Config{
 			VerifyEach: true,

@@ -46,12 +46,13 @@ fn bump_gcount(v: i64) -> i64 {
 // gen carries the generator state: the in-scope variable pools and the
 // output under construction.
 type gen struct {
-	r    *rand.Rand
-	sb   strings.Builder
-	vars []string // in-scope i64 variables
-	muts []string // in-scope mutable i64 variables
-	arrs []string // in-scope [i64] arrays (all of length 8)
-	tmp  int
+	r      *rand.Rand
+	sb     strings.Builder
+	vars   []string // in-scope i64 variables
+	muts   []string // in-scope mutable i64 variables
+	arrs   []string // in-scope [i64] arrays (all of length 8)
+	tmp    int
+	memory bool // bias the statement mix towards slot and array traffic
 }
 
 // Program builds one random program whose main takes a single i64 parameter
@@ -75,6 +76,33 @@ func Program(seed int64) string {
 	fmt.Fprintf(&g.sb, "\t(%s) + gcount\n}\n", tail)
 	return g.sb.String()
 }
+
+// MemoryProgram builds one random memory-heavy program: the statement mix
+// is biased towards mutable slots, array stores and loads inside loops,
+// repeated stores to the same cell, and lambda-captured mutables whose
+// slots escape — exactly the shapes the alias regions, effect splitting
+// and dead-store elimination must get right. Identical seeds produce
+// identical programs.
+func MemoryProgram(seed int64) string {
+	g := &gen{r: rand.New(rand.NewSource(seed)), memory: true}
+	g.sb.WriteString(Prelude)
+	g.sb.WriteString("fn main(n: i64) -> i64 {\n")
+	// Seed the pools so every memory statement has a target: two disjoint
+	// mutable cells, one array, and the global from the prelude. The names
+	// avoid every fresh-name prefix of the generator.
+	g.sb.WriteString("\tlet mut sx = n;\n\tlet mut sy = (n * 3);\n\tlet arr = [n; 8];\n")
+	g.vars = []string{"n", "sx", "sy"}
+	g.muts = []string{"sx", "sy"}
+	g.arrs = []string{"arr"}
+	g.stmts(3, 5+g.r.Intn(4), "\t")
+	fmt.Fprintf(&g.sb, "\t(%s) + sx + sy + arr[(n & 7)] + gcount\n}\n", g.expr(2))
+	return g.sb.String()
+}
+
+// memStmtMix is the statement distribution of memory mode: mostly mutable
+// assignments, array traffic and loops, with a slice of the regular mix
+// (cases 0..8 of stmts) and the capture-escape statement (case 9).
+var memStmtMix = []int{2, 3, 3, 3, 4, 4, 5, 6, 6, 6, 7, 8, 9, 9, 0}
 
 func (g *gen) fresh(prefix string) string {
 	g.tmp++
@@ -181,7 +209,11 @@ func (g *gen) boolExpr(depth int) string {
 // stmts emits a random statement sequence at the given indent.
 func (g *gen) stmts(depth, count int, indent string) {
 	for i := 0; i < count; i++ {
-		switch g.r.Intn(9) {
+		pick := g.r.Intn(9)
+		if g.memory {
+			pick = memStmtMix[g.r.Intn(len(memStmtMix))]
+		}
+		switch pick {
 		case 0, 1:
 			name := g.fresh("v")
 			fmt.Fprintf(&g.sb, "%slet %s = %s;\n", indent, name, g.expr(depth))
@@ -234,6 +266,17 @@ func (g *gen) stmts(depth, count int, indent string) {
 			fmt.Fprintf(&g.sb, "%s}\n", indent)
 			g.vars = append(g.vars, w)
 			g.muts = append(g.muts, w)
+		case 9:
+			// Memory mode only: a lambda captures a mutable, so its slot
+			// escapes into the closure environment — the ⊤-region traffic
+			// the alias analysis must keep apart from the clean slots.
+			if len(g.muts) == 0 {
+				continue
+			}
+			m := g.muts[g.r.Intn(len(g.muts))]
+			p := g.fresh("p")
+			fmt.Fprintf(&g.sb, "%s%s = (|%s: i64| (%s + %s))(%s);\n",
+				indent, m, p, m, p, g.expr(depth-1))
 		default:
 			// Conditional statement; its lets are block-scoped.
 			fmt.Fprintf(&g.sb, "%sif %s {\n", indent, g.boolExpr(depth))

@@ -10,12 +10,13 @@ type CleanupStats struct {
 	RemovedConts int  // unreachable continuations deleted
 	EtaReduced   int  // continuations replaced by their eta-equal callee
 	DeadParams   int  // parameters eliminated
+	DeadStores   int  // stores overwritten before any same-region read
 	Saturated    bool // round cap reached while still making progress
 }
 
 // changed reports whether the round did any work (saturation aside).
 func (s CleanupStats) changed() bool {
-	return s.RemovedConts != 0 || s.EtaReduced != 0 || s.DeadParams != 0
+	return s.RemovedConts != 0 || s.EtaReduced != 0 || s.DeadParams != 0 || s.DeadStores != 0
 }
 
 // Cleanup removes continuations unreachable from the extern roots,
@@ -39,6 +40,7 @@ func CleanupWith(w *ir.World, ac *analysis.Cache) (CleanupStats, error) {
 		total.RemovedConts += s.RemovedConts
 		total.EtaReduced += s.EtaReduced
 		total.DeadParams += s.DeadParams
+		total.DeadStores += s.DeadStores
 		if err != nil {
 			return total, err
 		}
@@ -60,8 +62,80 @@ func cleanupRound(w *ir.World, ac *analysis.Cache) (CleanupStats, error) {
 		return stats, err
 	}
 	stats.DeadParams = eliminateDeadParams(w, ac)
+	stats.DeadStores, err = deadStoreElim(w)
+	if err != nil {
+		return stats, err
+	}
 	stats.RemovedConts = sweepUnreachable(w)
 	return stats, nil
+}
+
+// deadStoreElim kills stores whose cell is overwritten later in the same
+// body by a store through the identical pointer, with no may-aliasing load
+// in between. The chain trace guarantees the window is a straight line of
+// slots, allocs, loads and stores — no calls, no branches — so the only
+// reads that can observe the store are the chain's own loads, and the
+// region oracle decides which of those can touch the cell.
+func deadStoreElim(w *ir.World) (int, error) {
+	killed := 0
+	oracle := analysis.NewAliasOracle()
+	for _, c := range append([]*ir.Continuation(nil), w.Continuations()...) {
+		if c.IsIntrinsic() || !c.HasBody() {
+			continue
+		}
+		_, ops, _, ok := traceMemChain(c)
+		if !ok {
+			continue
+		}
+		var kills []*ir.PrimOp
+	scan:
+		for i, s1 := range ops {
+			if s1.OpKind() != ir.OpStore {
+				continue
+			}
+			ptr := s1.Op(1)
+			for _, op := range ops[i+1:] {
+				switch op.OpKind() {
+				case ir.OpLoad:
+					if oracle.MayAlias(op.Op(1), ptr) {
+						continue scan // the stored value is (maybe) read
+					}
+				case ir.OpStore:
+					if op.Op(1) == ptr {
+						kills = append(kills, s1)
+						continue scan
+					}
+					// A store through a different pointer reads nothing:
+					// even a may-aliasing one cannot observe s1's value.
+				}
+			}
+		}
+		// Later victims first: splicing a store out rebuilds only its
+		// chain suffix, so the earlier victims keep their identity.
+		for i := len(kills) - 1; i >= 0; i-- {
+			s1 := kills[i]
+			if s1.NumUses() != 1 {
+				continue // an earlier splice rewired the chain around s1
+			}
+			// When the chain successor is an identical store (same cell,
+			// same value), splicing s1 would rebuild the successor into
+			// the very node being removed, and ReplaceUses' transitive
+			// resolve would collapse both stores. Drop the successor
+			// instead — it is the redundant copy — which cannot collide:
+			// s1 keeps its identity and inherits the successor's consumer.
+			succ, _ := s1.Uses()[0].Def.(*ir.PrimOp)
+			if succ != nil && succ.OpKind() == ir.OpStore &&
+				succ.Op(1) == s1.Op(1) && succ.Op(2) == s1.Op(2) {
+				if err := ReplaceUses(w, succ, s1); err != nil {
+					return killed, err
+				}
+			} else if err := ReplaceUses(w, s1, s1.Op(0)); err != nil {
+				return killed, err
+			}
+			killed++
+		}
+	}
+	return killed, nil
 }
 
 // sweepUnreachable removes every continuation not reachable from an extern

@@ -1,0 +1,315 @@
+package transform
+
+import (
+	"thorin/internal/analysis"
+	"thorin/internal/ir"
+)
+
+// This file implements the effect-split pass: each body's linear memory
+// chain is partitioned by alias region (see analysis.Regions) and rewired
+// into independent per-region threads between an OpMemFork and an
+// OpMemJoin. Accesses to provably disjoint cells stop ordering each other,
+// which is what lets the scheduler and dead-store elimination treat each
+// region in isolation. Codegen erases fork and join again — any
+// linearization of the forked threads is a valid execution order precisely
+// because the regions cannot alias.
+
+// EffectSplitStats reports what the pass rewired.
+type EffectSplitStats struct {
+	SplitChains int // bodies whose linear chain was forked into threads
+	Threads     int // per-region threads created, summed over all splits
+}
+
+func (s *EffectSplitStats) add(o EffectSplitStats) {
+	s.SplitChains += o.SplitChains
+	s.Threads += o.Threads
+}
+
+// EffectSplit rewires every splittable memory chain in the world.
+func EffectSplit(w *ir.World) EffectSplitStats {
+	st, err := EffectSplitWith(w, nil)
+	if err != nil {
+		panic(err) // unreachable: a nil cache recomputes and Rebuild handles every constructor-built kind
+	}
+	return st
+}
+
+// EffectSplitWith is EffectSplit reading scopes through an optional
+// analysis cache. Scopes are processed in root creation order and each
+// scope's bodies in scope order, so the rewrite is deterministic.
+//
+// The pass is idempotent: a split body's jump carries an OpMemJoin as its
+// memory argument, which the chain trace refuses to walk through, so a
+// second run finds nothing to do.
+func EffectSplitWith(w *ir.World, ac *analysis.Cache) (EffectSplitStats, error) {
+	var stats EffectSplitStats
+	for _, c := range m2rTargets(w) {
+		s := ac.ScopeOf(c)
+		if !s.TopLevel() {
+			continue // nested function: split via its enclosing root
+		}
+		st, err := splitScope(w, s)
+		stats.add(st)
+		if err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// esChain is one body's traced memory chain, ready to be forked.
+type esChain struct {
+	c      *ir.Continuation
+	anchor ir.Def       // chain start: a mem-typed parameter
+	ops    []*ir.PrimOp // effectful ops in execution order
+	links  []ir.Def     // links[i] = mem result def of ops[i] (store or extract)
+	region []int        // region[i] = alias region of ops[i]
+	ridx   map[int]int  // region id → thread index, first-occurrence order
+	lastAt map[int]int  // thread index → position of the thread's last op
+	fork   ir.Def       // built lazily at commit
+}
+
+// traceMemChain walks the body's jump memory argument back to the
+// parameter anchoring it, returning the effectful ops in execution order
+// together with their mem-result defs. It returns ok=false for anything
+// but a plain single-use backbone of slots, allocs, loads and stores —
+// in particular for chains already carrying a fork or join.
+func traceMemChain(c *ir.Continuation) (anchor ir.Def, ops []*ir.PrimOp, links []ir.Def, ok bool) {
+	var memArg ir.Def
+	for _, a := range c.Args() {
+		if ir.IsMemType(a.Type()) {
+			if memArg != nil {
+				return nil, nil, nil, false // two mem args: not a linear body
+			}
+			memArg = a
+		}
+	}
+	if memArg == nil {
+		return nil, nil, nil, false
+	}
+	cur := memArg
+	for {
+		switch d := cur.(type) {
+		case *ir.Param:
+			// Reverse into execution order.
+			for i, j := 0, len(ops)-1; i < j; i, j = i+1, j-1 {
+				ops[i], ops[j] = ops[j], ops[i]
+				links[i], links[j] = links[j], links[i]
+			}
+			return d, ops, links, true
+		case *ir.PrimOp:
+			switch d.OpKind() {
+			case ir.OpStore:
+				if d.NumUses() != 1 {
+					return nil, nil, nil, false
+				}
+				ops = append(ops, d)
+				links = append(links, d)
+				cur = d.Op(0)
+			case ir.OpExtract:
+				if i, lit := ir.LitValue(d.Op(1)); !lit || i != 0 || d.NumUses() != 1 {
+					return nil, nil, nil, false
+				}
+				src, isOp := d.Op(0).(*ir.PrimOp)
+				if !isOp {
+					return nil, nil, nil, false
+				}
+				switch src.OpKind() {
+				case ir.OpSlot, ir.OpAlloc, ir.OpLoad:
+					// The tuple result must only be observed through
+					// constant-index projections, or the mem token leaks
+					// past the chain we are about to rewire.
+					clean := true
+					src.EachUse(func(u ir.Use) bool {
+						e, eok := u.Def.(*ir.PrimOp)
+						if eok && e.OpKind() == ir.OpExtract && u.Index == 0 {
+							if _, lit := ir.LitValue(e.Op(1)); lit {
+								return true
+							}
+						}
+						clean = false
+						return false
+					})
+					if !clean {
+						return nil, nil, nil, false
+					}
+					ops = append(ops, src)
+					links = append(links, d)
+					cur = src.Op(0)
+				default:
+					return nil, nil, nil, false // fork projection or unknown
+				}
+			default:
+				return nil, nil, nil, false // join, or not a chain op
+			}
+		default:
+			return nil, nil, nil, false
+		}
+	}
+}
+
+// splitScope traces every body of the scope and forks the chains touching
+// two or more distinct alias regions.
+func splitScope(w *ir.World, s *analysis.Scope) (EffectSplitStats, error) {
+	var stats EffectSplitStats
+	regions := analysis.NewRegions(s)
+	if regions.NumRegions() < 2 {
+		return stats, nil // no region besides ⊤: nothing to separate
+	}
+
+	var splits []*esChain
+	chainOf := map[*ir.PrimOp]*esChain{}
+	posOf := map[*ir.PrimOp]int{}
+	for _, c := range s.Conts {
+		if !c.HasBody() {
+			continue
+		}
+		anchor, ops, links, ok := traceMemChain(c)
+		if !ok || len(ops) < 2 {
+			continue
+		}
+		ch := &esChain{c: c, anchor: anchor, ops: ops, links: links, ridx: map[int]int{}, lastAt: map[int]int{}}
+		for _, p := range ops {
+			r := regions.RegionOfOp(p)
+			ch.region = append(ch.region, r)
+			if _, seen := ch.ridx[r]; !seen {
+				ch.ridx[r] = len(ch.ridx)
+			}
+		}
+		if len(ch.ridx) < 2 {
+			continue // single region: the chain is already as parallel as it gets
+		}
+		for i, r := range ch.region {
+			ch.lastAt[ch.ridx[r]] = i
+		}
+		splits = append(splits, ch)
+		for i, p := range ops {
+			chainOf[p] = ch
+			posOf[p] = i
+		}
+	}
+	if len(splits) == 0 {
+		return stats, nil
+	}
+
+	old2new := map[ir.Def]ir.Def{}
+	var rwErr error
+	var resolve func(d ir.Def) ir.Def
+	var buildChainOp func(p *ir.PrimOp) ir.Def
+
+	resolve = func(d ir.Def) ir.Def {
+		if n, ok := old2new[d]; ok {
+			return n
+		}
+		p, isOp := d.(*ir.PrimOp)
+		if !isOp || !s.Contains(d) {
+			return d
+		}
+		if chainOf[p] != nil {
+			return buildChainOp(p)
+		}
+		ops := make([]ir.Def, p.NumOps())
+		changed := false
+		for i, o := range p.Ops() {
+			ops[i] = resolve(o)
+			changed = changed || ops[i] != o
+		}
+		n := d
+		if changed {
+			var err error
+			n, err = Rebuild(w, p, ops)
+			if err != nil {
+				if rwErr == nil {
+					rwErr = err
+				}
+				n = d
+			}
+		}
+		// Identity-preserving when unchanged: salted sites (slots, allocs)
+		// must keep their cell identity unless something upstream moved.
+		old2new[d] = n
+		return n
+	}
+
+	buildChainOp = func(p *ir.PrimOp) ir.Def {
+		if n, ok := old2new[p]; ok {
+			return n
+		}
+		ch, i := chainOf[p], posOf[p]
+		// The thread predecessor is the previous chain op in the same
+		// region; the thread's first op consumes its fork projection.
+		var mem ir.Def
+		for j := i - 1; j >= 0; j-- {
+			if ch.region[j] == ch.region[i] {
+				mem = memResult(w, ch.ops[j], buildChainOp(ch.ops[j]))
+				break
+			}
+		}
+		if mem == nil {
+			if ch.fork == nil {
+				ch.fork = w.MemFork(resolve(ch.anchor), len(ch.ridx))
+			}
+			mem = w.ExtractAt(ch.fork, ch.ridx[ch.region[i]])
+		}
+		ops := make([]ir.Def, p.NumOps())
+		ops[0] = mem
+		for k := 1; k < p.NumOps(); k++ {
+			ops[k] = resolve(p.Op(k))
+		}
+		n, err := Rebuild(w, p, ops)
+		if err != nil {
+			if rwErr == nil {
+				rwErr = err
+			}
+			n = p
+		}
+		old2new[p] = n
+		return n
+	}
+
+	// Build every split chain and map its final mem link to the join of
+	// the per-thread tails, so the re-jump below picks the join up.
+	for _, ch := range splits {
+		for _, p := range ch.ops {
+			buildChainOp(p)
+		}
+		tails := make([]ir.Def, len(ch.ridx))
+		for t := range tails {
+			last := ch.ops[ch.lastAt[t]]
+			tails[t] = memResult(w, last, old2new[last])
+		}
+		old2new[ch.links[len(ch.links)-1]] = w.MemJoin(tails...)
+		stats.SplitChains++
+		stats.Threads += len(ch.ridx)
+	}
+	if rwErr != nil {
+		return stats, rwErr
+	}
+
+	// Re-jump every body whose callee or arguments resolved differently.
+	for _, c := range s.Conts {
+		if !c.HasBody() {
+			continue
+		}
+		callee := resolve(c.Callee())
+		args := make([]ir.Def, c.NumArgs())
+		changed := callee != c.Callee()
+		for i, a := range c.Args() {
+			args[i] = resolve(a)
+			changed = changed || args[i] != a
+		}
+		if changed {
+			c.Jump(callee, args...)
+		}
+	}
+	return stats, rwErr
+}
+
+// memResult returns the mem token produced by the rewritten chain op: the
+// store itself, or the mem projection of a (mem, value) tuple.
+func memResult(w *ir.World, old *ir.PrimOp, n ir.Def) ir.Def {
+	if old.OpKind() == ir.OpStore {
+		return n
+	}
+	return w.ExtractAt(n, 0)
+}

@@ -10,12 +10,37 @@ import (
 // Mem2RegStats reports slot promotion results. PhiParams is the number of
 // continuation parameters introduced at join points — the CPS analogue of
 // φ-functions, and the metric compared against classical SSA construction
-// in Table 3.
+// in Table 3. The Skipped* counters break unpromoted slots down by reason:
+// the address escapes (stored, passed on, or captured by a nested
+// function), the slot's effect chain interleaves with control flow the
+// analysis cannot separate, or the slot holds a non-primitive value the
+// region-local promotion path does not handle.
 type Mem2RegStats struct {
 	PromotedSlots int
 	PhiParams     int
 	SkippedScopes int
+	// Per-reason skip counters, in units of slots.
+	SkippedEscaped          int
+	SkippedInterleaved      int
+	SkippedUnpromotableType int
 }
+
+func (s *Mem2RegStats) add(o Mem2RegStats) {
+	s.PromotedSlots += o.PromotedSlots
+	s.PhiParams += o.PhiParams
+	s.SkippedScopes += o.SkippedScopes
+	s.SkippedEscaped += o.SkippedEscaped
+	s.SkippedInterleaved += o.SkippedInterleaved
+	s.SkippedUnpromotableType += o.SkippedUnpromotableType
+}
+
+// PromoteNonBlockScopes gates the region-local promotion path: slots in
+// scopes that are not in block form (a nested returning function keeps the
+// scope's CFG from covering every continuation) are still promoted when
+// their loads and stores live entirely in CFG-covered blocks and the
+// nested activations provably never touch them. The bit exists for
+// before/after measurement; production builds leave it on.
+var PromoteNonBlockScopes = true
 
 // Mem2Reg promotes non-escaping stack slots to values flowing through
 // continuation parameters in every promotable top-level scope. This is the
@@ -52,9 +77,7 @@ func Mem2RegWith(w *ir.World, ac *analysis.Cache) (Mem2RegStats, error) {
 	var stats Mem2RegStats
 	for _, plan := range plans {
 		st, err := m2rCommit(w, ac, plan)
-		stats.PromotedSlots += st.PromotedSlots
-		stats.PhiParams += st.PhiParams
-		stats.SkippedScopes += st.SkippedScopes
+		stats.add(st)
 		if err != nil {
 			return stats, err
 		}
@@ -73,11 +96,14 @@ func m2rTargets(w *ir.World) []*ir.Continuation {
 	return out
 }
 
-// m2rPlan is the outcome of analyzing one root: a skip (non-block-form
-// scope), nothing to promote, or a filled promoter ready to commit.
+// m2rPlan is the outcome of analyzing one root: a skip (scope whose
+// control flow the analysis cannot cover), nothing to promote, or a filled
+// promoter ready to commit. The per-reason slot counters are carried
+// alongside either way.
 type m2rPlan struct {
-	skipped bool      // scope not in block form; counted as SkippedScopes
+	skipped bool      // whole scope skipped; counted as SkippedScopes
 	p       *promoter // nil when there is nothing to promote
+	reasons Mem2RegStats
 }
 
 // m2rAnalyze plans the promotion of one root without mutating the world.
@@ -87,16 +113,25 @@ func m2rAnalyze(w *ir.World, ac *analysis.Cache, c *ir.Continuation) *m2rPlan {
 	if !s.TopLevel() {
 		return &m2rPlan{} // nested function: promoted via its enclosing root
 	}
-	if !blockFormScope(s) {
-		return &m2rPlan{skipped: true}
+	if blockFormScope(s) {
+		plan := &m2rPlan{}
+		plan.p = planPromotion(w, s, nil)
+		plan.reasons.SkippedEscaped = countEscapedSlots(s)
+		return plan
 	}
-	return &m2rPlan{p: planPromotion(w, s)}
+	if !PromoteNonBlockScopes {
+		plan := &m2rPlan{skipped: true}
+		plan.reasons.SkippedInterleaved = len(PromotableSlots(s))
+		plan.reasons.SkippedEscaped = countEscapedSlots(s)
+		return plan
+	}
+	return planNonBlock(w, s)
 }
 
 // m2rCommit applies one plan. Stamp validation in the cache handles the
 // mutations a promotion makes; no explicit invalidation is needed.
 func m2rCommit(w *ir.World, ac *analysis.Cache, plan *m2rPlan) (Mem2RegStats, error) {
-	var st Mem2RegStats
+	st := plan.reasons
 	if plan.skipped {
 		st.SkippedScopes++
 		return st, nil
@@ -111,6 +146,19 @@ func m2rCommit(w *ir.World, ac *analysis.Cache, plan *m2rPlan) (Mem2RegStats, er
 	st.PhiParams = phis
 	st.PromotedSlots = len(plan.p.slots)
 	return st, nil
+}
+
+// countEscapedSlots counts the scope's slots whose address escapes (the
+// slotPromotable walk fails): the per-reason accounting surfaced in the
+// pass report.
+func countEscapedSlots(s *analysis.Scope) int {
+	n := 0
+	for _, p := range s.ReachablePrimOps() {
+		if p.OpKind() == ir.OpSlot && s.Contains(p) && !slotPromotable(p) {
+			n++
+		}
+	}
+	return n
 }
 
 // m2rFinish sweeps the husks the committed promotions left behind.
@@ -128,6 +176,204 @@ func blockFormScope(s *analysis.Scope) bool {
 		}
 	}
 	return true
+}
+
+// planNonBlock plans region-local promotion for a scope that is not in
+// block form: a nested returning function keeps the scope's CFG from
+// covering every continuation, but slots whose loads and stores all live
+// in covered blocks — and which the uncovered bodies provably never reach
+// — promote exactly as in the block-form case. The uncovered bodies are
+// left untouched by the rewrite, which is sound because every def they
+// reference keeps its identity (checked below).
+func planNonBlock(w *ir.World, s *analysis.Scope) *m2rPlan {
+	plan := &m2rPlan{}
+	plan.reasons.SkippedEscaped = countEscapedSlots(s)
+	candidates := PromotableSlots(s)
+	bail := func() *m2rPlan {
+		plan.skipped = true
+		plan.reasons.SkippedInterleaved += len(candidates)
+		return plan
+	}
+
+	g := analysis.NewCFG(s)
+	// Every covered block except the entry must be basic-block-like, or
+	// the rewrite could not extend its parameter list with φs.
+	for _, n := range g.Nodes {
+		if n.Cont != s.Entry && !n.Cont.IsBasicBlockLike() {
+			return bail()
+		}
+	}
+
+	// outside is the transitive operand closure of every uncovered
+	// continuation's body: everything a nested activation can reach. It is
+	// operand-closed, so a slot is reachable from outside iff the slot
+	// itself is a member.
+	outside := map[ir.Def]bool{}
+	var visit func(d ir.Def)
+	visit = func(d ir.Def) {
+		if outside[d] {
+			return
+		}
+		outside[d] = true
+		if p, ok := d.(*ir.PrimOp); ok {
+			for _, op := range p.Ops() {
+				visit(op)
+			}
+		}
+	}
+	for _, c := range s.Conts {
+		if g.NodeOf(c) != nil || !c.HasBody() {
+			continue
+		}
+		for _, op := range c.Ops() {
+			visit(op)
+		}
+	}
+	// An uncovered body referencing a covered block directly means the CFG
+	// under-approximates the flow into that block — give up. Likewise for a
+	// covered block's parameters: the rewrite replaces every non-entry
+	// block (and its params) with a φ-extended copy, which would leave the
+	// uncovered bodies holding params of dead continuations.
+	for _, n := range g.Nodes {
+		if n.Cont != s.Entry && outside[n.Cont] {
+			return bail()
+		}
+	}
+	for d := range outside {
+		p, ok := d.(*ir.Param)
+		if !ok || p.Cont() == s.Entry {
+			continue
+		}
+		if g.NodeOf(p.Cont()) != nil {
+			return bail()
+		}
+	}
+
+	keep := map[*ir.PrimOp]bool{}
+	for _, sl := range candidates {
+		switch {
+		case outside[sl]:
+			plan.reasons.SkippedEscaped++ // captured by a nested activation
+		case !isPrimSlot(sl):
+			plan.reasons.SkippedUnpromotableType++
+		case !slotAnchoredInBlocks(sl, g):
+			plan.reasons.SkippedInterleaved++
+		default:
+			keep[sl] = true
+		}
+	}
+	if len(keep) == 0 {
+		return plan
+	}
+
+	// Identity guard: a slot or alloc the uncovered bodies share must come
+	// out of the rewrite unchanged — rebuilding a salted site forks the
+	// cell, and the uncovered bodies would keep writing the stale one.
+	// A site is rebuilt iff a promoted def sits in its operand ancestry;
+	// since every def the promotion changes has the promoted slot itself as
+	// a transitive operand, seeding the walk with the kept slots suffices.
+	for _, p := range s.ReachablePrimOps() {
+		if p.OpKind() != ir.OpSlot && p.OpKind() != ir.OpAlloc {
+			continue
+		}
+		if outside[p] && !keep[p] && ancestryIntersects(p, keep) {
+			plan.reasons.SkippedInterleaved += len(keep)
+			return plan
+		}
+	}
+
+	plan.p = planPromotion(w, s, keep)
+	return plan
+}
+
+// isPrimSlot reports whether the slot holds a primitive value — the only
+// pointee the region-local promotion path handles.
+func isPrimSlot(sl *ir.PrimOp) bool {
+	_, ok := slotType(sl).(*ir.PrimType)
+	return ok
+}
+
+// slotAnchoredInBlocks reports whether every load and store of the slot is
+// anchored (through its mem operand chain) in a CFG-covered continuation,
+// so the symbolic evaluation sees each access in its true block.
+func slotAnchoredInBlocks(sl *ir.PrimOp, g *analysis.CFG) bool {
+	ok := true
+	sl.EachUse(func(u ir.Use) bool {
+		ext := u.Def.(*ir.PrimOp) // slotPromotable guarantees the shape
+		if idx, _ := ir.LitValue(ext.Op(1)); idx != 1 {
+			return true
+		}
+		ext.EachUse(func(pu ir.Use) bool {
+			op := pu.Def.(*ir.PrimOp)
+			c := homeCont(op)
+			if c == nil || g.NodeOf(c) == nil {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	})
+	return ok
+}
+
+// homeCont walks an effectful op's mem operand chain back to the parameter
+// anchoring it to its continuation, or nil when the chain is not a plain
+// backbone (a fork/join or an unrecognized def).
+func homeCont(op *ir.PrimOp) *ir.Continuation {
+	d := op.Op(0)
+	for {
+		switch m := d.(type) {
+		case *ir.Param:
+			return m.Cont()
+		case *ir.PrimOp:
+			switch m.OpKind() {
+			case ir.OpStore:
+				d = m.Op(0)
+			case ir.OpExtract:
+				src, ok := m.Op(0).(*ir.PrimOp)
+				if !ok || !src.OpKind().HasMemEffect() {
+					return nil
+				}
+				d = src.Op(0)
+			default:
+				return nil
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// ancestryIntersects reports whether p's transitive operands include one of
+// the seed primops.
+func ancestryIntersects(p *ir.PrimOp, seeds map[*ir.PrimOp]bool) bool {
+	seen := map[ir.Def]bool{}
+	var walk func(d ir.Def) bool
+	walk = func(d ir.Def) bool {
+		if seen[d] {
+			return false
+		}
+		seen[d] = true
+		q, ok := d.(*ir.PrimOp)
+		if !ok {
+			return false
+		}
+		if seeds[q] {
+			return true
+		}
+		for _, op := range q.Ops() {
+			if walk(op) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, op := range p.Ops() {
+		if walk(op) {
+			return true
+		}
+	}
+	return false
 }
 
 // PromotableSlots returns the slot primops of s whose address never escapes:
@@ -229,10 +475,21 @@ type promoter struct {
 
 // planPromotion runs the read-only analysis of one scope: it finds the
 // promotable slots and symbolically evaluates every load and block-end
-// value. It returns nil when the scope has nothing to promote; otherwise the
-// returned promoter is ready for rewrite().
-func planPromotion(w *ir.World, s *analysis.Scope) *promoter {
+// value. A non-nil keep set restricts promotion to those slots (the
+// region-local path for non-block-form scopes). It returns nil when the
+// scope has nothing to promote; otherwise the returned promoter is ready
+// for rewrite().
+func planPromotion(w *ir.World, s *analysis.Scope, keep map[*ir.PrimOp]bool) *promoter {
 	slots := PromotableSlots(s)
+	if keep != nil {
+		kept := slots[:0]
+		for _, sl := range slots {
+			if keep[sl] {
+				kept = append(kept, sl)
+			}
+		}
+		slots = kept
+	}
 	if len(slots) == 0 {
 		return nil
 	}
@@ -512,8 +769,18 @@ func (p *promoter) rewrite() (int, error) {
 			n = rw(op.Op(0)) // store vanishes; mem flows through
 		default:
 			ops := make([]ir.Def, op.NumOps())
+			changed := false
 			for i, o := range op.Ops() {
 				ops[i] = rw(o)
+				changed = changed || ops[i] != o
+			}
+			if !changed {
+				// Identity-preserving: pure ops would hash-cons back to
+				// themselves anyway, and salted sites (slots, allocs) MUST
+				// keep their identity — continuations outside the rewritten
+				// CFG may share the cell.
+				n = d
+				break
 			}
 			var err error
 			n, err = Rebuild(w, op, ops)

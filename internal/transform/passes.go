@@ -69,10 +69,7 @@ func (mem2regPass) SelfFixpointing() {}
 // the pipeline runner uses the three-phase protocol instead.
 func (p mem2regPass) Run(ctx *pm.Context) (pm.Result, error) {
 	s, err := Mem2RegWith(ctx.World, ctx.Cache)
-	st := ctxStats(ctx)
-	st.Mem2Reg.PromotedSlots += s.PromotedSlots
-	st.Mem2Reg.PhiParams += s.PhiParams
-	st.Mem2Reg.SkippedScopes += s.SkippedScopes
+	ctxStats(ctx).Mem2Reg.add(s)
 	return pm.Result{Rewrites: s.PromotedSlots + s.PhiParams}, err
 }
 
@@ -86,10 +83,7 @@ func (mem2regPass) Analyze(ctx *pm.Context, c *ir.Continuation) (any, error) {
 
 func (mem2regPass) Commit(ctx *pm.Context, c *ir.Continuation, plan any) (pm.Result, error) {
 	s, err := m2rCommit(ctx.World, ctx.Cache, plan.(*m2rPlan))
-	st := ctxStats(ctx)
-	st.Mem2Reg.PromotedSlots += s.PromotedSlots
-	st.Mem2Reg.PhiParams += s.PhiParams
-	st.Mem2Reg.SkippedScopes += s.SkippedScopes
+	ctxStats(ctx).Mem2Reg.add(s)
 	return pm.Result{Rewrites: s.PromotedSlots + s.PhiParams}, err
 }
 
@@ -103,7 +97,13 @@ func init() {
 		st.Cleanup.RemovedConts += s.RemovedConts
 		st.Cleanup.EtaReduced += s.EtaReduced
 		st.Cleanup.DeadParams += s.DeadParams
-		return pm.Result{Rewrites: s.RemovedConts + s.EtaReduced + s.DeadParams, Saturated: s.Saturated}, err
+		st.Cleanup.DeadStores += s.DeadStores
+		return pm.Result{Rewrites: s.RemovedConts + s.EtaReduced + s.DeadParams + s.DeadStores, Saturated: s.Saturated}, err
+	}})
+	pm.Register(stdPass{"effectsplit", func(ctx *pm.Context, st *Stats) (pm.Result, error) {
+		s, err := EffectSplitWith(ctx.World, ctx.Cache)
+		st.EffectSplit.add(s)
+		return pm.Result{Rewrites: s.SplitChains}, err
 	}})
 	pm.Register(stdPass{"pe", func(ctx *pm.Context, st *Stats) (pm.Result, error) {
 		s, err := PartialEvalWith(ctx.World, ctx.Cache)
