@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci fuzz-smoke fuzz crashers loadtest modules chaos bench bench-diff bench-full bench-passes tables
+.PHONY: all build test race vet fmt ci fuzz-smoke fuzz crashers loadtest modules wasm chaos bench bench-diff bench-full bench-passes tables
 
 all: build test
 
@@ -27,7 +27,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt vet build race modules fuzz-smoke fuzz crashers loadtest chaos bench bench-diff
+ci: fmt vet build race modules wasm fuzz-smoke fuzz crashers loadtest chaos bench bench-diff
 
 # modules compiles and runs the shipped three-module example (a imports b,
 # b imports and re-exports c) through the separate-compilation CLI path in
@@ -35,6 +35,15 @@ ci: fmt vet build race modules fuzz-smoke fuzz crashers loadtest chaos bench ben
 modules:
 	$(GO) run ./cmd/thorinc -run examples/modules/a.imp examples/modules/b.imp examples/modules/c.imp 4 | grep -qx 'result: 34'
 	$(GO) run ./cmd/thorinc -link=mangle -run examples/modules/a.imp examples/modules/b.imp examples/modules/c.imp 4 | grep -qx 'result: 34'
+
+# wasm is the WebAssembly backend gate: every example differentially
+# executed against the VM at -O0/-O2 × jobs 1/4 plus multi-module linking
+# under both targets, the crasher corpus replayed through the wasm arms of
+# diffArms (TestCrashers), explicit module validation, and a CLI round trip
+# through -target=wasm.
+wasm:
+	$(GO) test -run 'TestWasm|TestCrashers' -count=1 ./internal/driver
+	$(GO) run ./cmd/thorinc -target=wasm -run examples/fib.imp 10 | grep -qx 'result: 55'
 
 # fuzz-smoke gives the integer-fold fuzzer (seeded with the signed-overflow
 # and division edge cases) a short budget; it fails fast on any fold panic.
@@ -85,6 +94,7 @@ bench:
 	$(GO) run ./cmd/thorin-bench -modload -o BENCH_pr7.json
 	$(GO) run ./cmd/thorin-bench -overload -o BENCH_pr8.json
 	$(GO) run ./cmd/thorin-bench -memory -fast -o BENCH_pr9.json
+	$(GO) run ./cmd/thorin-bench -backends -fast -o BENCH_pr10.json
 
 # bench-diff is the regression gate: re-measure the incremental-vs-full
 # fixpoint workload (at the same fast scale the committed report was taken

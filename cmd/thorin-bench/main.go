@@ -23,6 +23,7 @@
 //	thorin-bench -overload -o BENCH_pr8.json      # shed/retry storm: clients > compile slots
 //	thorin-bench -memory -o BENCH_pr9.json        # effect-region memory pipeline: before/after wins
 //	thorin-bench -memory -diff BENCH_pr9.json     # fail on a >10% VM-instruction regression
+//	thorin-bench -backends -o BENCH_pr10.json     # vm vs wasm backend: emission time, payload size, dynamic instrs
 package main
 
 import (
@@ -49,6 +50,7 @@ func main() {
 		leaves   = flag.Int("leaves", 16, "with -modload: leaf modules importing the shared util module")
 		edits    = flag.Int("edits", 8, "with -modload: single-leaf edit requests after the cold build")
 		memory   = flag.Bool("memory", false, "measure the effect-region memory pipeline (promoted slots, hoisted loads, split threads, VM instructions) before/after and emit JSON")
+		backends = flag.Bool("backends", false, "compare the vm and wasm backends over the suite (emission ns/op, payload bytes, dynamic instructions; checksum parity enforced) and emit JSON")
 		overload = flag.Bool("overload", false, "storm thorind with more retrying clients than compile slots, record shed rate and p50/p99 latency, and emit JSON")
 		stormers = flag.Int("stormers", 8, "with -overload: concurrent retrying clients")
 		perEach  = flag.Int("per-client", 3, "with -overload: distinct cold compiles per client")
@@ -94,6 +96,13 @@ func main() {
 	}
 	if *overload {
 		if err := runOverload(*outFile, *stormers, *perEach, *fast); err != nil {
+			fmt.Fprintln(os.Stderr, "thorin-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *backends {
+		if err := runBackends(*outFile, *fast); err != nil {
 			fmt.Fprintln(os.Stderr, "thorin-bench:", err)
 			os.Exit(1)
 		}
@@ -291,6 +300,25 @@ func runOverload(outFile string, clients, perClient int, fast bool) error {
 // comparison (BENCH_pr9.json when committed). With diffFile set it acts as
 // a regression gate: the fresh measurement must stay within 10% of the
 // committed report's VM instruction count.
+// runBackends measures the vm-vs-wasm backend comparison (checksum parity
+// is enforced inside the measurement) and writes BENCH_pr10.json.
+func runBackends(outFile string, fast bool) error {
+	rep, err := bench.MeasureBackends(fast)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return bench.WriteBackendsJSON(out, rep)
+}
+
 func runMemory(outFile, diffFile string, fast bool) error {
 	rep, err := bench.MeasureMemory(fast)
 	if err != nil {

@@ -19,6 +19,8 @@
 //	thorinc -emit=thorin prog.imp          # dump the optimized graph IR
 //	thorinc -emit=ssa prog.imp             # dump the baseline SSA module
 //	thorinc -emit=bytecode prog.imp        # disassemble the bytecode
+//	thorinc -target=wasm -run prog.imp 10  # compile to wasm, run on the interpreter
+//	thorinc -target=wasm -emit=wat prog.imp  # print the wasm module as WAT
 //	thorinc -pipeline=ssa -run prog.imp 10 # execute via the baseline
 //	thorinc -passes="cleanup,pe,fix(cff,contify,mem2reg,inline-once),cleanup,closure" \
 //	    -emit=pass-report prog.imp         # custom pipeline + per-pass table
@@ -47,7 +49,7 @@ import (
 	"strings"
 
 	"thorin/internal/analysis"
-	"thorin/internal/codegen"
+	"thorin/internal/backend"
 	"thorin/internal/driver"
 	"thorin/internal/ir"
 	"thorin/internal/link"
@@ -55,6 +57,7 @@ import (
 	"thorin/internal/server"
 	"thorin/internal/transform"
 	"thorin/internal/vm"
+	"thorin/internal/wasm"
 )
 
 // exitDegraded is the exit status of a compile that finished only via
@@ -64,7 +67,8 @@ const exitDegraded = 3
 
 func main() {
 	var (
-		emit        = flag.String("emit", "", "dump: thorin | ssa | bytecode | dot | cfg | pass-report | pass-report-json")
+		emit        = flag.String("emit", "", "dump: thorin | ssa | bytecode | wat | dot | cfg | pass-report | pass-report-json")
+		targetName  = flag.String("target", "vm", "code generation target: vm (bytecode) | wasm (WebAssembly module)")
 		pipeline    = flag.String("pipeline", "thorin", "pipeline: thorin | ssa")
 		optLevel    = flag.Int("O", 2, "optimization level for the thorin pipeline: 0, 1 (no mangling), 2")
 		passes      = flag.String("passes", "", "explicit pass-pipeline spec, e.g. \"cleanup,pe,fix(cff,contify,mem2reg,inline-once),cleanup,closure\" (overrides -O)")
@@ -117,7 +121,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "thorinc: replay of %s succeeded — the recorded failure no longer reproduces\n", *replay)
 		if *run {
-			runProgram(res.Program, replayArgs(), *emit, true, *stats)
+			runProgram(res.Target, res.Program, res.Wasm, replayArgs(), *emit, true, *stats)
 		}
 		return
 	}
@@ -170,6 +174,24 @@ func main() {
 		mode = analysis.ScheduleEarly
 	case "late":
 		mode = analysis.ScheduleLate
+	}
+
+	target, err := backend.ParseTarget(*targetName)
+	if err != nil {
+		fatal(err)
+	}
+	switch *emit {
+	case "bytecode":
+		if target != backend.VM {
+			fatal(fmt.Errorf("-emit=bytecode needs -target=vm (the %s target has no bytecode)", target))
+		}
+	case "wat":
+		if target != backend.Wasm {
+			fatal(fmt.Errorf("-emit=wat needs -target=wasm"))
+		}
+	}
+	if *pipeline == "ssa" && target != backend.VM {
+		fatal(fmt.Errorf("-pipeline=ssa only targets the vm"))
 	}
 
 	opts := transform.OptAll()
@@ -234,15 +256,20 @@ func main() {
 		if *emit == "thorin" {
 			ir.Print(os.Stdout, w)
 		}
-		prog, err := codegen.Compile(w, "main", codegen.Config{Mode: mode})
+		be, err := backend.Lookup(target)
 		if err != nil {
 			fatal(err)
 		}
-		runProgram(prog, args, *emit, *run, *stats)
+		out, err := be.Compile(w, "main", backend.Config{Mode: mode})
+		if err != nil {
+			fatal(err)
+		}
+		runProgram(target, out.VM, out.Wasm, args, *emit, *run, *stats)
 		return
 	}
 
 	var prog *vm.Program
+	var wasmMod []byte
 	degraded := false
 	switch *pipeline {
 	case "ssa":
@@ -268,14 +295,18 @@ func main() {
 	default:
 		if *serverAddr != "" {
 			switch *emit {
-			case "", "bytecode":
+			// bytecode and wat dumps render the artifact payload itself, so
+			// they work on remote compiles; IR dumps need the World, which
+			// never leaves the daemon.
+			case "", "bytecode", "wat":
 			default:
-				fatal(fmt.Errorf("-emit=%s is not available with -server (the daemon ships bytecode artifacts, not IR)", *emit))
+				fatal(fmt.Errorf("-emit=%s is not available with -server (the daemon ships compiled artifacts, not IR)", *emit))
 			}
 			req := &driver.Request{
 				Source:             src,
 				Spec:               spec,
 				Schedule:           *schedule,
+				Target:             *targetName,
 				Jobs:               *jobs,
 				OnFailure:          *onFailure,
 				Budget:             *budgetSpec,
@@ -304,6 +335,7 @@ func main() {
 					art.FailedPasses, art.Spec)
 			}
 			prog = art.Program
+			wasmMod = art.Wasm
 			if *stats {
 				m := art.IRStats
 				fmt.Fprintf(os.Stderr,
@@ -327,6 +359,7 @@ func main() {
 			Budget:             budget,
 			CrashDir:           *crashDir,
 			DisableIncremental: disableIncremental,
+			Target:             target,
 		}
 		var res *driver.Result
 		var err error
@@ -364,6 +397,7 @@ func main() {
 			}
 		}
 		prog = res.Program
+		wasmMod = res.Wasm
 		if *stats {
 			m, st := res.IRStats, res.Stats
 			fmt.Fprintf(os.Stderr,
@@ -379,7 +413,7 @@ func main() {
 		}
 	}
 
-	runProgram(prog, args, *emit, *run, *stats)
+	runProgram(target, prog, wasmMod, args, *emit, *run, *stats)
 
 	// A degraded compile produced a valid but weaker-than-requested
 	// program; all output above still happened, and the distinct exit
@@ -426,13 +460,29 @@ func emitReport(rep *pm.Report, st transform.Stats, emit string) {
 	}
 }
 
-// runProgram handles the bytecode dump and execution stages shared by the
-// frontend and textual-IR paths.
-func runProgram(prog *vm.Program, args []int64, emit string, run, stats bool) {
-	if emit == "bytecode" {
+// runProgram handles the payload dump and execution stages shared by the
+// frontend, textual-IR and remote paths. Exactly one of prog/mod is set,
+// matching the target.
+func runProgram(target backend.Target, prog *vm.Program, mod []byte, args []int64, emit string, run, stats bool) {
+	switch emit {
+	case "bytecode":
 		vm.Disassemble(os.Stdout, prog)
+	case "wat":
+		m, err := wasm.Decode(mod)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(m.Wat())
 	}
 	if !run {
+		return
+	}
+	if target == backend.Wasm {
+		res, err := driver.ExecWasm(mod, os.Stdout, 0, args...)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("result: %d\n", res)
 		return
 	}
 	m := vm.New(prog, os.Stdout)

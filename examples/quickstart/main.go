@@ -15,7 +15,7 @@ import (
 	"os"
 
 	"thorin/internal/analysis"
-	"thorin/internal/codegen"
+	vmbackend "thorin/internal/backend/vm"
 	"thorin/internal/ir"
 	"thorin/internal/transform"
 	"thorin/internal/vm"
@@ -55,7 +55,7 @@ func main() {
 	fmt.Println("=== IR after optimization ===")
 	ir.Print(os.Stdout, w)
 
-	prog, err := codegen.Compile(w, "main", codegen.Config{Mode: analysis.ScheduleSmart})
+	prog, err := vmbackend.Compile(w, "main", vmbackend.Config{Mode: analysis.ScheduleSmart})
 	if err != nil {
 		panic(err)
 	}

@@ -1,8 +1,9 @@
-package codegen
+package vmbackend
 
 import (
 	"fmt"
 
+	"thorin/internal/backend/lower"
 	"thorin/internal/ir"
 	"thorin/internal/vm"
 )
@@ -51,7 +52,7 @@ func (e *fnEmitter) emitPrimOp(p *ir.PrimOp) ([]vm.Instr, error) {
 		}
 		op, ok := table[k]
 		if !ok {
-			return nil, fmt.Errorf("codegen: no instruction for %s at %s", k, p.Type())
+			return nil, fmt.Errorf("no instruction for %s at %s", k, p.Type())
 		}
 		return []vm.Instr{{Op: op, A: a, B: b, C: c}}, nil
 
@@ -126,7 +127,7 @@ func (e *fnEmitter) emitPrimOp(p *ir.PrimOp) ([]vm.Instr, error) {
 
 	case ir.OpExtract:
 		if src, ok := p.Op(0).(*ir.PrimOp); ok && src.OpKind().HasMemEffect() {
-			if !isVal(p) {
+			if !lower.IsVal(p) {
 				return nil, nil // mem projection: erased
 			}
 			_, err := e.regOf(p) // aliases the effect op's result register
@@ -134,7 +135,7 @@ func (e *fnEmitter) emitPrimOp(p *ir.PrimOp) ([]vm.Instr, error) {
 		}
 		idx, ok := ir.LitValue(p.Op(1))
 		if !ok {
-			return nil, fmt.Errorf("codegen: extract with dynamic index")
+			return nil, fmt.Errorf("extract with dynamic index")
 		}
 		b, err := e.regOf(p.Op(0))
 		if err != nil {
@@ -147,7 +148,7 @@ func (e *fnEmitter) emitPrimOp(p *ir.PrimOp) ([]vm.Instr, error) {
 	case ir.OpInsert:
 		idx, ok := ir.LitValue(p.Op(1))
 		if !ok {
-			return nil, fmt.Errorf("codegen: insert with dynamic index")
+			return nil, fmt.Errorf("insert with dynamic index")
 		}
 		b, err := e.regOf(p.Op(0))
 		if err != nil {
@@ -236,7 +237,7 @@ func (e *fnEmitter) emitPrimOp(p *ir.PrimOp) ([]vm.Instr, error) {
 	case ir.OpClosure:
 		code, ok := p.Op(0).(*ir.Continuation)
 		if !ok {
-			return nil, fmt.Errorf("codegen: closure code is not a continuation")
+			return nil, fmt.Errorf("closure code is not a continuation")
 		}
 		fnIdx := e.g.declare(code)
 		env, err := e.valArgs(p.Ops()[1:])
@@ -247,74 +248,68 @@ func (e *fnEmitter) emitPrimOp(p *ir.PrimOp) ([]vm.Instr, error) {
 		e.regs[p] = a
 		return []vm.Instr{{Op: vm.OpClosureNew, A: a, Imm: int64(fnIdx), Args: env}}, nil
 	}
-	return nil, fmt.Errorf("codegen: cannot emit primop %s", k)
+	return nil, fmt.Errorf("cannot emit primop %s", k)
 }
 
-// emitTerminator lowers the body of continuation c (a block of the current
-// function) into control-transfer instructions.
+// emitTerminator lowers the classified terminator of block c into
+// control-transfer instructions.
 func (e *fnEmitter) emitTerminator(c *ir.Continuation) ([]vm.Instr, error) {
-	if !c.HasBody() {
-		return nil, fmt.Errorf("codegen: block without body")
+	t, err := e.f.Terminator(c)
+	if err != nil {
+		return nil, err
 	}
-	callee := c.Callee()
-
-	// Intrinsics.
-	if ic, ok := callee.(*ir.Continuation); ok && ic.IsIntrinsic() {
-		return e.emitIntrinsic(c, ic)
-	}
-
-	// Direct jump to a block of this scope.
-	if t, ok := callee.(*ir.Continuation); ok && !t.IsReturning() {
-		n := e.sched.CFG.NodeOf(t)
-		if n == nil {
-			return nil, fmt.Errorf("codegen: jump to foreign block %s", t.Name())
-		}
-		args, err := e.valArgs(c.Args())
+	switch t.Kind {
+	case lower.TermBranch:
+		cond, err := e.regOf(t.Cond)
 		if err != nil {
 			return nil, err
 		}
-		return []vm.Instr{{Op: vm.OpJmp, Imm: int64(e.blkIdx[n]), Args: args}}, nil
-	}
+		return []vm.Instr{{Op: vm.OpBr, A: cond, B: e.f.BlockIndex(t.True), C: e.f.BlockIndex(t.False)}}, nil
 
-	// Return: jump to this function's return parameter.
-	if p, ok := callee.(*ir.Param); ok && p == e.entry.RetParam() {
-		args, err := e.valArgs(c.Args())
+	case lower.TermPrint:
+		v, err := e.regOf(t.Val)
+		if err != nil {
+			return nil, err
+		}
+		op := vm.OpPrintI64
+		switch t.Print {
+		case ir.IntrinsicPrintF64:
+			op = vm.OpPrintF64
+		case ir.IntrinsicPrintChar:
+			op = vm.OpPrintChar
+		}
+		ins := []vm.Instr{{Op: op, A: v}}
+		if t.Next != nil {
+			ins = append(ins, vm.Instr{Op: vm.OpJmp, Imm: int64(e.f.BlockIndex(t.Next))})
+		} else {
+			ins = append(ins, vm.Instr{Op: vm.OpRet})
+		}
+		return ins, nil
+
+	case lower.TermGoto:
+		args, err := e.valArgs(t.Args)
+		if err != nil {
+			return nil, err
+		}
+		return []vm.Instr{{Op: vm.OpJmp, Imm: int64(e.f.BlockIndex(t.Target)), Args: args}}, nil
+
+	case lower.TermRet:
+		args, err := e.valArgs(t.Args)
 		if err != nil {
 			return nil, err
 		}
 		return []vm.Instr{{Op: vm.OpRet, Args: args}}, nil
-	}
 
-	// Calls: direct (top-level returning continuation) or indirect
-	// (closure value in a register).
-	ft, ok := callee.Type().(*ir.FnType)
-	if !ok || !ir.ReturnsValue(ft) {
-		return nil, fmt.Errorf("codegen: callee %v is not callable", callee)
-	}
-	nargs := c.NumArgs()
-	retArg := c.Arg(nargs - 1)
-	args, err := e.valArgs(c.Args()[:nargs-1])
-	if err != nil {
-		return nil, err
-	}
-
-	tail := false
-	var rets []int
-	retBlock := 0
-	switch r := retArg.(type) {
-	case *ir.Param:
-		if r != e.entry.RetParam() {
-			return nil, fmt.Errorf("codegen: return continuation %s is not the ret param (missing eta expansion?)", r)
+	case lower.TermCall:
+		args, err := e.valArgs(t.CallArgs)
+		if err != nil {
+			return nil, err
 		}
-		tail = true
-	case *ir.Continuation:
-		n := e.sched.CFG.NodeOf(r)
-		if n == nil {
-			return nil, fmt.Errorf("codegen: return continuation %s outside scope", r.Name())
-		}
-		retBlock = e.blkIdx[n]
-		for _, p := range r.Params() {
-			if isVal(p) {
+		var rets []int
+		retBlock := 0
+		if !t.Tail {
+			retBlock = e.f.BlockIndex(t.RetNode)
+			for _, p := range lower.ValParams(t.RetCont, nil) {
 				reg, err := e.regOf(p)
 				if err != nil {
 					return nil, err
@@ -322,93 +317,21 @@ func (e *fnEmitter) emitTerminator(c *ir.Continuation) ([]vm.Instr, error) {
 				rets = append(rets, reg)
 			}
 		}
-	default:
-		return nil, fmt.Errorf("codegen: bad return continuation %v (missing eta expansion?)", retArg)
-	}
-
-	// Direct call?
-	if target, ok := callee.(*ir.Continuation); ok {
-		if !target.HasBody() {
-			return nil, fmt.Errorf("codegen: call to bodyless %s", target.Name())
-		}
-		idx := e.g.declare(target)
-		if tail {
-			return []vm.Instr{{Op: vm.OpTailCall, Imm: int64(idx), Args: args}}, nil
-		}
-		return []vm.Instr{{Op: vm.OpCall, Imm: int64(idx), Args: args, Rets: rets, C: retBlock}}, nil
-	}
-
-	// Indirect call through a closure value.
-	cr, err := e.regOf(callee)
-	if err != nil {
-		return nil, err
-	}
-	if tail {
-		return []vm.Instr{{Op: vm.OpTailCallClosure, B: cr, Args: args}}, nil
-	}
-	return []vm.Instr{{Op: vm.OpCallClosure, B: cr, Args: args, Rets: rets, C: retBlock}}, nil
-}
-
-// emitIntrinsic handles jumps whose callee is a compiler-known continuation.
-func (e *fnEmitter) emitIntrinsic(c *ir.Continuation, ic *ir.Continuation) ([]vm.Instr, error) {
-	switch ic.Intrinsic() {
-	case ir.IntrinsicBranch:
-		cond, err := e.regOf(c.Arg(1))
-		if err != nil {
-			return nil, err
-		}
-		tb, err := e.branchTarget(c.Arg(2))
-		if err != nil {
-			return nil, err
-		}
-		fb, err := e.branchTarget(c.Arg(3))
-		if err != nil {
-			return nil, err
-		}
-		return []vm.Instr{{Op: vm.OpBr, A: cond, B: tb, C: fb}}, nil
-
-	case ir.IntrinsicPrintI64, ir.IntrinsicPrintF64, ir.IntrinsicPrintChar:
-		v, err := e.regOf(c.Arg(1))
-		if err != nil {
-			return nil, err
-		}
-		op := vm.OpPrintI64
-		switch ic.Intrinsic() {
-		case ir.IntrinsicPrintF64:
-			op = vm.OpPrintF64
-		case ir.IntrinsicPrintChar:
-			op = vm.OpPrintChar
-		}
-		ins := []vm.Instr{{Op: op, A: v}}
-		// Continue at the return continuation (fn(mem)).
-		switch k := c.Arg(2).(type) {
-		case *ir.Continuation:
-			n := e.sched.CFG.NodeOf(k)
-			if n == nil {
-				return nil, fmt.Errorf("codegen: print continuation outside scope")
+		if t.Direct != nil {
+			idx := e.g.declare(t.Direct)
+			if t.Tail {
+				return []vm.Instr{{Op: vm.OpTailCall, Imm: int64(idx), Args: args}}, nil
 			}
-			ins = append(ins, vm.Instr{Op: vm.OpJmp, Imm: int64(e.blkIdx[n])})
-		case *ir.Param:
-			if k != e.entry.RetParam() {
-				return nil, fmt.Errorf("codegen: print continuation is a foreign param")
-			}
-			ins = append(ins, vm.Instr{Op: vm.OpRet})
-		default:
-			return nil, fmt.Errorf("codegen: bad print continuation %v", c.Arg(2))
+			return []vm.Instr{{Op: vm.OpCall, Imm: int64(idx), Args: args, Rets: rets, C: retBlock}}, nil
 		}
-		return ins, nil
+		cr, err := e.regOf(t.Callee)
+		if err != nil {
+			return nil, err
+		}
+		if t.Tail {
+			return []vm.Instr{{Op: vm.OpTailCallClosure, B: cr, Args: args}}, nil
+		}
+		return []vm.Instr{{Op: vm.OpCallClosure, B: cr, Args: args, Rets: rets, C: retBlock}}, nil
 	}
-	return nil, fmt.Errorf("codegen: unsupported intrinsic %s", ic.Intrinsic())
-}
-
-func (e *fnEmitter) branchTarget(d ir.Def) (int, error) {
-	t, ok := d.(*ir.Continuation)
-	if !ok {
-		return 0, fmt.Errorf("codegen: branch target is not a continuation")
-	}
-	n := e.sched.CFG.NodeOf(t)
-	if n == nil {
-		return 0, fmt.Errorf("codegen: branch target %s outside scope", t.Name())
-	}
-	return e.blkIdx[n], nil
+	return nil, fmt.Errorf("unclassified terminator")
 }

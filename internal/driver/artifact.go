@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"thorin/internal/backend"
 	"thorin/internal/vm"
 )
 
@@ -20,6 +21,9 @@ type Artifact struct {
 	// (driver.Version). Decode rejects artifacts from any other version —
 	// the bytecode format is not stable across compiler changes.
 	Version string `json:"version"`
+	// Target names the backend the payload was compiled for ("vm" or
+	// "wasm"); it decides which payload field is set.
+	Target string `json:"target"`
 	// Spec is the resolved pipeline spec the program was compiled with.
 	Spec string `json:"spec"`
 	// Schedule is the canonical primop schedule name ("early", "late",
@@ -32,29 +36,58 @@ type Artifact struct {
 	FailedPasses []string `json:"failed_passes,omitempty"`
 	// IRStats summarizes the optimized IR the program was emitted from.
 	IRStats IRStats `json:"ir_stats"`
-	// Program is the compiled bytecode.
-	Program *vm.Program `json:"program"`
+	// Program is the compiled bytecode (Target "vm").
+	Program *vm.Program `json:"program,omitempty"`
+	// Wasm is the encoded wasm module (Target "wasm").
+	Wasm []byte `json:"wasm,omitempty"`
 }
 
 // NewArtifact packages a compilation result for transport and caching.
 func NewArtifact(res *Result, spec, schedule string) *Artifact {
 	return &Artifact{
 		Version:      Version,
+		Target:       string(res.Target),
 		Spec:         spec,
 		Schedule:     schedule,
 		Degraded:     res.Degraded,
 		FailedPasses: res.FailedPasses,
 		IRStats:      res.IRStats,
 		Program:      res.Program,
+		Wasm:         res.Wasm,
 	}
 }
 
+// checkPayload validates that exactly the payload matching the target is
+// present: a vm artifact carries a program, a wasm artifact a module, and
+// never both.
+func (a *Artifact) checkPayload() error {
+	switch backend.Target(a.Target) {
+	case backend.VM:
+		if a.Program == nil {
+			return fmt.Errorf("driver: vm artifact has no program")
+		}
+		if a.Wasm != nil {
+			return fmt.Errorf("driver: vm artifact carries a wasm payload")
+		}
+	case backend.Wasm:
+		if len(a.Wasm) == 0 {
+			return fmt.Errorf("driver: wasm artifact has no module")
+		}
+		if a.Program != nil {
+			return fmt.Errorf("driver: wasm artifact carries a vm program")
+		}
+	default:
+		return fmt.Errorf("driver: artifact has unknown target %q", a.Target)
+	}
+	return nil
+}
+
 // Encode serializes the artifact. The encoding is deterministic, so two
-// compilations of the same (source, spec, schedule) produce byte-identical
-// artifacts regardless of jobs level or incremental mode.
+// compilations of the same (source, spec, schedule, target) produce
+// byte-identical artifacts regardless of jobs level or incremental mode.
 func (a *Artifact) Encode() ([]byte, error) {
-	if a.Program == nil {
-		return nil, fmt.Errorf("driver: artifact has no program")
+	if err := a.checkPayload(); err != nil {
+		return nil, err
 	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
@@ -66,8 +99,9 @@ func (a *Artifact) Encode() ([]byte, error) {
 }
 
 // DecodeArtifact parses an encoded artifact and validates its provenance:
-// a missing program or a version mismatch is an error, because bytecode
-// from a different compiler build must never be executed as if current.
+// a missing or mismatched payload or a version mismatch is an error,
+// because a payload from a different compiler build (or for a different
+// target) must never be executed as if current.
 func DecodeArtifact(data []byte) (*Artifact, error) {
 	var a Artifact
 	if err := json.Unmarshal(data, &a); err != nil {
@@ -76,8 +110,8 @@ func DecodeArtifact(data []byte) (*Artifact, error) {
 	if a.Version != Version {
 		return nil, fmt.Errorf("driver: artifact version %q does not match compiler %q", a.Version, Version)
 	}
-	if a.Program == nil {
-		return nil, fmt.Errorf("driver: artifact has no program")
+	if err := a.checkPayload(); err != nil {
+		return nil, err
 	}
 	return &a, nil
 }

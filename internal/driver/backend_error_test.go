@@ -1,0 +1,106 @@
+package driver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thorin/internal/analysis"
+	"thorin/internal/backend"
+	"thorin/internal/ir"
+	"thorin/internal/transform"
+)
+
+// failingBackend is an injected emitter that always fails with a typed
+// backend error, standing in for an emission bug or unsupported IR shape.
+type failingBackend struct{}
+
+func (failingBackend) Target() backend.Target { return backend.Wasm }
+
+func (failingBackend) Compile(w *ir.World, mainName string, cfg backend.Config) (*backend.Output, error) {
+	return nil, backend.Errf(backend.Wasm, mainName, fmt.Errorf("injected emission failure"))
+}
+
+// TestBackendErrorCrashBundle: a backend failure is routed into a crash
+// bundle exactly like a pass failure — the bundle's pass field names the
+// emitter ("backend:<target>"), the returned error chain carries both the
+// bundle path and the typed *backend.Error.
+func TestBackendErrorCrashBundle(t *testing.T) {
+	restore := backend.Override(failingBackend{})
+	defer restore()
+
+	dir := t.TempDir()
+	src := "fn main(n: i64) -> i64 { n + 1 }"
+	_, err := CompileSpec(src, transform.SpecFor(transform.OptNone()), analysis.ScheduleSmart, Config{
+		Target:   backend.Wasm,
+		CrashDir: dir,
+	})
+	if err == nil {
+		t.Fatal("compile with injected backend failure succeeded")
+	}
+
+	var berr *backend.Error
+	if !errors.As(err, &berr) {
+		t.Fatalf("error chain has no *backend.Error: %v", err)
+	}
+	if berr.Target != backend.Wasm || berr.Func != "main" {
+		t.Errorf("backend error names %s/%s, want wasm/main", berr.Target, berr.Func)
+	}
+
+	bundle, ok := CrashBundle(err)
+	if !ok {
+		t.Fatalf("no crash bundle recorded in %v", err)
+	}
+	js, rerr := os.ReadFile(filepath.Join(bundle, "repro.json"))
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	var man struct {
+		Pass  string `json:"pass"`
+		Error string `json:"error"`
+	}
+	if jerr := json.Unmarshal(js, &man); jerr != nil {
+		t.Fatal(jerr)
+	}
+	if man.Pass != "backend:wasm" {
+		t.Errorf("bundle pass = %q, want backend:wasm", man.Pass)
+	}
+	if !strings.Contains(man.Error, "injected emission failure") {
+		t.Errorf("bundle error %q does not record the cause", man.Error)
+	}
+	if _, serr := os.Stat(filepath.Join(bundle, "input.imp")); serr != nil {
+		t.Errorf("bundle is missing the source: %v", serr)
+	}
+}
+
+// TestBackendPanicContained: a panicking backend surfaces as a typed
+// backend error, not a process crash, with the panic and stack recorded.
+func TestBackendPanicContained(t *testing.T) {
+	restore := backend.Override(panickingBackend{})
+	defer restore()
+
+	_, err := CompileSpec("fn main(n: i64) -> i64 { n }", transform.SpecFor(transform.OptNone()),
+		analysis.ScheduleSmart, Config{Target: backend.Wasm})
+	var berr *backend.Error
+	if !errors.As(err, &berr) {
+		t.Fatalf("panicking backend did not yield a *backend.Error: %v", err)
+	}
+	if berr.Target != backend.Wasm {
+		t.Errorf("backend error names target %s, want wasm", berr.Target)
+	}
+	if !strings.Contains(err.Error(), "deliberate panic") {
+		t.Errorf("error %q does not record the panic value", err)
+	}
+}
+
+type panickingBackend struct{}
+
+func (panickingBackend) Target() backend.Target { return backend.Wasm }
+
+func (panickingBackend) Compile(w *ir.World, mainName string, cfg backend.Config) (*backend.Output, error) {
+	panic("deliberate panic")
+}

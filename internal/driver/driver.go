@@ -6,26 +6,35 @@ package driver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime/debug"
 	"time"
 
 	"thorin/internal/analysis"
-	"thorin/internal/codegen"
+	"thorin/internal/backend"
+	_ "thorin/internal/backend/vm" // register the VM target
+	wasmbackend "thorin/internal/backend/wasm"
 	"thorin/internal/impala"
 	"thorin/internal/ir"
 	"thorin/internal/pm"
 	"thorin/internal/ssa"
 	"thorin/internal/transform"
 	"thorin/internal/vm"
+	"thorin/internal/wasm"
 )
 
 // Result bundles everything produced by one compilation.
 type Result struct {
-	World   *ir.World
+	World *ir.World
+	// Target is the backend the program was compiled for.
+	Target backend.Target
+	// Program is the bytecode program (Target backend.VM; nil otherwise).
 	Program *vm.Program
-	Stats   transform.Stats
+	// Wasm is the encoded wasm module (Target backend.Wasm; nil otherwise).
+	Wasm  []byte
+	Stats transform.Stats
 	// IRStats are taken after optimization.
 	IRStats IRStats
 	// Report is the pass manager's per-pass instrumentation of the run.
@@ -89,6 +98,11 @@ type Config struct {
 	// CrashDir, when non-empty, is the directory where a reproduction
 	// bundle is written on pass failure (see WriteCrashBundle).
 	CrashDir string
+	// Target selects the code generation backend ("" and backend.VM mean
+	// the bytecode VM; backend.Wasm emits a wasm module instead). The
+	// target changes only the final emission step: frontend, pipeline and
+	// schedule are shared, which is the point of the Backend split.
+	Target backend.Target
 	// DisableIncremental turns off journal-driven work skipping in the pass
 	// manager (pm.Context.Incremental), so every pass runs every time it is
 	// named and the analysis cache is invalidated wholesale after each
@@ -131,7 +145,16 @@ func CompileSpec(src, spec string, mode analysis.Mode, cfg Config) (*Result, err
 	}
 	pass, isPassFailure := pm.FailedPass(err)
 	if !isPassFailure {
-		return nil, err
+		// A backend failure (emission bug, unsupported IR shape, backend
+		// panic) is as replayable as a pass failure and deserves the same
+		// reproduction bundle; the synthetic pass name records which
+		// emitter failed. It is not attributable to an optimizer pass, so
+		// degradation below starts from the minimal pipeline.
+		var berr *backend.Error
+		if !errors.As(err, &berr) {
+			return nil, err
+		}
+		pass = "backend:" + string(berr.Target)
 	}
 	var bundle string
 	var bundleErr error
@@ -228,13 +251,15 @@ func compileOnce(src, spec string, mode analysis.Mode, cfg Config) (*Result, err
 	if err := ir.Verify(w); err != nil {
 		return nil, fmt.Errorf("driver: optimizer produced invalid IR: %w", err)
 	}
-	prog, err := compileBackend(w, mode)
+	out, target, err := compileBackend(w, mode, cfg.Target)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		World:   w,
-		Program: prog,
+		Target:  target,
+		Program: out.VM,
+		Wasm:    out.Wasm,
 		Stats:   transform.PipelineStats(ctx),
 		IRStats: MeasureIR(w),
 		Report:  rep,
@@ -254,15 +279,25 @@ func compileFrontend(src string) (w *ir.World, err error) {
 	return impala.Compile(src)
 }
 
-// compileBackend runs codegen under the same panic containment as the
-// optimizer passes: a backend panic becomes an error, not a crash.
-func compileBackend(w *ir.World, mode analysis.Mode) (prog *vm.Program, err error) {
+// compileBackend resolves the target's registered backend and runs it
+// under the same panic containment as the optimizer passes: a backend
+// panic becomes a typed backend error, not a crash.
+func compileBackend(w *ir.World, mode analysis.Mode, target backend.Target) (out *backend.Output, t backend.Target, err error) {
+	t, err = backend.ParseTarget(string(target))
+	if err != nil {
+		return nil, t, err
+	}
+	be, err := backend.Lookup(t)
+	if err != nil {
+		return nil, t, err
+	}
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("driver: codegen panicked: %v\n%s", r, debug.Stack())
+			err = backend.Errf(t, "", fmt.Errorf("panicked: %v\n%s", r, debug.Stack()))
 		}
 	}()
-	return codegen.Compile(w, "main", codegen.Config{Mode: mode})
+	out, err = be.Compile(w, "main", backend.Config{Mode: mode})
+	return out, t, err
 }
 
 // MeasureIR counts continuations, primop nodes and CFF violations.
@@ -337,4 +372,36 @@ func ExecSteps(prog *vm.Program, out io.Writer, maxSteps int64, args ...int64) (
 		return 0, m.Counters, nil
 	}
 	return res[0].I, m.Counters, nil
+}
+
+// ExecWasm decodes and runs a compiled wasm module's main with i64
+// arguments, the wasm counterpart of ExecSteps. fuel bounds the
+// instruction count (0 selects a default matching ExecSteps' budget);
+// exceeding it returns wasm.ErrFuel, the analogue of vm.ErrStepLimit.
+func ExecWasm(mod []byte, out io.Writer, fuel int64, args ...int64) (int64, error) {
+	m, err := wasm.Decode(mod)
+	if err != nil {
+		return 0, err
+	}
+	inst, err := wasm.NewInstance(m, wasmbackend.Host(out))
+	if err != nil {
+		return 0, err
+	}
+	if fuel > 0 {
+		inst.Fuel = fuel
+	} else {
+		inst.Fuel = 4_000_000_000
+	}
+	uargs := make([]uint64, len(args))
+	for i, a := range args {
+		uargs[i] = uint64(a)
+	}
+	res, err := inst.Invoke("main", uargs...)
+	if err != nil {
+		return 0, err
+	}
+	if len(res) == 0 {
+		return 0, nil
+	}
+	return int64(res[0]), nil
 }

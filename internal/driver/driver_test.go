@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"thorin/internal/analysis"
-	"thorin/internal/codegen"
+	vmbackend "thorin/internal/backend/vm"
 	"thorin/internal/ir"
 	"thorin/internal/transform"
 )
@@ -351,7 +351,7 @@ fn main(n: i64) -> i64 { fib(n) }`
 	if err := ir.Verify(w2); err != nil {
 		t.Fatal(err)
 	}
-	prog2, err := codegen.Compile(w2, "main", codegen.Config{Mode: analysis.ScheduleSmart})
+	prog2, err := vmbackend.Compile(w2, "main", vmbackend.Config{Mode: analysis.ScheduleSmart})
 	if err != nil {
 		t.Fatal(err)
 	}

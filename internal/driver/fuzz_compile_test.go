@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"thorin/internal/analysis"
+	"thorin/internal/backend"
 	"thorin/internal/fuzzgen"
 	"thorin/internal/impala"
 	"thorin/internal/reduce"
@@ -50,28 +51,38 @@ func diffArms(src string, arg int64) (string, error) {
 		}
 	}
 	for _, arm := range []struct {
-		name string
-		spec string
-		jobs int
+		name   string
+		spec   string
+		jobs   int
+		target backend.Target
 	}{
-		{"O0/jobs=1", transform.SpecFor(transform.OptNone()), 1},
-		{"O2/jobs=1", transform.SpecFor(transform.OptAll()), 1},
-		{"O2/jobs=4", transform.SpecFor(transform.OptAll()), 4},
-		{"O2+effectsplit/jobs=1", effectSplitSpec, 1},
-		{"O2+effectsplit/jobs=4", effectSplitSpec, 4},
+		{"O0/jobs=1", transform.SpecFor(transform.OptNone()), 1, backend.VM},
+		{"O2/jobs=1", transform.SpecFor(transform.OptAll()), 1, backend.VM},
+		{"O2/jobs=4", transform.SpecFor(transform.OptAll()), 4, backend.VM},
+		{"O2+effectsplit/jobs=1", effectSplitSpec, 1, backend.VM},
+		{"O2+effectsplit/jobs=4", effectSplitSpec, 4, backend.VM},
+		{"O0/wasm", transform.SpecFor(transform.OptNone()), 1, backend.Wasm},
+		{"O2/wasm", transform.SpecFor(transform.OptAll()), 1, backend.Wasm},
 	} {
 		res, err := CompileSpec(src, arm.spec, analysis.ScheduleSmart, Config{
 			VerifyEach: true,
 			Jobs:       arm.jobs,
+			Target:     arm.target,
 		})
 		if err != nil {
 			return fmt.Sprintf("%s: compile failed: %v", arm.name, err), nil
 		}
 		var out bytes.Buffer
-		// The VM budget mirrors the interpreter's fuel: a compiled arm
-		// that spins where the reference finished shows up as an
-		// ErrStepLimit finding instead of hanging the run.
-		got, _, err := ExecSteps(res.Program, &out, 500_000_000, arg)
+		// The VM budget mirrors the interpreter's fuel (and the wasm
+		// instance's, below): a compiled arm that spins where the
+		// reference finished shows up as an ErrStepLimit finding instead
+		// of hanging the run.
+		var got int64
+		if arm.target == backend.Wasm {
+			got, err = ExecWasm(res.Wasm, &out, 500_000_000, arg)
+		} else {
+			got, _, err = ExecSteps(res.Program, &out, 500_000_000, arg)
+		}
 		if refTrap {
 			// The reference trapped; the compiled arm must trap as well.
 			// Partial output is not compared: the trapping division is not

@@ -142,13 +142,15 @@ func LinkCompiled(mods []*link.Module, spec string, linkMode link.Mode, mode ana
 	if err != nil {
 		return nil, err
 	}
-	prog, err := compileBackend(w, mode)
+	out, target, err := compileBackend(w, mode, cfg.Target)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		World:   w,
-		Program: prog,
+		Target:  target,
+		Program: out.VM,
+		Wasm:    out.Wasm,
 		Stats:   transform.PipelineStats(ctx),
 		IRStats: MeasureIR(w),
 		Spec:    spec,

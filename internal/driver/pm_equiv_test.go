@@ -21,8 +21,8 @@ import (
 	"testing"
 
 	"thorin/internal/analysis"
+	vmbackend "thorin/internal/backend/vm"
 	"thorin/internal/bench"
-	"thorin/internal/codegen"
 	"thorin/internal/driver"
 	"thorin/internal/impala"
 	"thorin/internal/ir"
@@ -54,7 +54,7 @@ func compileLegacy(src string, opts transform.Options) (*vm.Program, driver.IRSt
 	if err := ir.Verify(w); err != nil {
 		return nil, driver.IRStats{}, fmt.Errorf("legacy pipeline produced invalid IR: %w", err)
 	}
-	prog, err := codegen.Compile(w, "main", codegen.Config{Mode: analysis.ScheduleSmart})
+	prog, err := vmbackend.Compile(w, "main", vmbackend.Config{Mode: analysis.ScheduleSmart})
 	if err != nil {
 		return nil, driver.IRStats{}, err
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"thorin/internal/analysis"
+	"thorin/internal/backend"
 	"thorin/internal/link"
 	"thorin/internal/pm"
 	"thorin/internal/transform"
@@ -17,7 +18,7 @@ import (
 // bytecode format — must bump it, because a content-addressed artifact
 // cache (internal/server) includes it in every key: bumping the version
 // invalidates every cached artifact at once.
-const Version = "thorin-go/7"
+const Version = "thorin-go/8"
 
 // Request is the wire-shaped form of one compilation: everything a client
 // can ask for, expressed in plain strings and integers so it serializes to
@@ -46,6 +47,10 @@ type Request struct {
 	// Schedule picks the primop placement mode: "early", "late" or
 	// "smart" (default).
 	Schedule string `json:"schedule,omitempty"`
+	// Target selects the code generation backend: "vm" (default) or
+	// "wasm". The target changes the artifact payload, so it enters the
+	// cache key.
+	Target string `json:"target,omitempty"`
 	// Jobs is the worker count for parallel scope analysis. It does not
 	// enter the cache key: the produced program is byte-identical at
 	// every jobs level.
@@ -109,14 +114,29 @@ func (r *Request) ResolvedSchedule() (analysis.Mode, string, error) {
 	return 0, "", fmt.Errorf("driver: bad schedule %q (want early, late or smart)", r.Schedule)
 }
 
+// ResolvedTarget returns the backend target the request compiles for and
+// its canonical name ("" resolves to the VM default).
+func (r *Request) ResolvedTarget() (backend.Target, string, error) {
+	t, err := backend.ParseTarget(r.Target)
+	if err != nil {
+		return "", "", err
+	}
+	return t, string(t), nil
+}
+
 // Config resolves the request's policy knobs into a driver Config.
 // crashDir is supplied by the caller (the daemon owns the bundle
 // directory, not the client).
 func (r *Request) Config(crashDir string) (Config, error) {
+	target, _, err := r.ResolvedTarget()
+	if err != nil {
+		return Config{}, err
+	}
 	cfg := Config{
 		Jobs:               r.Jobs,
 		CrashDir:           crashDir,
 		DisableIncremental: r.DisableIncremental,
+		Target:             target,
 	}
 	switch r.OnFailure {
 	case "", "fail":

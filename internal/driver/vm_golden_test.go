@@ -1,0 +1,138 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"thorin/internal/analysis"
+	"thorin/internal/link"
+	"thorin/internal/transform"
+)
+
+// vmGoldenFile pins the SHA-256 of the VM program emitted for every example
+// and crasher-corpus program at -O0 and -O2. The hashes were generated
+// before codegen was split into the backend-neutral lower layer and the
+// per-target emitters, so a passing run proves the refactored VM backend is
+// byte-identical to the pre-refactor codegen on the whole corpus.
+// Regenerate (only when bytecode output is intentionally changed) with:
+//
+//	THORIN_UPDATE_GOLDEN=1 go test -run TestVMGoldenArtifacts ./internal/driver
+const vmGoldenFile = "testdata/vm_golden.json"
+
+// vmGoldenPrograms enumerates the corpus: examples, the linked module
+// example in both link modes, and every minimized crasher.
+func vmGoldenPrograms(t *testing.T) map[string]func(spec string) ([]byte, error) {
+	t.Helper()
+	progs := map[string]func(spec string) ([]byte, error){}
+
+	single := func(path string) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs[filepath.Base(path)] = func(spec string) ([]byte, error) {
+			res, err := CompileSpec(string(src), spec, analysis.ScheduleSmart, Config{Jobs: 1})
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(res.Program)
+		}
+	}
+	single("../../examples/fib.imp")
+	single("../../examples/mapreduce.imp")
+
+	crashers, err := filepath.Glob("testdata/crashers/*.imp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range crashers {
+		single(path)
+	}
+
+	var modSrcs []string
+	for _, name := range []string{"a.imp", "b.imp", "c.imp"} {
+		src, err := os.ReadFile(filepath.Join("../../examples/modules", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		modSrcs = append(modSrcs, string(src))
+	}
+	for _, lm := range []link.Mode{link.Trampoline, link.Mangle} {
+		lm := lm
+		progs["modules/"+string(lm)] = func(spec string) ([]byte, error) {
+			res, err := CompileModules(modSrcs, spec, analysis.ScheduleSmart, lm, Config{Jobs: 1})
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(res.Program)
+		}
+	}
+	return progs
+}
+
+func TestVMGoldenArtifacts(t *testing.T) {
+	specs := map[string]string{
+		"O0": transform.SpecFor(transform.OptNone()),
+		"O2": transform.SpecFor(transform.OptAll()),
+	}
+	got := map[string]string{}
+	for name, compile := range vmGoldenPrograms(t) {
+		for level, spec := range specs {
+			data, err := compile(spec)
+			if err != nil {
+				t.Fatalf("%s at %s: %v", name, level, err)
+			}
+			sum := sha256.Sum256(data)
+			got[name+"@"+level] = hex.EncodeToString(sum[:])
+		}
+	}
+
+	if os.Getenv("THORIN_UPDATE_GOLDEN") != "" {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		sb.WriteString("{\n")
+		for i, k := range keys {
+			sep := ","
+			if i == len(keys)-1 {
+				sep = ""
+			}
+			fmt.Fprintf(&sb, "\t%q: %q%s\n", k, got[k], sep)
+		}
+		sb.WriteString("}\n")
+		if err := os.WriteFile(vmGoldenFile, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d entries)", vmGoldenFile, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(vmGoldenFile)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with THORIN_UPDATE_GOLDEN=1): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d entries, corpus produced %d", len(want), len(got))
+	}
+	for k, w := range want {
+		if g, ok := got[k]; !ok {
+			t.Errorf("%s: in golden file but not produced (corpus changed?)", k)
+		} else if g != w {
+			t.Errorf("%s: VM program hash %s, golden %s — bytecode output changed", k, g, w)
+		}
+	}
+}

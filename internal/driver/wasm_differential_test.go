@@ -1,0 +1,247 @@
+package driver
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"thorin/internal/analysis"
+	"thorin/internal/backend"
+	"thorin/internal/transform"
+	"thorin/internal/wasm"
+)
+
+// examplePaths returns every example program, including the nested
+// per-example directories.
+func examplePaths(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*.imp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nested, err := filepath.Glob(filepath.Join("..", "..", "examples", "*", "*.imp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths = append(paths, nested...)
+	if len(paths) == 0 {
+		t.Fatal("example corpus is empty")
+	}
+	return paths
+}
+
+// diffTargets compiles src for the vm and wasm targets with identical settings
+// and checks the two executions agree on result, printed output and trap
+// behavior. It returns false when the program does not compile for the vm
+// (those programs are out of differential scope, e.g. deliberately broken
+// inputs).
+func diffTargets(t *testing.T, name, src, spec string, jobs int, args ...int64) bool {
+	t.Helper()
+	vmCfg := Config{Jobs: jobs}
+	vmRes, err := CompileSpec(src, spec, analysis.ScheduleSmart, vmCfg)
+	if err != nil {
+		return false
+	}
+	wCfg := Config{Jobs: jobs, Target: backend.Wasm}
+	wRes, err := CompileSpec(src, spec, analysis.ScheduleSmart, wCfg)
+	if err != nil {
+		t.Errorf("%s: compiles for vm but not wasm: %v", name, err)
+		return true
+	}
+	var vout, wout bytes.Buffer
+	vret, _, verr := Exec(vmRes.Program, &vout, args...)
+	wret, werr := ExecWasm(wRes.Wasm, &wout, 0, args...)
+	if (verr == nil) != (werr == nil) {
+		t.Errorf("%s: trap disagreement: vm=%v wasm=%v", name, verr, werr)
+		return true
+	}
+	if verr == nil && vret != wret {
+		t.Errorf("%s: result disagreement: vm=%d wasm=%d", name, vret, wret)
+	}
+	if vout.String() != wout.String() {
+		t.Errorf("%s: output disagreement:\nvm:\n%s\nwasm:\n%s", name, vout.String(), wout.String())
+	}
+	return true
+}
+
+// TestWasmDifferentialExamples is the wasm backend's acceptance gate over
+// the example corpus: every example must produce the same result, output
+// and trap behavior on both backends, unoptimized and fully optimized, and
+// at both ends of the jobs range (codegen input must not depend on
+// parallelism). The crasher corpus gets the same treatment with varied
+// arguments in TestCrashers (fuzz_compile_test.go's diffArms).
+func TestWasmDifferentialExamples(t *testing.T) {
+	specs := map[string]string{
+		"O0": transform.SpecFor(transform.OptNone()),
+		"O2": transform.SpecFor(transform.OptAll()),
+	}
+	for _, p := range examplePaths(t) {
+		srcBytes, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(srcBytes)
+		compiled := false
+		for sname, spec := range specs {
+			for _, jobs := range []int{1, 4} {
+				name := fmt.Sprintf("%s/%s/jobs=%d", filepath.Base(p), sname, jobs)
+				if diffTargets(t, name, src, spec, jobs) {
+					compiled = true
+				}
+			}
+		}
+		if !compiled {
+			t.Logf("%s: does not compile for the vm; skipped", p)
+		}
+	}
+}
+
+// wasmRegressions are programs that once broke the wasm emitter; each is a
+// minimized reproducer kept as a differential regression. The first three
+// pinned the local-typing bug where an f64 load's local was declared i64
+// (an effect primop is typed (mem, T) but its local holds only T).
+var wasmRegressions = []struct {
+	name string
+	src  string
+	args []int64
+}{
+	{"f64-load-local", `
+fn main(n: i64) -> i64 {
+	let mut chk = 0.0;
+	for i in 0 .. n { chk = chk + 0.5; }
+	(chk * 2.0) as i64
+}`, []int64{0, 7}},
+
+	{"f64-capture", `
+fn apply(n: i64, f: fn(i64)) { for i in 0 .. n { f(i); } }
+fn main(n: i64) -> i64 {
+	let a = [0.0; 5];
+	let dt = 0.5;
+	apply(n, |i: i64| { a[i % 5] = a[i % 5] + dt; });
+	(a[0] * 10.0) as i64
+}`, []int64{0, 11}},
+
+	{"f64-pair-closure", `
+fn for_pairs(n: i64, f: fn(i64, i64)) {
+	for i in 0 .. n { for j in i + 1 .. n { f(i, j); } }
+}
+fn main(n: i64) -> i64 {
+	let v = [0.0; 5];
+	for_pairs(n, |i: i64, j: i64| { v[i % 5] = v[j % 5] + 1.5; });
+	(v[0] + v[1]) as i64
+}`, []int64{0, 4}},
+}
+
+// TestWasmRegressions replays the minimized wasm-emitter reproducers
+// differentially at both opt levels.
+func TestWasmRegressions(t *testing.T) {
+	for _, tc := range wasmRegressions {
+		for sname, spec := range map[string]string{
+			"O0": transform.SpecFor(transform.OptNone()),
+			"O2": transform.SpecFor(transform.OptAll()),
+		} {
+			for _, arg := range tc.args {
+				name := fmt.Sprintf("%s/%s/n=%d", tc.name, sname, arg)
+				if !diffTargets(t, name, tc.src, spec, 1, arg) {
+					t.Errorf("%s: does not compile for the vm", name)
+				}
+			}
+		}
+	}
+}
+
+// TestWasmModulesValidate re-validates every module the backend emits for
+// the example corpus with the in-repo validator. CompileModule already
+// validates internally, so this pins the contract from the outside: an
+// artifact's wasm payload is always a well-formed, type-correct module.
+func TestWasmModulesValidate(t *testing.T) {
+	for _, p := range examplePaths(t) {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range []string{
+			transform.SpecFor(transform.OptNone()),
+			transform.SpecFor(transform.OptAll()),
+		} {
+			res, err := CompileSpec(string(src), spec, analysis.ScheduleSmart, Config{Target: backend.Wasm})
+			if err != nil {
+				continue // vm-side compile failures are covered above
+			}
+			m, err := wasm.Decode(res.Wasm)
+			if err != nil {
+				t.Errorf("%s: emitted module does not decode: %v", p, err)
+				continue
+			}
+			if err := wasm.Validate(m); err != nil {
+				t.Errorf("%s: emitted module does not validate: %v", p, err)
+			}
+		}
+	}
+}
+
+// TestWasmLinkedModules: separate compilation works for the wasm target —
+// a multi-module program links and runs identically on both backends under
+// both cross-module resolution modes. Covers a synthetic two-module set and
+// the shipped examples/modules three-module chain.
+func TestWasmLinkedModules(t *testing.T) {
+	sources := []string{
+		`module mathutil;
+export fn square(x: i64) -> i64 { x * x }
+export fn cube(x: i64) -> i64 { x * square(x) }
+`,
+		`module app;
+import fn square(i64) -> i64 from mathutil;
+import fn cube(i64) -> i64 from mathutil;
+fn main(n: i64) -> i64 { square(n) + cube(n) }
+`,
+	}
+	checkLinked(t, "synthetic", sources)
+
+	var exampleSet []string
+	for _, f := range []string{"a.imp", "b.imp", "c.imp"} {
+		src, err := os.ReadFile(filepath.Join("..", "..", "examples", "modules", f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exampleSet = append(exampleSet, string(src))
+	}
+	checkLinked(t, "examples/modules", exampleSet)
+}
+
+func checkLinked(t *testing.T, name string, sources []string) {
+	t.Helper()
+	spec := transform.SpecFor(transform.OptAll())
+	for _, lm := range []string{"trampoline", "mangle"} {
+		req := &Request{Sources: sources, Link: lm}
+		linkMode, err := req.ResolvedLinkMode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vmRes, err := CompileModules(sources, spec, analysis.ScheduleSmart, linkMode, Config{})
+		if err != nil {
+			t.Fatalf("%s/%s: vm link: %v", name, lm, err)
+		}
+		wRes, err := CompileModules(sources, spec, analysis.ScheduleSmart, linkMode, Config{Target: backend.Wasm})
+		if err != nil {
+			t.Fatalf("%s/%s: wasm link: %v", name, lm, err)
+		}
+		for _, n := range []int64{0, 3, -5} {
+			var vout, wout bytes.Buffer
+			vret, _, verr := Exec(vmRes.Program, &vout, n)
+			wret, werr := ExecWasm(wRes.Wasm, &wout, 0, n)
+			if verr != nil || werr != nil {
+				t.Fatalf("%s/%s: n=%d: vm err=%v wasm err=%v", name, lm, n, verr, werr)
+			}
+			if vret != wret {
+				t.Errorf("%s/%s: n=%d: vm=%d wasm=%d", name, lm, n, vret, wret)
+			}
+			if vout.String() != wout.String() {
+				t.Errorf("%s/%s: n=%d: output disagreement:\nvm:\n%s\nwasm:\n%s",
+					name, lm, n, vout.String(), wout.String())
+			}
+		}
+	}
+}

@@ -23,7 +23,8 @@ import (
 
 // CacheKey derives the content address of a compilation: a SHA-256 digest
 // over (compiler version, source bytes, resolved pipeline spec, schedule
-// mode, fixpoint iteration bound). Each field is length-framed so no two
+// mode, resolved backend target, fixpoint iteration bound). Each field is
+// length-framed so no two
 // distinct field tuples can collide by concatenation, and the digest
 // depends on nothing else — in particular not on -jobs or -incremental,
 // which are execution knobs with a byte-identical-output guarantee, and
@@ -42,10 +43,10 @@ import (
 // and thereby every key at once (the wazero CompilationCache discipline);
 // a source or spec change produces a new key and the old entry ages out of
 // the LRU. Cached artifacts are immutable and never updated in place.
-func CacheKey(version, source, spec, schedule string, fixIters int) string {
+func CacheKey(version, source, spec, schedule, target string, fixIters int) string {
 	h := sha256.New()
 	var frame [8]byte
-	for _, field := range []string{version, source, spec, schedule, strconv.Itoa(fixIters)} {
+	for _, field := range []string{version, source, spec, schedule, target, strconv.Itoa(fixIters)} {
 		binary.LittleEndian.PutUint64(frame[:], uint64(len(field)))
 		h.Write(frame[:])
 		h.Write([]byte(field))
@@ -66,12 +67,16 @@ func CacheKey(version, source, spec, schedule string, fixIters int) string {
 // recompiling it. The leading marker field domain-separates module keys
 // from CacheKey's whole-program keys. The schedule mode does not enter
 // the key: module artifacts carry textual IR, not bytecode, and primop
-// scheduling happens after linking.
-func ModuleCacheKey(version, source, moduleSpec string, fixIters int, resolvedImports []string) string {
+// scheduling happens after linking. The backend target does enter it —
+// per-module IR is in fact target-independent, but keying uniformly with
+// CacheKey keeps every artifact a request can produce under one target
+// discipline, at the cost of duplicate module entries only when the same
+// sources are actually compiled for both targets.
+func ModuleCacheKey(version, source, moduleSpec, target string, fixIters int, resolvedImports []string) string {
 	h := sha256.New()
 	var frame [8]byte
-	fields := make([]string, 0, 5+len(resolvedImports))
-	fields = append(fields, "module-artifact", version, source, moduleSpec, strconv.Itoa(fixIters))
+	fields := make([]string, 0, 6+len(resolvedImports))
+	fields = append(fields, "module-artifact", version, source, moduleSpec, target, strconv.Itoa(fixIters))
 	fields = append(fields, resolvedImports...)
 	for _, field := range fields {
 		binary.LittleEndian.PutUint64(frame[:], uint64(len(field)))

@@ -20,11 +20,15 @@ func keyFor(t *testing.T, r driver.Request) string {
 	if err != nil {
 		t.Fatal(err)
 	}
+	_, target, err := r.ResolvedTarget()
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg, err := r.Config("")
 	if err != nil {
 		t.Fatal(err)
 	}
-	return CacheKey(driver.Version, r.Source, spec, sched, effectiveFixIters(cfg.Budget))
+	return CacheKey(driver.Version, r.Source, spec, sched, target, effectiveFixIters(cfg.Budget))
 }
 
 // TestCacheKeyStability: identical (source, spec, schedule, iters) inputs
@@ -55,6 +59,7 @@ func TestCacheKeyStability(t *testing.T) {
 		{Source: fibSrc, Budget: "nodes=500000"},
 		{Source: fibSrc, Budget: "time=1h"},
 		{Source: fibSrc, Budget: "iters=32"}, // == pm.DefaultMaxFixIters
+		{Source: fibSrc, Target: "vm"},       // explicit default target
 	} {
 		if k := keyFor(t, r); k != ref {
 			t.Errorf("request %+v keys to %s, want %s", r, k, ref)
@@ -86,6 +91,10 @@ func TestCacheKeyCollisions(t *testing.T) {
 		"iters=1":   {Source: fibSrc, Budget: "iters=1"},
 		"iters=2":   {Source: fibSrc, Budget: "iters=2"},
 		"iters=100": {Source: fibSrc, Budget: "iters=100"},
+		// A wasm artifact carries a different payload than a vm artifact
+		// for the same program, so the target must split the key space.
+		"wasm":    {Source: fibSrc, Target: "wasm"},
+		"wasm-O0": {Source: fibSrc, Target: "wasm", Opt: opt(0)},
 	} {
 		k := keyFor(t, r)
 		if prev, dup := seen[k]; dup {
@@ -94,10 +103,13 @@ func TestCacheKeyCollisions(t *testing.T) {
 		seen[k] = name
 	}
 
-	if CacheKey("v1", "ab", "c", "", 32) == CacheKey("v1", "a", "bc", "", 32) {
+	if CacheKey("v1", "ab", "c", "", "vm", 32) == CacheKey("v1", "a", "bc", "", "vm", 32) {
 		t.Error("length framing failed: field boundary shift collides")
 	}
-	if CacheKey("v1", fibSrc, "cleanup", "smart", 32) == CacheKey("v2", fibSrc, "cleanup", "smart", 32) {
+	if CacheKey("v1", fibSrc, "cleanup", "smart", "vm", 32) == CacheKey("v2", fibSrc, "cleanup", "smart", "vm", 32) {
 		t.Error("compiler version does not enter the key")
+	}
+	if CacheKey("v1", fibSrc, "cleanup", "smart", "vm", 32) == CacheKey("v1", fibSrc, "cleanup", "smart", "wasm", 32) {
+		t.Error("backend target does not enter the key")
 	}
 }

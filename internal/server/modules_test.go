@@ -187,18 +187,21 @@ func TestModulesBadRequests(t *testing.T) {
 // same strings never collide, and the resolved-import descriptors are part
 // of the module key.
 func TestModuleCacheKeyDomains(t *testing.T) {
-	if ModuleCacheKey(driver.Version, srvModA, "cleanup", 8, nil) ==
-		CacheKey(driver.Version, srvModA, "cleanup", "smart", 8) {
+	if ModuleCacheKey(driver.Version, srvModA, "cleanup", "vm", 8, nil) ==
+		CacheKey(driver.Version, srvModA, "cleanup", "smart", "vm", 8) {
 		t.Error("module key collides with whole-program key")
 	}
-	base := ModuleCacheKey(driver.Version, srvModA, "cleanup", 8, []string{"add from c as fn(i64, i64) -> i64"})
-	if base == ModuleCacheKey(driver.Version, srvModA, "cleanup", 8, []string{"add from c as fn(f64, f64) -> f64"}) {
+	base := ModuleCacheKey(driver.Version, srvModA, "cleanup", "vm", 8, []string{"add from c as fn(i64, i64) -> i64"})
+	if base == ModuleCacheKey(driver.Version, srvModA, "cleanup", "vm", 8, []string{"add from c as fn(f64, f64) -> f64"}) {
 		t.Error("changing a resolved import signature does not move the module key")
 	}
-	if base == ModuleCacheKey(driver.Version, srvModA, "cleanup", 8, []string{"add from d as fn(i64, i64) -> i64"}) {
+	if base == ModuleCacheKey(driver.Version, srvModA, "cleanup", "vm", 8, []string{"add from d as fn(i64, i64) -> i64"}) {
 		t.Error("re-routing a resolved import does not move the module key")
 	}
-	if base != ModuleCacheKey(driver.Version, srvModA, "cleanup", 8, []string{"add from c as fn(i64, i64) -> i64"}) {
+	if base == ModuleCacheKey(driver.Version, srvModA, "cleanup", "wasm", 8, []string{"add from c as fn(i64, i64) -> i64"}) {
+		t.Error("changing the backend target does not move the module key")
+	}
+	if base != ModuleCacheKey(driver.Version, srvModA, "cleanup", "vm", 8, []string{"add from c as fn(i64, i64) -> i64"}) {
 		t.Error("module key is not deterministic")
 	}
 }

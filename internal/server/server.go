@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"thorin/internal/backend"
 	"thorin/internal/driver"
 	"thorin/internal/faultinject"
 	"thorin/internal/impala"
@@ -199,6 +200,11 @@ type ErrorResponse struct {
 	// Pass names the failing optimizer pass when the failure is
 	// attributable to one.
 	Pass string `json:"pass,omitempty"`
+	// BackendTarget and BackendFunc identify a code generation failure:
+	// the emitter that failed ("vm", "wasm") and, when known, the
+	// function it was emitting.
+	BackendTarget string `json:"backend_target,omitempty"`
+	BackendFunc   string `json:"backend_func,omitempty"`
 	// CrashBundle is the replayable reproduction bundle written for the
 	// failure, when bundles are enabled.
 	CrashBundle string `json:"crash_bundle,omitempty"`
@@ -329,6 +335,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_, schedule, _ := req.ResolvedSchedule()
+	_, targetName, _ := req.ResolvedTarget()
 	if req.Jobs == 0 {
 		req.Jobs = s.cfg.DefaultJobs
 	}
@@ -368,7 +375,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		linkMode, _ := req.ResolvedLinkMode()
 		keySource = MultiSourceKeyInput(req.Sources, string(linkMode))
 	}
-	key := CacheKey(driver.Version, keySource, spec, schedule, effectiveFixIters(cfg.Budget))
+	key := CacheKey(driver.Version, keySource, spec, schedule, targetName, effectiveFixIters(cfg.Budget))
 	if data, tier := s.cache.Get(key); data != nil {
 		s.metrics.hit()
 		s.logf("compile %s: %s hit (%d bytes)", key[:12], tier, len(data))
@@ -428,6 +435,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		resp := ErrorResponse{Error: err.Error()}
 		if pass, ok := pm.FailedPass(err); ok {
 			resp.Pass = pass
+		}
+		var berr *backend.Error
+		if errors.As(err, &berr) {
+			resp.BackendTarget = string(berr.Target)
+			resp.BackendFunc = berr.Func
 		}
 		if bundle, ok := driver.CrashBundle(err); ok {
 			resp.CrashBundle = bundle
@@ -545,10 +557,11 @@ func (s *Server) compileModules(ctx context.Context, req *driver.Request, spec s
 	}
 	moduleSpec := driver.ModuleSpec(spec)
 	fixIters := effectiveFixIters(cfg.Budget)
+	_, targetName, _ := req.ResolvedTarget()
 	mods := make([]*link.Module, len(units))
 	tiers := make([]ModuleCacheInfo, len(units))
 	for i, u := range units {
-		mkey := ModuleCacheKey(driver.Version, u.Source, moduleSpec, fixIters, resolved[u.Name()])
+		mkey := ModuleCacheKey(driver.Version, u.Source, moduleSpec, targetName, fixIters, resolved[u.Name()])
 		tiers[i] = ModuleCacheInfo{Name: u.Name(), Key: mkey, Cache: "miss"}
 		if data, tier := s.cache.Get(mkey); data != nil {
 			if art, err := driver.DecodeModuleArtifact(data); err == nil {

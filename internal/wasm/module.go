@@ -1,0 +1,284 @@
+package wasm
+
+import "fmt"
+
+// PageSize is the wasm linear-memory page size in bytes.
+const PageSize = 65536
+
+// FuncType is a function signature.
+type FuncType struct {
+	Params  []ValType
+	Results []ValType
+}
+
+// Equal reports structural equality of two signatures.
+func (t FuncType) Equal(o FuncType) bool {
+	if len(t.Params) != len(o.Params) || len(t.Results) != len(o.Results) {
+		return false
+	}
+	for i, p := range t.Params {
+		if o.Params[i] != p {
+			return false
+		}
+	}
+	for i, r := range t.Results {
+		if o.Results[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// Import is a function import (the only import kind this subset uses).
+type Import struct {
+	Module  string
+	Name    string
+	TypeIdx int
+}
+
+// Func is a defined function: its signature, declared locals (beyond the
+// parameters, in order), and body code terminated by an End opcode.
+type Func struct {
+	TypeIdx int
+	Locals  []ValType
+	Code    []byte
+}
+
+// Global is a module global with a constant initializer expression
+// (i32.const/i64.const/f64.const followed by end).
+type Global struct {
+	Type ValType
+	Mut  bool
+	Init []byte
+}
+
+// Export makes a definition visible by name.
+type Export struct {
+	Name string
+	Kind byte // ExtFunc, ExtTable, ExtMem, ExtGlobal
+	Idx  int
+}
+
+// Elem seeds the funcref table starting at a constant offset.
+type Elem struct {
+	Offset int32
+	Funcs  []int
+}
+
+// Data seeds linear memory starting at a constant offset.
+type Data struct {
+	Offset int32
+	Bytes  []byte
+}
+
+// Module is a decoded (or to-be-encoded) wasm module restricted to the
+// MVP features the backend emits: one optional funcref table, one
+// optional memory, function imports only.
+type Module struct {
+	Types   []FuncType
+	Imports []Import
+	Funcs   []Func
+	Globals []Global
+	Exports []Export
+	Elems   []Elem
+	Data    []Data
+
+	HasTable bool
+	TableMin int
+
+	HasMemory bool
+	MemMin    int // pages
+	MemMax    int // pages; 0 means no maximum
+}
+
+// NumFuncs returns the size of the function index space.
+func (m *Module) NumFuncs() int { return len(m.Imports) + len(m.Funcs) }
+
+// TypeOfFunc returns the signature of function index i (imports first).
+func (m *Module) TypeOfFunc(i int) (FuncType, error) {
+	var ti int
+	switch {
+	case i < 0 || i >= m.NumFuncs():
+		return FuncType{}, fmt.Errorf("wasm: function index %d out of range", i)
+	case i < len(m.Imports):
+		ti = m.Imports[i].TypeIdx
+	default:
+		ti = m.Funcs[i-len(m.Imports)].TypeIdx
+	}
+	if ti < 0 || ti >= len(m.Types) {
+		return FuncType{}, fmt.Errorf("wasm: type index %d out of range", ti)
+	}
+	return m.Types[ti], nil
+}
+
+// AddType interns a signature and returns its index.
+func (m *Module) AddType(t FuncType) int {
+	for i, u := range m.Types {
+		if u.Equal(t) {
+			return i
+		}
+	}
+	m.Types = append(m.Types, t)
+	return len(m.Types) - 1
+}
+
+// section appends a section header (id + payload size) and payload.
+func section(out []byte, id byte, payload []byte) []byte {
+	out = append(out, id)
+	out = AppendUleb(out, uint64(len(payload)))
+	return append(out, payload...)
+}
+
+func appendName(b []byte, s string) []byte {
+	b = AppendUleb(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// Encode serializes the module in canonical section order.
+func (m *Module) Encode() []byte {
+	out := []byte{0x00, 0x61, 0x73, 0x6D, 0x01, 0x00, 0x00, 0x00}
+
+	if len(m.Types) > 0 {
+		var p []byte
+		p = AppendUleb(p, uint64(len(m.Types)))
+		for _, t := range m.Types {
+			p = append(p, 0x60)
+			p = AppendUleb(p, uint64(len(t.Params)))
+			for _, v := range t.Params {
+				p = append(p, byte(v))
+			}
+			p = AppendUleb(p, uint64(len(t.Results)))
+			for _, v := range t.Results {
+				p = append(p, byte(v))
+			}
+		}
+		out = section(out, secType, p)
+	}
+
+	if len(m.Imports) > 0 {
+		var p []byte
+		p = AppendUleb(p, uint64(len(m.Imports)))
+		for _, im := range m.Imports {
+			p = appendName(p, im.Module)
+			p = appendName(p, im.Name)
+			p = append(p, ExtFunc)
+			p = AppendUleb(p, uint64(im.TypeIdx))
+		}
+		out = section(out, secImport, p)
+	}
+
+	if len(m.Funcs) > 0 {
+		var p []byte
+		p = AppendUleb(p, uint64(len(m.Funcs)))
+		for _, f := range m.Funcs {
+			p = AppendUleb(p, uint64(f.TypeIdx))
+		}
+		out = section(out, secFunc, p)
+	}
+
+	if m.HasTable {
+		var p []byte
+		p = AppendUleb(p, 1)
+		p = append(p, byte(Funcref), 0x00) // limits: min only
+		p = AppendUleb(p, uint64(m.TableMin))
+		out = section(out, secTable, p)
+	}
+
+	if m.HasMemory {
+		var p []byte
+		p = AppendUleb(p, 1)
+		if m.MemMax > 0 {
+			p = append(p, 0x01)
+			p = AppendUleb(p, uint64(m.MemMin))
+			p = AppendUleb(p, uint64(m.MemMax))
+		} else {
+			p = append(p, 0x00)
+			p = AppendUleb(p, uint64(m.MemMin))
+		}
+		out = section(out, secMemory, p)
+	}
+
+	if len(m.Globals) > 0 {
+		var p []byte
+		p = AppendUleb(p, uint64(len(m.Globals)))
+		for _, g := range m.Globals {
+			p = append(p, byte(g.Type))
+			if g.Mut {
+				p = append(p, 0x01)
+			} else {
+				p = append(p, 0x00)
+			}
+			p = append(p, g.Init...)
+		}
+		out = section(out, secGlobal, p)
+	}
+
+	if len(m.Exports) > 0 {
+		var p []byte
+		p = AppendUleb(p, uint64(len(m.Exports)))
+		for _, e := range m.Exports {
+			p = appendName(p, e.Name)
+			p = append(p, e.Kind)
+			p = AppendUleb(p, uint64(e.Idx))
+		}
+		out = section(out, secExport, p)
+	}
+
+	if len(m.Elems) > 0 {
+		var p []byte
+		p = AppendUleb(p, uint64(len(m.Elems)))
+		for _, e := range m.Elems {
+			p = AppendUleb(p, 0) // table 0, active
+			p = append(p, OpI32Const)
+			p = AppendSleb(p, int64(e.Offset))
+			p = append(p, OpEnd)
+			p = AppendUleb(p, uint64(len(e.Funcs)))
+			for _, f := range e.Funcs {
+				p = AppendUleb(p, uint64(f))
+			}
+		}
+		out = section(out, secElem, p)
+	}
+
+	if len(m.Funcs) > 0 {
+		var p []byte
+		p = AppendUleb(p, uint64(len(m.Funcs)))
+		for _, f := range m.Funcs {
+			var body []byte
+			// Compress locals into runs of equal types.
+			var runs [][2]int // (count, type)
+			for _, l := range f.Locals {
+				if n := len(runs); n > 0 && runs[n-1][1] == int(l) {
+					runs[n-1][0]++
+				} else {
+					runs = append(runs, [2]int{1, int(l)})
+				}
+			}
+			body = AppendUleb(body, uint64(len(runs)))
+			for _, r := range runs {
+				body = AppendUleb(body, uint64(r[0]))
+				body = append(body, byte(r[1]))
+			}
+			body = append(body, f.Code...)
+			p = AppendUleb(p, uint64(len(body)))
+			p = append(p, body...)
+		}
+		out = section(out, secCode, p)
+	}
+
+	if len(m.Data) > 0 {
+		var p []byte
+		p = AppendUleb(p, uint64(len(m.Data)))
+		for _, d := range m.Data {
+			p = AppendUleb(p, 0) // memory 0, active
+			p = append(p, OpI32Const)
+			p = AppendSleb(p, int64(d.Offset))
+			p = append(p, OpEnd)
+			p = AppendUleb(p, uint64(len(d.Bytes)))
+			p = append(p, d.Bytes...)
+		}
+		out = section(out, secData, p)
+	}
+
+	return out
+}

@@ -1,0 +1,267 @@
+// Package wasm implements the slice of the WebAssembly MVP binary format
+// that the thorin wasm backend emits: an encoder and decoder for modules,
+// a type-checking validator, a fuel-bounded interpreter, and a WAT
+// printer. It has no dependency on the rest of the compiler and no
+// external dependencies; it exists so emitted modules can be validated
+// and differentially executed in-process.
+package wasm
+
+// Value types.
+type ValType byte
+
+const (
+	I32     ValType = 0x7F
+	I64     ValType = 0x7E
+	F32     ValType = 0x7D
+	F64     ValType = 0x7C
+	Funcref ValType = 0x70
+)
+
+func (t ValType) String() string {
+	switch t {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	case Funcref:
+		return "funcref"
+	}
+	return "?"
+}
+
+// Section ids.
+const (
+	secCustom = 0
+	secType   = 1
+	secImport = 2
+	secFunc   = 3
+	secTable  = 4
+	secMemory = 5
+	secGlobal = 6
+	secExport = 7
+	secStart  = 8
+	secElem   = 9
+	secCode   = 10
+	secData   = 11
+)
+
+// Export kinds.
+const (
+	ExtFunc   = 0x00
+	ExtTable  = 0x01
+	ExtMem    = 0x02
+	ExtGlobal = 0x03
+)
+
+// BlockEmpty is the empty block type (no params, no results).
+const BlockEmpty = 0x40
+
+// Opcodes (the subset this package understands).
+const (
+	OpUnreachable  = 0x00
+	OpNop          = 0x01
+	OpBlock        = 0x02
+	OpLoop         = 0x03
+	OpIf           = 0x04
+	OpElse         = 0x05
+	OpEnd          = 0x0B
+	OpBr           = 0x0C
+	OpBrIf         = 0x0D
+	OpReturn       = 0x0F
+	OpCall         = 0x10
+	OpCallIndirect = 0x11
+
+	OpDrop   = 0x1A
+	OpSelect = 0x1B
+
+	OpLocalGet  = 0x20
+	OpLocalSet  = 0x21
+	OpLocalTee  = 0x22
+	OpGlobalGet = 0x23
+	OpGlobalSet = 0x24
+
+	OpI32Load  = 0x28
+	OpI64Load  = 0x29
+	OpF64Load  = 0x2B
+	OpI32Store = 0x36
+	OpI64Store = 0x37
+	OpF64Store = 0x39
+	OpMemSize  = 0x3F
+	OpMemGrow  = 0x40
+
+	OpI32Const = 0x41
+	OpI64Const = 0x42
+	OpF64Const = 0x44
+
+	OpI32Eqz = 0x45
+	OpI32Eq  = 0x46
+	OpI32Ne  = 0x47
+
+	OpI64Eqz = 0x50
+	OpI64Eq  = 0x51
+	OpI64Ne  = 0x52
+	OpI64LtS = 0x53
+	OpI64LtU = 0x54
+	OpI64GtS = 0x55
+	OpI64GtU = 0x56
+	OpI64LeS = 0x57
+	OpI64LeU = 0x58
+	OpI64GeS = 0x59
+	OpI64GeU = 0x5A
+
+	OpF64Eq = 0x61
+	OpF64Ne = 0x62
+	OpF64Lt = 0x63
+	OpF64Gt = 0x64
+	OpF64Le = 0x65
+	OpF64Ge = 0x66
+
+	OpI32Add = 0x6A
+	OpI32Sub = 0x6B
+	OpI32And = 0x71
+	OpI32Or  = 0x72
+
+	OpI64Add  = 0x7C
+	OpI64Sub  = 0x7D
+	OpI64Mul  = 0x7E
+	OpI64DivS = 0x7F
+	OpI64DivU = 0x80
+	OpI64RemS = 0x81
+	OpI64RemU = 0x82
+	OpI64And  = 0x83
+	OpI64Or   = 0x84
+	OpI64Xor  = 0x85
+	OpI64Shl  = 0x86
+	OpI64ShrS = 0x87
+	OpI64ShrU = 0x88
+
+	OpF64Abs  = 0x99
+	OpF64Neg  = 0x9A
+	OpF64Sqrt = 0x9F
+	OpF64Add  = 0xA0
+	OpF64Sub  = 0xA1
+	OpF64Mul  = 0xA2
+	OpF64Div  = 0xA3
+
+	OpI32WrapI64        = 0xA7
+	OpI64ExtendI32S     = 0xAC
+	OpI64ExtendI32U     = 0xAD
+	OpF32DemoteF64      = 0xB6
+	OpF64ConvertI64S    = 0xB9
+	OpF64ConvertI64U    = 0xBA
+	OpF64PromoteF32     = 0xBB
+	OpI64ReinterpretF64 = 0xBD
+	OpF64ReinterpretI64 = 0xBF
+)
+
+// sig describes a simple value instruction: pops then pushes.
+type sig struct {
+	pop  []ValType
+	push []ValType
+}
+
+// simpleOps types every instruction with a fixed, context-free signature.
+// Control, variable, memory, const, and call instructions are handled
+// structurally by the validator and do not appear here.
+var simpleOps = map[byte]sig{
+	OpDrop: {}, // handled specially (polymorphic)
+
+	OpI32Eqz: {pop: []ValType{I32}, push: []ValType{I32}},
+	OpI32Eq:  {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32Ne:  {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32Add: {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32Sub: {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32And: {pop: []ValType{I32, I32}, push: []ValType{I32}},
+	OpI32Or:  {pop: []ValType{I32, I32}, push: []ValType{I32}},
+
+	OpI64Eqz: {pop: []ValType{I64}, push: []ValType{I32}},
+	OpI64Eq:  {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64Ne:  {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64LtS: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64LtU: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64GtS: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64GtU: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64LeS: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64LeU: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64GeS: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+	OpI64GeU: {pop: []ValType{I64, I64}, push: []ValType{I32}},
+
+	OpF64Eq: {pop: []ValType{F64, F64}, push: []ValType{I32}},
+	OpF64Ne: {pop: []ValType{F64, F64}, push: []ValType{I32}},
+	OpF64Lt: {pop: []ValType{F64, F64}, push: []ValType{I32}},
+	OpF64Gt: {pop: []ValType{F64, F64}, push: []ValType{I32}},
+	OpF64Le: {pop: []ValType{F64, F64}, push: []ValType{I32}},
+	OpF64Ge: {pop: []ValType{F64, F64}, push: []ValType{I32}},
+
+	OpI64Add:  {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64Sub:  {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64Mul:  {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64DivS: {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64DivU: {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64RemS: {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64RemU: {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64And:  {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64Or:   {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64Xor:  {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64Shl:  {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64ShrS: {pop: []ValType{I64, I64}, push: []ValType{I64}},
+	OpI64ShrU: {pop: []ValType{I64, I64}, push: []ValType{I64}},
+
+	OpF64Abs:  {pop: []ValType{F64}, push: []ValType{F64}},
+	OpF64Neg:  {pop: []ValType{F64}, push: []ValType{F64}},
+	OpF64Sqrt: {pop: []ValType{F64}, push: []ValType{F64}},
+	OpF64Add:  {pop: []ValType{F64, F64}, push: []ValType{F64}},
+	OpF64Sub:  {pop: []ValType{F64, F64}, push: []ValType{F64}},
+	OpF64Mul:  {pop: []ValType{F64, F64}, push: []ValType{F64}},
+	OpF64Div:  {pop: []ValType{F64, F64}, push: []ValType{F64}},
+
+	OpI32WrapI64:        {pop: []ValType{I64}, push: []ValType{I32}},
+	OpI64ExtendI32S:     {pop: []ValType{I32}, push: []ValType{I64}},
+	OpI64ExtendI32U:     {pop: []ValType{I32}, push: []ValType{I64}},
+	OpF32DemoteF64:      {pop: []ValType{F64}, push: []ValType{F32}},
+	OpF64ConvertI64S:    {pop: []ValType{I64}, push: []ValType{F64}},
+	OpF64ConvertI64U:    {pop: []ValType{I64}, push: []ValType{F64}},
+	OpF64PromoteF32:     {pop: []ValType{F32}, push: []ValType{F64}},
+	OpI64ReinterpretF64: {pop: []ValType{F64}, push: []ValType{I64}},
+	OpF64ReinterpretI64: {pop: []ValType{I64}, push: []ValType{F64}},
+}
+
+// opNames maps opcodes to their WAT mnemonics.
+var opNames = map[byte]string{
+	OpUnreachable: "unreachable", OpNop: "nop", OpBlock: "block",
+	OpLoop: "loop", OpIf: "if", OpElse: "else", OpEnd: "end",
+	OpBr: "br", OpBrIf: "br_if", OpReturn: "return", OpCall: "call",
+	OpCallIndirect: "call_indirect", OpDrop: "drop", OpSelect: "select",
+	OpLocalGet: "local.get", OpLocalSet: "local.set", OpLocalTee: "local.tee",
+	OpGlobalGet: "global.get", OpGlobalSet: "global.set",
+	OpI32Load: "i32.load", OpI64Load: "i64.load", OpF64Load: "f64.load",
+	OpI32Store: "i32.store", OpI64Store: "i64.store", OpF64Store: "f64.store",
+	OpMemSize: "memory.size", OpMemGrow: "memory.grow",
+	OpI32Const: "i32.const", OpI64Const: "i64.const", OpF64Const: "f64.const",
+	OpI32Eqz: "i32.eqz", OpI32Eq: "i32.eq", OpI32Ne: "i32.ne",
+	OpI32Add: "i32.add", OpI32Sub: "i32.sub", OpI32And: "i32.and",
+	OpI32Or:  "i32.or",
+	OpI64Eqz: "i64.eqz", OpI64Eq: "i64.eq", OpI64Ne: "i64.ne",
+	OpI64LtS: "i64.lt_s", OpI64LtU: "i64.lt_u", OpI64GtS: "i64.gt_s",
+	OpI64GtU: "i64.gt_u", OpI64LeS: "i64.le_s", OpI64LeU: "i64.le_u",
+	OpI64GeS: "i64.ge_s", OpI64GeU: "i64.ge_u",
+	OpF64Eq: "f64.eq", OpF64Ne: "f64.ne", OpF64Lt: "f64.lt",
+	OpF64Gt: "f64.gt", OpF64Le: "f64.le", OpF64Ge: "f64.ge",
+	OpI64Add: "i64.add", OpI64Sub: "i64.sub", OpI64Mul: "i64.mul",
+	OpI64DivS: "i64.div_s", OpI64DivU: "i64.div_u", OpI64RemS: "i64.rem_s",
+	OpI64RemU: "i64.rem_u", OpI64And: "i64.and", OpI64Or: "i64.or",
+	OpI64Xor: "i64.xor", OpI64Shl: "i64.shl", OpI64ShrS: "i64.shr_s",
+	OpI64ShrU: "i64.shr_u",
+	OpF64Abs:  "f64.abs", OpF64Neg: "f64.neg", OpF64Sqrt: "f64.sqrt",
+	OpF64Add: "f64.add", OpF64Sub: "f64.sub", OpF64Mul: "f64.mul",
+	OpF64Div:     "f64.div",
+	OpI32WrapI64: "i32.wrap_i64", OpI64ExtendI32S: "i64.extend_i32_s",
+	OpI64ExtendI32U: "i64.extend_i32_u", OpF32DemoteF64: "f32.demote_f64",
+	OpF64ConvertI64S: "f64.convert_i64_s", OpF64ConvertI64U: "f64.convert_i64_u",
+	OpF64PromoteF32: "f64.promote_f32", OpI64ReinterpretF64: "i64.reinterpret_f64",
+	OpF64ReinterpretI64: "f64.reinterpret_i64",
+}

@@ -1,0 +1,526 @@
+package wasm
+
+import "fmt"
+
+// Validate type-checks the module: section-level index hygiene plus a
+// full control-frame type check of every function body, following the
+// validation algorithm from the spec appendix. A module that validates
+// cannot make the interpreter read out of bounds of its own structures
+// (linear memory and the table are still runtime-checked).
+func Validate(m *Module) error {
+	for i, im := range m.Imports {
+		if im.TypeIdx < 0 || im.TypeIdx >= len(m.Types) {
+			return fmt.Errorf("wasm: import %d (%s.%s): type index out of range", i, im.Module, im.Name)
+		}
+	}
+	for i, f := range m.Funcs {
+		if f.TypeIdx < 0 || f.TypeIdx >= len(m.Types) {
+			return fmt.Errorf("wasm: function %d: type index out of range", i)
+		}
+	}
+	for i, g := range m.Globals {
+		if err := checkConstInit(g.Init, g.Type); err != nil {
+			return fmt.Errorf("wasm: global %d: %w", i, err)
+		}
+	}
+	seen := map[string]bool{}
+	for i, e := range m.Exports {
+		if seen[e.Name] {
+			return fmt.Errorf("wasm: duplicate export %q", e.Name)
+		}
+		seen[e.Name] = true
+		switch e.Kind {
+		case ExtFunc:
+			if e.Idx < 0 || e.Idx >= m.NumFuncs() {
+				return fmt.Errorf("wasm: export %d: function index out of range", i)
+			}
+		case ExtTable:
+			if !m.HasTable || e.Idx != 0 {
+				return fmt.Errorf("wasm: export %d: no such table", i)
+			}
+		case ExtMem:
+			if !m.HasMemory || e.Idx != 0 {
+				return fmt.Errorf("wasm: export %d: no such memory", i)
+			}
+		case ExtGlobal:
+			if e.Idx < 0 || e.Idx >= len(m.Globals) {
+				return fmt.Errorf("wasm: export %d: global index out of range", i)
+			}
+		default:
+			return fmt.Errorf("wasm: export %d: unknown kind 0x%02x", i, e.Kind)
+		}
+	}
+	for i, e := range m.Elems {
+		if !m.HasTable {
+			return fmt.Errorf("wasm: element segment %d without a table", i)
+		}
+		if int(e.Offset) < 0 || int(e.Offset)+len(e.Funcs) > m.TableMin {
+			return fmt.Errorf("wasm: element segment %d does not fit the table", i)
+		}
+		for _, f := range e.Funcs {
+			if f < 0 || f >= m.NumFuncs() {
+				return fmt.Errorf("wasm: element segment %d: function index %d out of range", i, f)
+			}
+		}
+	}
+	for i, d := range m.Data {
+		if !m.HasMemory {
+			return fmt.Errorf("wasm: data segment %d without a memory", i)
+		}
+		if int(d.Offset) < 0 || int(d.Offset)+len(d.Bytes) > m.MemMin*PageSize {
+			return fmt.Errorf("wasm: data segment %d does not fit the minimum memory", i)
+		}
+	}
+	for i := range m.Funcs {
+		if err := m.validateBody(i); err != nil {
+			return fmt.Errorf("wasm: function %d: %w", len(m.Imports)+i, err)
+		}
+	}
+	return nil
+}
+
+func checkConstInit(init []byte, want ValType) error {
+	r := &reader{data: init}
+	op, err := r.byte()
+	if err != nil {
+		return fmt.Errorf("empty initializer")
+	}
+	var got ValType
+	switch op {
+	case OpI32Const:
+		if _, err := r.sleb(); err != nil {
+			return err
+		}
+		got = I32
+	case OpI64Const:
+		if _, err := r.sleb(); err != nil {
+			return err
+		}
+		got = I64
+	case OpF64Const:
+		if _, err := r.bytes(8); err != nil {
+			return err
+		}
+		got = F64
+	default:
+		return fmt.Errorf("initializer is not a constant expression")
+	}
+	if end, err := r.byte(); err != nil || end != OpEnd || r.len() != 0 {
+		return fmt.Errorf("malformed initializer expression")
+	}
+	if got != want {
+		return fmt.Errorf("initializer type %s does not match global type %s", got, want)
+	}
+	return nil
+}
+
+// unknownType marks a polymorphic stack slot below an unreachable point.
+const unknownType ValType = 0
+
+type ctrlFrame struct {
+	op          byte // OpBlock, OpLoop, OpIf, OpElse; OpEnd marks the function frame
+	start, end  []ValType
+	height      int
+	unreachable bool
+}
+
+func (c *ctrlFrame) labelTypes() []ValType {
+	if c.op == OpLoop {
+		return c.start
+	}
+	return c.end
+}
+
+type checker struct {
+	opds   []ValType
+	ctrls  []ctrlFrame
+	locals []ValType
+	m      *Module
+}
+
+func (v *checker) pushOpd(t ValType) { v.opds = append(v.opds, t) }
+
+func (v *checker) popOpd() (ValType, error) {
+	c := &v.ctrls[len(v.ctrls)-1]
+	if len(v.opds) == c.height {
+		if c.unreachable {
+			return unknownType, nil
+		}
+		return 0, fmt.Errorf("operand stack underflow")
+	}
+	t := v.opds[len(v.opds)-1]
+	v.opds = v.opds[:len(v.opds)-1]
+	return t, nil
+}
+
+func (v *checker) popExpect(want ValType) (ValType, error) {
+	got, err := v.popOpd()
+	if err != nil {
+		return 0, err
+	}
+	if got != want && got != unknownType && want != unknownType {
+		return 0, fmt.Errorf("expected %s, found %s", want, got)
+	}
+	return got, nil
+}
+
+func (v *checker) popAll(ts []ValType) error {
+	for i := len(ts) - 1; i >= 0; i-- {
+		if _, err := v.popExpect(ts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *checker) pushCtrl(op byte, start, end []ValType) {
+	v.ctrls = append(v.ctrls, ctrlFrame{op: op, start: start, end: end, height: len(v.opds)})
+	for _, t := range start {
+		v.pushOpd(t)
+	}
+}
+
+func (v *checker) popCtrl() (ctrlFrame, error) {
+	if len(v.ctrls) == 0 {
+		return ctrlFrame{}, fmt.Errorf("end outside any block")
+	}
+	c := v.ctrls[len(v.ctrls)-1]
+	if err := v.popAll(c.end); err != nil {
+		return ctrlFrame{}, err
+	}
+	if len(v.opds) != c.height {
+		return ctrlFrame{}, fmt.Errorf("%d values left on stack at block end", len(v.opds)-c.height)
+	}
+	v.ctrls = v.ctrls[:len(v.ctrls)-1]
+	return c, nil
+}
+
+func (v *checker) setUnreachable() {
+	c := &v.ctrls[len(v.ctrls)-1]
+	v.opds = v.opds[:c.height]
+	c.unreachable = true
+}
+
+func (v *checker) label(depth uint32) (*ctrlFrame, error) {
+	if int(depth) >= len(v.ctrls) {
+		return nil, fmt.Errorf("branch depth %d exceeds block nesting %d", depth, len(v.ctrls))
+	}
+	return &v.ctrls[len(v.ctrls)-1-int(depth)], nil
+}
+
+func (m *Module) validateBody(fi int) error {
+	f := &m.Funcs[fi]
+	sig := m.Types[f.TypeIdx]
+	v := &checker{m: m}
+	v.locals = append(append([]ValType{}, sig.Params...), f.Locals...)
+	v.pushCtrl(OpEnd, nil, sig.Results)
+
+	r := &reader{data: f.Code}
+	for !r.done() {
+		op, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if err := v.step(op, r); err != nil {
+			name := opNames[op]
+			if name == "" {
+				name = fmt.Sprintf("0x%02x", op)
+			}
+			return fmt.Errorf("at offset %d (%s): %w", r.pos-1, name, err)
+		}
+		if len(v.ctrls) == 0 {
+			// The function frame was just popped by the final end.
+			if !r.done() {
+				return fmt.Errorf("code after function end")
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("function body not terminated")
+}
+
+func blockType(r *reader) ([]ValType, error) {
+	b, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if b == BlockEmpty {
+		return nil, nil
+	}
+	switch t := ValType(b); t {
+	case I32, I64, F32, F64:
+		return []ValType{t}, nil
+	}
+	return nil, fmt.Errorf("invalid block type 0x%02x", b)
+}
+
+func (v *checker) step(op byte, r *reader) error {
+	if s, ok := simpleOps[op]; ok && op != OpDrop {
+		if err := v.popAll(s.pop); err != nil {
+			return err
+		}
+		for _, t := range s.push {
+			v.pushOpd(t)
+		}
+		return nil
+	}
+	switch op {
+	case OpUnreachable:
+		v.setUnreachable()
+	case OpNop:
+	case OpBlock, OpLoop:
+		res, err := blockType(r)
+		if err != nil {
+			return err
+		}
+		v.pushCtrl(op, nil, res)
+	case OpIf:
+		res, err := blockType(r)
+		if err != nil {
+			return err
+		}
+		if _, err := v.popExpect(I32); err != nil {
+			return err
+		}
+		v.pushCtrl(op, nil, res)
+	case OpElse:
+		c, err := v.popCtrl()
+		if err != nil {
+			return err
+		}
+		if c.op != OpIf {
+			return fmt.Errorf("else outside if")
+		}
+		v.pushCtrl(OpElse, c.start, c.end)
+	case OpEnd:
+		c, err := v.popCtrl()
+		if err != nil {
+			return err
+		}
+		if c.op == OpIf && len(c.end) > 0 {
+			return fmt.Errorf("if with result type lacks an else arm")
+		}
+		for _, t := range c.end {
+			v.pushOpd(t)
+		}
+	case OpBr:
+		d, err := r.u32()
+		if err != nil {
+			return err
+		}
+		c, err := v.label(d)
+		if err != nil {
+			return err
+		}
+		if err := v.popAll(c.labelTypes()); err != nil {
+			return err
+		}
+		v.setUnreachable()
+	case OpBrIf:
+		d, err := r.u32()
+		if err != nil {
+			return err
+		}
+		c, err := v.label(d)
+		if err != nil {
+			return err
+		}
+		if _, err := v.popExpect(I32); err != nil {
+			return err
+		}
+		lt := c.labelTypes()
+		if err := v.popAll(lt); err != nil {
+			return err
+		}
+		for _, t := range lt {
+			v.pushOpd(t)
+		}
+	case OpReturn:
+		if err := v.popAll(v.ctrls[0].end); err != nil {
+			return err
+		}
+		v.setUnreachable()
+	case OpCall:
+		fi, err := r.u32()
+		if err != nil {
+			return err
+		}
+		sig, err := v.m.TypeOfFunc(int(fi))
+		if err != nil {
+			return err
+		}
+		if err := v.popAll(sig.Params); err != nil {
+			return err
+		}
+		for _, t := range sig.Results {
+			v.pushOpd(t)
+		}
+	case OpCallIndirect:
+		ti, err := r.u32()
+		if err != nil {
+			return err
+		}
+		tbl, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if tbl != 0 {
+			return fmt.Errorf("call_indirect table index must be 0")
+		}
+		if !v.m.HasTable {
+			return fmt.Errorf("call_indirect without a table")
+		}
+		if int(ti) >= len(v.m.Types) {
+			return fmt.Errorf("call_indirect type index out of range")
+		}
+		if _, err := v.popExpect(I32); err != nil {
+			return err
+		}
+		sig := v.m.Types[ti]
+		if err := v.popAll(sig.Params); err != nil {
+			return err
+		}
+		for _, t := range sig.Results {
+			v.pushOpd(t)
+		}
+	case OpDrop:
+		_, err := v.popOpd()
+		return err
+	case OpSelect:
+		if _, err := v.popExpect(I32); err != nil {
+			return err
+		}
+		t1, err := v.popOpd()
+		if err != nil {
+			return err
+		}
+		t2, err := v.popOpd()
+		if err != nil {
+			return err
+		}
+		if t1 != t2 && t1 != unknownType && t2 != unknownType {
+			return fmt.Errorf("select arms have different types (%s, %s)", t1, t2)
+		}
+		if t1 == unknownType {
+			t1 = t2
+		}
+		v.pushOpd(t1)
+	case OpLocalGet, OpLocalSet, OpLocalTee:
+		i, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if int(i) >= len(v.locals) {
+			return fmt.Errorf("local index %d out of range", i)
+		}
+		t := v.locals[i]
+		switch op {
+		case OpLocalGet:
+			v.pushOpd(t)
+		case OpLocalSet:
+			if _, err := v.popExpect(t); err != nil {
+				return err
+			}
+		case OpLocalTee:
+			if _, err := v.popExpect(t); err != nil {
+				return err
+			}
+			v.pushOpd(t)
+		}
+	case OpGlobalGet, OpGlobalSet:
+		i, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if int(i) >= len(v.m.Globals) {
+			return fmt.Errorf("global index %d out of range", i)
+		}
+		g := v.m.Globals[i]
+		if op == OpGlobalGet {
+			v.pushOpd(g.Type)
+		} else {
+			if !g.Mut {
+				return fmt.Errorf("global %d is immutable", i)
+			}
+			if _, err := v.popExpect(g.Type); err != nil {
+				return err
+			}
+		}
+	case OpI32Load, OpI64Load, OpF64Load, OpI32Store, OpI64Store, OpF64Store:
+		align, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if _, err := r.u32(); err != nil { // offset
+			return err
+		}
+		if !v.m.HasMemory {
+			return fmt.Errorf("memory access without a memory")
+		}
+		natural := uint32(3)
+		if op == OpI32Load || op == OpI32Store {
+			natural = 2
+		}
+		if align > natural {
+			return fmt.Errorf("alignment 2^%d exceeds natural alignment", align)
+		}
+		var t ValType
+		switch op {
+		case OpI32Load, OpI32Store:
+			t = I32
+		case OpI64Load, OpI64Store:
+			t = I64
+		default:
+			t = F64
+		}
+		switch op {
+		case OpI32Load, OpI64Load, OpF64Load:
+			if _, err := v.popExpect(I32); err != nil {
+				return err
+			}
+			v.pushOpd(t)
+		default:
+			if _, err := v.popExpect(t); err != nil {
+				return err
+			}
+			if _, err := v.popExpect(I32); err != nil {
+				return err
+			}
+		}
+	case OpMemSize, OpMemGrow:
+		z, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if z != 0 {
+			return fmt.Errorf("memory index must be 0")
+		}
+		if !v.m.HasMemory {
+			return fmt.Errorf("memory instruction without a memory")
+		}
+		if op == OpMemGrow {
+			if _, err := v.popExpect(I32); err != nil {
+				return err
+			}
+		}
+		v.pushOpd(I32)
+	case OpI32Const:
+		if _, err := r.sleb(); err != nil {
+			return err
+		}
+		v.pushOpd(I32)
+	case OpI64Const:
+		if _, err := r.sleb(); err != nil {
+			return err
+		}
+		v.pushOpd(I64)
+	case OpF64Const:
+		if _, err := r.bytes(8); err != nil {
+			return err
+		}
+		v.pushOpd(F64)
+	default:
+		return fmt.Errorf("unknown opcode")
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Wat renders the module in WebAssembly text format. The output is for
+// humans (thorinc -emit=wat) and golden tests, not for round-tripping
+// through a WAT parser.
+func (m *Module) Wat() string {
+	var b strings.Builder
+	b.WriteString("(module\n")
+	for i, t := range m.Types {
+		fmt.Fprintf(&b, "  (type (;%d;) (func%s%s))\n", i,
+			watTypes(" (param", t.Params), watTypes(" (result", t.Results))
+	}
+	for i, im := range m.Imports {
+		fmt.Fprintf(&b, "  (import %q %q (func (;%d;) (type %d)))\n",
+			im.Module, im.Name, i, im.TypeIdx)
+	}
+	if m.HasTable {
+		fmt.Fprintf(&b, "  (table %d funcref)\n", m.TableMin)
+	}
+	if m.HasMemory {
+		if m.MemMax > 0 {
+			fmt.Fprintf(&b, "  (memory %d %d)\n", m.MemMin, m.MemMax)
+		} else {
+			fmt.Fprintf(&b, "  (memory %d)\n", m.MemMin)
+		}
+	}
+	for i, g := range m.Globals {
+		mut := g.Type.String()
+		if g.Mut {
+			mut = "(mut " + mut + ")"
+		}
+		fmt.Fprintf(&b, "  (global (;%d;) %s (%s))\n", i, mut, watConstExpr(g.Init))
+	}
+	for i := range m.Funcs {
+		m.watFunc(&b, i)
+	}
+	for _, e := range m.Exports {
+		kind := [...]string{"func", "table", "memory", "global"}[e.Kind]
+		fmt.Fprintf(&b, "  (export %q (%s %d))\n", e.Name, kind, e.Idx)
+	}
+	for _, e := range m.Elems {
+		fmt.Fprintf(&b, "  (elem (i32.const %d) func", e.Offset)
+		for _, f := range e.Funcs {
+			fmt.Fprintf(&b, " %d", f)
+		}
+		b.WriteString(")\n")
+	}
+	for _, d := range m.Data {
+		fmt.Fprintf(&b, "  (data (i32.const %d) %q)\n", d.Offset, string(d.Bytes))
+	}
+	b.WriteString(")\n")
+	return b.String()
+}
+
+func watTypes(prefix string, ts []ValType) string {
+	if len(ts) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(prefix)
+	for _, t := range ts {
+		b.WriteString(" ")
+		b.WriteString(t.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func watConstExpr(init []byte) string {
+	r := &reader{data: init}
+	op, _ := r.byte()
+	switch op {
+	case OpI32Const:
+		v, _ := r.sleb()
+		return fmt.Sprintf("i32.const %d", int32(v))
+	case OpI64Const:
+		v, _ := r.sleb()
+		return fmt.Sprintf("i64.const %d", v)
+	case OpF64Const:
+		bs, _ := r.bytes(8)
+		return "f64.const " + watF64(binary.LittleEndian.Uint64(bs))
+	}
+	return "??"
+}
+
+func watF64(bits uint64) string {
+	f := math.Float64frombits(bits)
+	if math.IsInf(f, 1) {
+		return "inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-inf"
+	}
+	if math.IsNaN(f) {
+		return "nan"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func (m *Module) watFunc(b *strings.Builder, i int) {
+	f := &m.Funcs[i]
+	fmt.Fprintf(b, "  (func (;%d;) (type %d)", len(m.Imports)+i, f.TypeIdx)
+	t := m.Types[f.TypeIdx]
+	b.WriteString(watTypes(" (param", t.Params))
+	b.WriteString(watTypes(" (result", t.Results))
+	b.WriteString(watTypes("\n    (local", f.Locals))
+	b.WriteString("\n")
+	depth := 2
+	r := &reader{data: f.Code}
+	for !r.done() {
+		op, err := r.byte()
+		if err != nil {
+			break
+		}
+		name := opNames[op]
+		if name == "" {
+			name = fmt.Sprintf("0x%02x", op)
+		}
+		if op == OpEnd || op == OpElse {
+			depth--
+		}
+		if op == OpEnd && r.done() {
+			break // the function's closing end is implied by the s-expr
+		}
+		indent := strings.Repeat("  ", depth)
+		switch op {
+		case OpBlock, OpLoop, OpIf:
+			bt, _ := r.byte()
+			suffix := ""
+			if bt != BlockEmpty {
+				suffix = " (result " + ValType(bt).String() + ")"
+			}
+			fmt.Fprintf(b, "%s%s%s\n", indent, name, suffix)
+			depth++
+		case OpElse:
+			fmt.Fprintf(b, "%s%s\n", indent, name)
+			depth++
+		case OpEnd:
+			fmt.Fprintf(b, "%s%s\n", indent, name)
+		case OpBr, OpBrIf, OpCall, OpLocalGet, OpLocalSet, OpLocalTee,
+			OpGlobalGet, OpGlobalSet:
+			v, _ := r.u32()
+			fmt.Fprintf(b, "%s%s %d\n", indent, name, v)
+		case OpCallIndirect:
+			v, _ := r.u32()
+			r.byte()
+			fmt.Fprintf(b, "%s%s (type %d)\n", indent, name, v)
+		case OpI32Load, OpI64Load, OpF64Load, OpI32Store, OpI64Store, OpF64Store:
+			r.u32() // align
+			off, _ := r.u32()
+			if off != 0 {
+				fmt.Fprintf(b, "%s%s offset=%d\n", indent, name, off)
+			} else {
+				fmt.Fprintf(b, "%s%s\n", indent, name)
+			}
+		case OpMemSize, OpMemGrow:
+			r.byte()
+			fmt.Fprintf(b, "%s%s\n", indent, name)
+		case OpI32Const:
+			v, _ := r.sleb()
+			fmt.Fprintf(b, "%s%s %d\n", indent, name, int32(v))
+		case OpI64Const:
+			v, _ := r.sleb()
+			fmt.Fprintf(b, "%s%s %d\n", indent, name, v)
+		case OpF64Const:
+			bs, _ := r.bytes(8)
+			fmt.Fprintf(b, "%s%s %s\n", indent, name, watF64(binary.LittleEndian.Uint64(bs)))
+		default:
+			fmt.Fprintf(b, "%s%s\n", indent, name)
+		}
+	}
+	b.WriteString("  )\n")
+}
